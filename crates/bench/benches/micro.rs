@@ -1,0 +1,194 @@
+//! Criterion microbenches for the latency-critical paths.
+//!
+//! Fig. 15a of the paper is a *measured* claim about Concordia's own code:
+//! the scheduler runs every 20 µs and must stay far below that; the WCET
+//! predictor runs every TTI. These benches measure our implementations on
+//! real hardware:
+//!
+//! * `scheduler_tick/N` — one `target_cores` evaluation with N cells'
+//!   worth of active DAGs (paper: < 2 µs up to 7 cells);
+//! * `predictor_tti/N` — predicting every task of an N-cell TTI
+//!   (paper: 4 µs at 1 cell → 24 µs at 7);
+//! * `qdt_predict` / `qdt_observe` — single quantile-decision-tree
+//!   operations (Algorithm 2's hot path);
+//! * `ring_push` — the 5 000-entry leaf ring buffer;
+//! * `dag_build_uplink` — per-slot DAG construction;
+//! * `cost_sample` — one task-runtime draw in the simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use concordia_core::profile::{profile, random_workload, train_bank};
+use concordia_core::PredictorChoice;
+use concordia_platform::sched_api::{DagProgress, PoolScheduler, PoolView};
+use concordia_predictor::qdt::QuantileDecisionTree;
+use concordia_predictor::tree::TreeConfig;
+use concordia_predictor::WcetPredictor;
+use concordia_ran::cost::CostModel;
+use concordia_ran::dag::build_uplink_dag;
+use concordia_ran::features::{extract, handpicked};
+use concordia_ran::numerology::SlotDirection;
+use concordia_ran::task::TaskKind;
+use concordia_ran::{CellConfig, Nanos};
+use concordia_sched::concordia::ConcordiaScheduler;
+use concordia_stats::ring::MaxRingBuffer;
+use concordia_stats::rng::Rng;
+
+fn dags_for_cells(cells: u32, seed: u64) -> Vec<DagProgress> {
+    let cell = CellConfig::fdd_20mhz();
+    let cost = CostModel::new();
+    let mut rng = Rng::new(seed);
+    let mut dags = Vec::new();
+    for c in 0..cells {
+        for dir in [SlotDirection::Uplink, SlotDirection::Downlink] {
+            let wl = random_workload(&cell, dir, &mut rng);
+            let dag = concordia_ran::dag::build_dag(&cell, c, 0, Nanos::ZERO, &wl);
+            dags.push(DagProgress {
+                arrival: Nanos::ZERO,
+                deadline: Nanos::from_millis(2),
+                remaining_work: dag.total_work(&cost),
+                remaining_critical_path: dag.critical_path(&cost),
+            });
+        }
+    }
+    dags
+}
+
+fn bench_scheduler_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_tick");
+    for cells in [1u32, 4, 7] {
+        let dags = dags_for_cells(cells, 42);
+        let mut sched = ConcordiaScheduler::default_paper();
+        let view = PoolView {
+            now: Nanos::from_micros(100),
+            total_cores: 8,
+            granted_cores: 4,
+            dags: &dags,
+            ready_tasks: 4,
+            running_tasks: 3,
+            oldest_ready_wait: Nanos::from_micros(5),
+            recent_utilization: 0.5,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(cells), &cells, |b, _| {
+            b.iter(|| black_box(sched.target_cores(black_box(&view))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_predictor_tti(c: &mut Criterion) {
+    let cell = CellConfig::fdd_20mhz();
+    let cost = CostModel::new();
+    let dataset = profile(&cell, &cost, 800, 8, 7);
+    let bank = train_bank(&dataset, PredictorChoice::QuantileDt, &cost);
+
+    let mut group = c.benchmark_group("predictor_tti");
+    for cells in [1u32, 4, 7] {
+        let mut rng = Rng::new(100 + cells as u64);
+        let mut tasks = Vec::new();
+        for c_id in 0..cells {
+            for dir in [SlotDirection::Uplink, SlotDirection::Downlink] {
+                let wl = random_workload(&cell, dir, &mut rng);
+                let dag = concordia_ran::dag::build_dag(&cell, c_id, 0, Nanos::ZERO, &wl);
+                for node in &dag.nodes {
+                    tasks.push((node.task.kind, extract(&node.task.params)));
+                }
+            }
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(cells), &cells, |b, _| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for (kind, x) in &tasks {
+                    if let Some(p) = bank.predict(*kind, x) {
+                        acc += p.as_micros_f64();
+                    }
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_qdt_ops(c: &mut Criterion) {
+    let cell = CellConfig::fdd_20mhz();
+    let cost = CostModel::new();
+    let dataset = profile(&cell, &cost, 800, 8, 9);
+    let decode = dataset.samples(TaskKind::LdpcDecode);
+    let feats: Vec<usize> = handpicked(TaskKind::LdpcDecode)
+        .iter()
+        .map(|&f| f as usize)
+        .collect();
+    let mut qdt = QuantileDecisionTree::fit(decode, &feats, &TreeConfig::default());
+    let x = decode[decode.len() / 2].x;
+
+    c.bench_function("qdt_predict", |b| {
+        b.iter(|| black_box(qdt.predict_us(black_box(&x))))
+    });
+    c.bench_function("qdt_observe", |b| {
+        b.iter(|| qdt.observe(black_box(&x), black_box(123.4)))
+    });
+}
+
+fn bench_ring_push(c: &mut Criterion) {
+    let mut ring = MaxRingBuffer::new(5_000);
+    for i in 0..5_000 {
+        ring.push(i as f64);
+    }
+    let mut v = 0.0f64;
+    c.bench_function("ring_push", |b| {
+        b.iter(|| {
+            v += 1.0;
+            ring.push(black_box(v % 400.0));
+            black_box(ring.max())
+        })
+    });
+}
+
+fn bench_dag_build(c: &mut Criterion) {
+    let cell = CellConfig::tdd_100mhz();
+    let mut rng = Rng::new(11);
+    let wl = random_workload(&cell, SlotDirection::Uplink, &mut rng);
+    c.bench_function("dag_build_uplink", |b| {
+        b.iter(|| black_box(build_uplink_dag(&cell, 0, 0, Nanos::ZERO, black_box(&wl))))
+    });
+}
+
+fn bench_cost_sample(c: &mut Criterion) {
+    let cost = CostModel::new();
+    let mut rng = Rng::new(12);
+    let p = concordia_ran::TaskParams {
+        n_cbs: 6,
+        cb_bits: 8448,
+        tb_bits: 50_688,
+        mcs_index: 16,
+        modulation_order: 6,
+        code_rate: 0.7,
+        snr_db: 20.0,
+        layers: 2,
+        prbs: 60,
+        pool_cores: 4,
+        ..Default::default()
+    };
+    c.bench_function("cost_sample", |b| {
+        b.iter(|| {
+            black_box(cost.sample_runtime(
+                TaskKind::LdpcDecode,
+                black_box(&p),
+                1.1,
+                &mut rng,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_scheduler_tick,
+    bench_predictor_tti,
+    bench_qdt_ops,
+    bench_ring_push,
+    bench_dag_build,
+    bench_cost_sample
+);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Fig. 3 — LTE cell traffic characteristics (§2.2), plus the Gaussian
+//! pooling analysis.
+//!
+//! Paper claims reproduced here:
+//! * a single cell is completely idle in 75 % of 1 ms TTIs;
+//! * the 3-cell aggregate is idle only ~20 % of TTIs;
+//! * the aggregate median transfer is ~0.2 KB/TTI, with the 95th
+//!   percentile ~10× the median and the 99th ~2.5 KB;
+//! * traffic fluctuates at millisecond scale (Fig. 3b);
+//! * pooling waste grows ∝ √n (the §2.2 Gaussian argument).
+
+use concordia_bench::{banner, pct, write_json, RunLength};
+use concordia_traffic::burst::BurstModel;
+use concordia_traffic::gauss;
+use concordia_traffic::trace::{Trace, TraceStats};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig3Results {
+    single_cell: TraceStats,
+    aggregate_3cells: TraceStats,
+    cdf_points_single: Vec<(f64, f64)>,
+    cdf_points_aggregate: Vec<(f64, f64)>,
+    pooling_waste_by_n: Vec<(u32, f64)>,
+}
+
+fn cdf_points(trace: &Trace) -> Vec<(f64, f64)> {
+    let ecdf = concordia_stats::summary::Ecdf::new(trace.sizes());
+    (0..=40)
+        .map(|i| {
+            let kb = i as f64 * 0.1; // 0..4 KB, Fig. 3a's x-axis
+            (kb, ecdf.eval(kb * 1000.0))
+        })
+        .collect()
+}
+
+fn main() {
+    let len = RunLength::from_args();
+    let seed = concordia_bench::seed_from_args();
+    banner(
+        "Fig. 3 (LTE cell traffic characteristics)",
+        "single cell idle 75% of TTIs; 3-cell aggregate idle ~20%, median 0.2KB, p95 ~10x median",
+    );
+
+    let ttis = match len {
+        RunLength::Quick => 60_000,
+        RunLength::Standard => 600_000,
+        RunLength::Long => 3_600_000, // the 1-hour trace of §2.2
+    };
+
+    let mut trio = BurstModel::lte_trio(seed);
+    let traces: Vec<Trace> = {
+        let mut per_cell: Vec<Vec<f64>> = vec![Vec::with_capacity(ttis); 3];
+        for _ in 0..ttis {
+            for (i, m) in trio.iter_mut().enumerate() {
+                per_cell[i].push(m.next_tti());
+            }
+        }
+        per_cell.into_iter().map(Trace::new).collect()
+    };
+    let refs: Vec<&Trace> = traces.iter().collect();
+    let aggregate = Trace::aggregate(&refs);
+
+    let single = traces[0].stats();
+    let agg = aggregate.stats();
+
+    println!("\nFig. 3a — per-TTI transfer size distribution ({ttis} TTIs):");
+    println!("{:<22} {:>12} {:>12}", "", "1 cell", "3 cells");
+    println!(
+        "{:<22} {:>12} {:>12}",
+        "idle TTI fraction",
+        pct(single.idle_fraction),
+        pct(agg.idle_fraction)
+    );
+    println!(
+        "{:<22} {:>11.2}KB {:>11.2}KB",
+        "median / TTI",
+        single.median / 1000.0,
+        agg.median / 1000.0
+    );
+    println!(
+        "{:<22} {:>11.2}KB {:>11.2}KB",
+        "p95 / TTI",
+        single.p95 / 1000.0,
+        agg.p95 / 1000.0
+    );
+    println!(
+        "{:<22} {:>11.2}KB {:>11.2}KB",
+        "p99 / TTI",
+        single.p99 / 1000.0,
+        agg.p99 / 1000.0
+    );
+    println!(
+        "{:<22} {:>11.2}KB {:>11.2}KB",
+        "max / TTI",
+        single.max / 1000.0,
+        agg.max / 1000.0
+    );
+    println!(
+        "\np95/median ratio (aggregate): {:.1}x  (paper: ~10x)",
+        agg.p95 / agg.median.max(1.0)
+    );
+
+    println!("\nFig. 3b — ms-scale fluctuation (first 20 TTIs of the aggregate, KB):");
+    let snippet: Vec<String> = aggregate.sizes()[..20]
+        .iter()
+        .map(|b| format!("{:.1}", b / 1000.0))
+        .collect();
+    println!("  {}", snippet.join(" "));
+
+    println!("\n§2.2 Gaussian pooling — provisioned waste grows with sqrt(n):");
+    println!("{:>8} {:>16} {:>14}", "n cells", "waste (z=3)", "waste/sqrt(n)");
+    let mut pooling = Vec::new();
+    for n in [1u32, 2, 4, 8, 16, 32] {
+        let w = gauss::expected_waste(n, 1.0, 3.0);
+        println!("{n:>8} {w:>16.2} {:>14.2}", w / (n as f64).sqrt());
+        pooling.push((n, w));
+    }
+
+    write_json(
+        "fig03_traffic",
+        &Fig3Results {
+            single_cell: single,
+            aggregate_3cells: agg,
+            cdf_points_single: cdf_points(&traces[0]),
+            cdf_points_aggregate: cdf_points(&aggregate),
+            pooling_waste_by_n: pooling,
+        },
+    );
+}

@@ -1,0 +1,124 @@
+//! Fig. 6 — runtime characteristics of LDPC decoding for different
+//! codeblock assignments (§4.1 challenge 1).
+//!
+//! Paper claims reproduced here:
+//! * decode runtime grows linearly with the number of codeblocks;
+//! * spreading the work over 4 or 6 cores inflates the runtime by up to
+//!   ~25 % relative to a single core, via CPU memory stalls (Fig. 6b);
+//! * the multi-core effect is non-linear in the core count.
+//!
+//! The paper's experiment: 120 K LDPC decoding operations over groups of
+//! 3–15 codeblocks (8448 bits each) on 1, 4 and 6 CPU cores.
+
+use concordia_bench::{banner, write_json, RunLength};
+use concordia_ran::cost::CostModel;
+use concordia_ran::task::{TaskKind, TaskParams};
+use concordia_ran::transport::Mcs;
+use concordia_stats::rng::Rng;
+use concordia_stats::summary::quantile;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    n_cbs: u32,
+    cores: u32,
+    mean_us: f64,
+    p05_us: f64,
+    p95_us: f64,
+    max_us: f64,
+    stalls_per_cycle: f64,
+}
+
+fn main() {
+    let len = RunLength::from_args();
+    let seed = concordia_bench::seed_from_args();
+    banner(
+        "Fig. 6 (LDPC decode runtime vs codeblocks x cores)",
+        "runtime linear in #codeblocks; 4-6 core spreading inflates WCET by up to ~25%",
+    );
+
+    // 120K ops in the paper; scale with the preset.
+    let ops_per_cell = match len {
+        RunLength::Quick => 2_000,
+        RunLength::Standard => 8_000,
+        RunLength::Long => 40_000,
+    };
+    let cost = CostModel::new();
+    let mut rng = Rng::new(seed);
+    let mcs = Mcs::from_index(16);
+
+    let mut grid: Vec<Cell> = Vec::new();
+    println!(
+        "\n{:>6} {:>6} {:>10} {:>10} {:>10} {:>10} {:>14}",
+        "CBs", "cores", "mean(us)", "p5(us)", "p95(us)", "max(us)", "stalls/cycle"
+    );
+    for &cores in &[1u32, 4, 6] {
+        for &n_cbs in &[3u32, 6, 9, 12, 15] {
+            let p = TaskParams {
+                n_cbs,
+                cb_bits: 8448,
+                tb_bits: n_cbs * 8448,
+                mcs_index: mcs.index,
+                modulation_order: mcs.modulation_order,
+                code_rate: mcs.code_rate,
+                // The paper's experiment spans link conditions; a moderate
+                // margin keeps iteration counts in the mid range.
+                snr_db: mcs.required_snr_db() + 3.0,
+                layers: 2,
+                prbs: 60,
+                pool_cores: cores,
+                ..TaskParams::default()
+            };
+            let runtimes: Vec<f64> = (0..ops_per_cell)
+                .map(|_| {
+                    cost.sample_runtime(TaskKind::LdpcDecode, &p, 1.0, &mut rng)
+                        .as_micros_f64()
+                })
+                .collect();
+            let mean = runtimes.iter().sum::<f64>() / runtimes.len() as f64;
+            let cell = Cell {
+                n_cbs,
+                cores,
+                mean_us: mean,
+                p05_us: quantile(&runtimes, 0.05).unwrap(),
+                p95_us: quantile(&runtimes, 0.95).unwrap(),
+                max_us: runtimes.iter().cloned().fold(0.0, f64::max),
+                stalls_per_cycle: cost.memory_stalls_per_cycle(n_cbs, cores),
+            };
+            println!(
+                "{:>6} {:>6} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>14.3}",
+                cell.n_cbs,
+                cell.cores,
+                cell.mean_us,
+                cell.p05_us,
+                cell.p95_us,
+                cell.max_us,
+                cell.stalls_per_cycle
+            );
+            grid.push(cell);
+        }
+        println!();
+    }
+
+    // Shape checks the paper's figure makes visually.
+    let mean_of = |cbs: u32, cores: u32| {
+        grid.iter()
+            .find(|c| c.n_cbs == cbs && c.cores == cores)
+            .unwrap()
+            .mean_us
+    };
+    let per_cb_3 = mean_of(3, 1) / 3.0;
+    let per_cb_15 = mean_of(15, 1) / 15.0;
+    println!(
+        "linearity: per-CB cost at 3 CBs {per_cb_3:.2}us vs at 15 CBs {per_cb_15:.2}us"
+    );
+    let inflation4 = mean_of(15, 4) / mean_of(15, 1) - 1.0;
+    let inflation6 = mean_of(15, 6) / mean_of(15, 1) - 1.0;
+    println!(
+        "multi-core inflation at 15 CBs: 4 cores +{:.1}%, 6 cores +{:.1}% (paper: up to ~25%)",
+        inflation4 * 100.0,
+        inflation6 * 100.0
+    );
+
+    write_json("fig06_ldpc_runtime", &grid);
+}

@@ -1,0 +1,73 @@
+//! Fig. 12 — Concordia tail latency vs vRAN pool size under the mixed
+//! workload (§6.2 "Number of vRAN pool cores").
+//!
+//! Paper claims reproduced here:
+//! * the 20 MHz × 7-cell configuration achieves 99.999 % reliability with
+//!   8 cores;
+//! * the 100 MHz × 2-cell configuration only reaches 99.99 % with 8 cores,
+//!   and adding one more core (9) restores 99.999 % — extra cores give
+//!   Concordia room to compensate when a scheduled core wakes late.
+
+use concordia_bench::{banner, write_json, RunLength};
+use concordia_core::{run_experiment, Colocation, SimConfig};
+use concordia_ran::Nanos;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig12Row {
+    config: String,
+    cores: u32,
+    p9999_us: f64,
+    p99999_us: f64,
+    deadline_us: f64,
+    reliability: f64,
+}
+
+fn main() {
+    let len = RunLength::from_args();
+    let seed = concordia_bench::seed_from_args();
+    banner(
+        "Fig. 12 (Concordia tail latency vs pool size, Mix workload)",
+        "20MHz: 5-nines at 8 cores; 100MHz: 4-nines at 8 cores, 5-nines at 9",
+    );
+
+    let mut rows = Vec::new();
+    println!(
+        "\n{:<10} {:>6} {:>12} {:>13} {:>10} {:>12}",
+        "config", "cores", "p99.99(us)", "p99.999(us)", "deadline", "reliability"
+    );
+    for (name, template) in [
+        ("20MHz x7", SimConfig::paper_20mhz()),
+        ("100MHz x2", SimConfig::paper_100mhz()),
+    ] {
+        for cores in [8u32, 9] {
+            let mut cfg = template.clone();
+            cfg.cores = cores;
+            cfg.colocation = Colocation::Mix;
+            // The Mix components toggle every 10-70 s; run long enough to
+            // see several phases at the Long preset.
+            cfg.duration = Nanos::from_secs(len.online_secs() * 2);
+            cfg.profiling_slots = len.profiling_slots();
+            cfg.seed = seed;
+            let r = run_experiment(cfg);
+            println!(
+                "{name:<10} {cores:>6} {:>12.0} {:>13.0} {:>10.0} {:>12.6}",
+                r.metrics.p9999_latency_us,
+                r.metrics.p99999_latency_us,
+                r.deadline_us,
+                r.metrics.reliability
+            );
+            rows.push(Fig12Row {
+                config: name.into(),
+                cores,
+                p9999_us: r.metrics.p9999_latency_us,
+                p99999_us: r.metrics.p99999_latency_us,
+                deadline_us: r.deadline_us,
+                reliability: r.metrics.reliability,
+            });
+        }
+    }
+
+    println!("\n(the paper's point: more pool cores give the 20us re-scheduler more\n room to add a core when an already-scheduled one wakes late)");
+    write_json("fig12_pool_size", &rows);
+}

@@ -1,0 +1,43 @@
+//! Development probe: tail-latency distribution per scheduler/config.
+
+use concordia_core::{run_experiment, Colocation, SchedulerChoice, SimConfig};
+use concordia_platform::workloads::WorkloadKind;
+use concordia_ran::Nanos;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let load: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let secs: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+
+    for (label, mut cfg) in [
+        ("100MHz", SimConfig::paper_100mhz()),
+        ("20MHz", SimConfig::paper_20mhz()),
+    ] {
+        cfg.duration = Nanos::from_secs(secs);
+        cfg.load = load;
+        for sched in [SchedulerChoice::concordia(), SchedulerChoice::FlexRan] {
+            for colo in [
+                Colocation::Isolated,
+                Colocation::Single(WorkloadKind::Redis),
+            ] {
+                let mut c = cfg.clone();
+                c.scheduler = sched;
+                c.colocation = colo;
+                let r = run_experiment(c);
+                println!(
+                    "{label:>7} {:<10} {:<9} viol {:>4} rel {:.6} mean {:>5.0} p99.99 {:>6.0} p99.999 {:>6.0} reclaimed {:>4.1}% wakes {:>6} stall% {:>5.2}",
+                    r.scheduler,
+                    r.colocation,
+                    r.metrics.violations,
+                    r.metrics.reliability,
+                    r.metrics.mean_latency_us,
+                    r.metrics.p9999_latency_us,
+                    r.metrics.p99999_latency_us,
+                    r.metrics.reclaimed_fraction * 100.0,
+                    r.metrics.wake_events,
+                    r.metrics.stall_cycles_pct,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! # concordia-bench
+//!
+//! The per-figure/per-table experiment harness. Every binary in `src/bin`
+//! regenerates one table or figure of the paper's evaluation (see
+//! DESIGN.md §3 for the index), printing the same rows/series the paper
+//! reports and writing machine-readable JSON under `bench-results/`.
+//!
+//! Shared here: output handling, run-length presets and tiny table
+//! formatting.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Run-length preset parsed from the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunLength {
+    /// `--quick`: seconds-scale sanity runs.
+    Quick,
+    /// Default: runs with enough slots for 99.99 % tails.
+    Standard,
+    /// `--long`: the closest to the paper's 15-minute runs.
+    Long,
+}
+
+impl RunLength {
+    /// Parses `--quick` / `--long` from the process arguments.
+    pub fn from_args() -> RunLength {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--quick") {
+            RunLength::Quick
+        } else if args.iter().any(|a| a == "--long") {
+            RunLength::Long
+        } else {
+            RunLength::Standard
+        }
+    }
+
+    /// Online-phase duration in seconds for this preset.
+    pub fn online_secs(self) -> u64 {
+        match self {
+            RunLength::Quick => 2,
+            RunLength::Standard => 10,
+            RunLength::Long => 60,
+        }
+    }
+
+    /// Offline profiling slots for this preset.
+    pub fn profiling_slots(self) -> usize {
+        match self {
+            RunLength::Quick => 400,
+            RunLength::Standard => 2_000,
+            RunLength::Long => 4_000,
+        }
+    }
+}
+
+/// Parses `--seed N` (default 2021).
+pub fn seed_from_args() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2021)
+}
+
+/// Directory for the JSON results (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(
+        std::env::var("CONCORDIA_RESULTS_DIR").unwrap_or_else(|_| "bench-results".into()),
+    );
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Writes one experiment's JSON next to the printed output.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize results");
+    std::fs::write(&path, json).expect("write results");
+    println!("\n[results written to {}]", path.display());
+}
+
+/// Prints a header banner naming the figure/table being reproduced.
+pub fn banner(id: &str, claim: &str) {
+    println!("{}", "=".repeat(78));
+    println!("Reproducing {id}");
+    println!("Paper claim: {claim}");
+    println!("{}", "=".repeat(78));
+}
+
+/// Formats a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_scale_up() {
+        assert!(RunLength::Quick.online_secs() < RunLength::Standard.online_secs());
+        assert!(RunLength::Standard.online_secs() < RunLength::Long.online_secs());
+        assert!(RunLength::Quick.profiling_slots() < RunLength::Long.profiling_slots());
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.7), "70.0%");
+        assert_eq!(pct(0.056), "5.6%");
+    }
+
+    #[test]
+    fn default_seed() {
+        assert_eq!(seed_from_args(), 2021);
+    }
+}

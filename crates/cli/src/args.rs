@@ -1,0 +1,264 @@
+//! Minimal dependency-free argument parsing for the `concordia` CLI.
+
+use concordia_core::{Colocation, PredictorChoice, SchedulerChoice, SimConfig};
+use concordia_platform::workloads::WorkloadKind;
+use concordia_ran::{CellConfig, Nanos};
+use concordia_sched::concordia::ConcordiaConfig;
+
+/// Usage text printed on `--help` and parse errors.
+pub const USAGE: &str = "\
+concordia — run one Concordia vRAN compute-sharing experiment
+
+USAGE:
+  concordia [OPTIONS]
+
+OPTIONS:
+  --config 20mhz|100mhz|lte   cell preset (default 20mhz: 7xFDD 20MHz)
+  --cells N                   number of pooled cells (default: preset)
+  --cores N                   vRAN pool cores (default: preset)
+  --scheduler S               concordia | flexran | shenango:<us> |
+                              utilization:<hi> | dedicated (default concordia)
+  --predictor P               qdt | linreg | gbt | pwcet | oracle (default qdt)
+  --colocate W                isolated | redis | nginx | tpcc | mlperf | mix
+                              (default redis)
+  --load F                    traffic load fraction 0-1 (default 0.5)
+  --secs N                    online duration in seconds (default 5)
+  --seed N                    root seed (default 2021)
+  --deadline-us N             override the DAG deadline
+  --fpga                      enable the FPGA LDPC offload (sec. 7)
+  --mac                       run MAC schedulers in the pool (sec. 7)
+  --peak                      peak-provisioning traffic (Table 2 sizing)
+  --json PATH                 write the full JSON report to PATH
+  -h, --help                  this text
+";
+
+/// Parse error with a human message.
+#[derive(Debug, PartialEq)]
+pub struct CliError(pub String);
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(msg.into()))
+}
+
+/// Parses the argument list into a simulation config plus optional JSON
+/// output path.
+pub fn parse(argv: &[String]) -> Result<(SimConfig, Option<String>), CliError> {
+    let mut cfg = SimConfig::paper_20mhz();
+    cfg.duration = Nanos::from_secs(5);
+    cfg.profiling_slots = 1_500;
+    cfg.load = 0.5;
+    cfg.seed = 2021;
+    cfg.colocation = Colocation::Single(WorkloadKind::Redis);
+    let mut cells_override: Option<u32> = None;
+    let mut cores_override: Option<u32> = None;
+    let mut json_path = None;
+
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, CliError> {
+            it.next()
+                .ok_or_else(|| CliError(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--config" => {
+                let v = value("--config")?;
+                let (cell, cells, cores) = match v.as_str() {
+                    "20mhz" => (CellConfig::fdd_20mhz(), 7, 8),
+                    "100mhz" => (CellConfig::tdd_100mhz(), 2, 12),
+                    "lte" => (CellConfig::lte_20mhz(), 7, 6),
+                    other => return err(format!("unknown config '{other}'")),
+                };
+                cfg.cell = cell;
+                cfg.n_cells = cells;
+                cfg.cores = cores;
+            }
+            "--cells" => {
+                cells_override = Some(
+                    value("--cells")?
+                        .parse()
+                        .map_err(|_| CliError("--cells must be an integer".into()))?,
+                );
+            }
+            "--cores" => {
+                cores_override = Some(
+                    value("--cores")?
+                        .parse()
+                        .map_err(|_| CliError("--cores must be an integer".into()))?,
+                );
+            }
+            "--scheduler" => {
+                let v = value("--scheduler")?;
+                cfg.scheduler = parse_scheduler(v)?;
+            }
+            "--predictor" => {
+                cfg.predictor = match value("--predictor")?.as_str() {
+                    "qdt" => PredictorChoice::QuantileDt,
+                    "linreg" => PredictorChoice::LinearRegression,
+                    "gbt" => PredictorChoice::GradientBoosting,
+                    "pwcet" => PredictorChoice::PwcetEvt,
+                    "oracle" => PredictorChoice::Oracle,
+                    other => return err(format!("unknown predictor '{other}'")),
+                };
+            }
+            "--colocate" => {
+                cfg.colocation = match value("--colocate")?.as_str() {
+                    "isolated" => Colocation::Isolated,
+                    "redis" => Colocation::Single(WorkloadKind::Redis),
+                    "nginx" => Colocation::Single(WorkloadKind::Nginx),
+                    "tpcc" => Colocation::Single(WorkloadKind::Tpcc),
+                    "mlperf" => Colocation::Single(WorkloadKind::MlPerf),
+                    "mix" => Colocation::Mix,
+                    other => return err(format!("unknown workload '{other}'")),
+                };
+            }
+            "--load" => {
+                let load: f64 = value("--load")?
+                    .parse()
+                    .map_err(|_| CliError("--load must be a number".into()))?;
+                if !(0.0..=1.0).contains(&load) {
+                    return err("--load must be in [0, 1]");
+                }
+                cfg.load = load;
+            }
+            "--secs" => {
+                let s: u64 = value("--secs")?
+                    .parse()
+                    .map_err(|_| CliError("--secs must be an integer".into()))?;
+                if s == 0 {
+                    return err("--secs must be positive");
+                }
+                cfg.duration = Nanos::from_secs(s);
+            }
+            "--seed" => {
+                cfg.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| CliError("--seed must be an integer".into()))?;
+            }
+            "--deadline-us" => {
+                let us: u64 = value("--deadline-us")?
+                    .parse()
+                    .map_err(|_| CliError("--deadline-us must be an integer".into()))?;
+                cfg.deadline_override = Some(Nanos::from_micros(us));
+            }
+            "--fpga" => cfg.fpga = true,
+            "--mac" => cfg.mac_in_pool = true,
+            "--peak" => cfg.peak_provisioning = true,
+            "--json" => json_path = Some(value("--json")?.clone()),
+            other => return err(format!("unknown flag '{other}'")),
+        }
+    }
+    if let Some(c) = cells_override {
+        if c == 0 {
+            return err("--cells must be positive");
+        }
+        cfg.n_cells = c;
+    }
+    if let Some(c) = cores_override {
+        if c == 0 {
+            return err("--cores must be positive");
+        }
+        cfg.cores = c;
+    }
+    Ok((cfg, json_path))
+}
+
+fn parse_scheduler(v: &str) -> Result<SchedulerChoice, CliError> {
+    if v == "concordia" {
+        return Ok(SchedulerChoice::Concordia(ConcordiaConfig::default()));
+    }
+    if v == "flexran" {
+        return Ok(SchedulerChoice::FlexRan);
+    }
+    if v == "dedicated" {
+        return Ok(SchedulerChoice::Dedicated);
+    }
+    if let Some(thr) = v.strip_prefix("shenango:") {
+        let us: u64 = thr
+            .parse()
+            .map_err(|_| CliError("shenango:<us> needs an integer".into()))?;
+        return Ok(SchedulerChoice::Shenango(Nanos::from_micros(us)));
+    }
+    if let Some(hi) = v.strip_prefix("utilization:") {
+        let hi: f64 = hi
+            .parse()
+            .map_err(|_| CliError("utilization:<hi> needs a number".into()))?;
+        if !(0.0..=1.0).contains(&hi) {
+            return err("utilization watermark must be in [0, 1]");
+        }
+        return Ok(SchedulerChoice::Utilization(hi));
+    }
+    err(format!("unknown scheduler '{v}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let (cfg, json) = parse(&[]).unwrap();
+        assert_eq!(cfg.n_cells, 7);
+        assert_eq!(cfg.cores, 8);
+        assert_eq!(cfg.scheduler.name(), "concordia");
+        assert_eq!(cfg.colocation.name(), "redis");
+        assert!(json.is_none());
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let (cfg, json) = parse(&args(
+            "--config 100mhz --cells 3 --cores 10 --scheduler shenango:50 \
+             --predictor gbt --colocate mix --load 0.75 --secs 9 --seed 42 \
+             --deadline-us 1200 --fpga --mac --peak --json out.json",
+        ))
+        .unwrap();
+        assert_eq!(cfg.cell.bandwidth_mhz, 100);
+        assert_eq!(cfg.n_cells, 3);
+        assert_eq!(cfg.cores, 10);
+        assert_eq!(cfg.scheduler, SchedulerChoice::Shenango(Nanos::from_micros(50)));
+        assert_eq!(cfg.predictor, PredictorChoice::GradientBoosting);
+        assert_eq!(cfg.colocation.name(), "mix");
+        assert_eq!(cfg.load, 0.75);
+        assert_eq!(cfg.duration, Nanos::from_secs(9));
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.deadline_override, Some(Nanos::from_micros(1200)));
+        assert!(cfg.fpga && cfg.mac_in_pool && cfg.peak_provisioning);
+        assert_eq!(json.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    fn lte_preset_selects_turbo_cells() {
+        let (cfg, _) = parse(&args("--config lte")).unwrap();
+        assert_eq!(cfg.cell.generation, concordia_ran::RanGeneration::Lte);
+    }
+
+    #[test]
+    fn utilization_scheduler_parses() {
+        let (cfg, _) = parse(&args("--scheduler utilization:0.3")).unwrap();
+        assert_eq!(cfg.scheduler, SchedulerChoice::Utilization(0.3));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(parse(&args("--load 1.5")).is_err());
+        assert!(parse(&args("--secs 0")).is_err());
+        assert!(parse(&args("--cells 0")).is_err());
+        assert!(parse(&args("--scheduler warp")).is_err());
+        assert!(parse(&args("--predictor magic")).is_err());
+        assert!(parse(&args("--colocate doom")).is_err());
+        assert!(parse(&args("--config 5ghz")).is_err());
+        assert!(parse(&args("--nonsense")).is_err());
+        assert!(parse(&args("--seed")).is_err(), "missing value");
+    }
+
+    #[test]
+    fn order_of_config_and_overrides() {
+        // --cells after --config must win regardless of flag order.
+        let (cfg, _) = parse(&args("--cells 3 --config 100mhz")).unwrap();
+        assert_eq!(cfg.n_cells, 3);
+    }
+}

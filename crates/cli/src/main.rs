@@ -1,0 +1,117 @@
+//! `concordia` — command-line front end for the Concordia reproduction.
+//!
+//! Runs one end-to-end experiment (offline profiling → predictor training →
+//! online scheduling with colocation) and prints a human summary plus,
+//! optionally, the full JSON report.
+//!
+//! ```text
+//! concordia [--config 20mhz|100mhz|lte] [--cells N] [--cores N]
+//!           [--scheduler concordia|flexran|shenango:<us>|utilization:<hi>|dedicated]
+//!           [--predictor qdt|linreg|gbt|pwcet|oracle]
+//!           [--colocate isolated|redis|nginx|tpcc|mlperf|mix]
+//!           [--load 0.0-1.0] [--secs N] [--seed N]
+//!           [--deadline-us N] [--fpga] [--mac] [--peak]
+//!           [--json <path>]
+//! ```
+
+use concordia_core::{
+    run_experiment, Colocation, PredictorChoice, SchedulerChoice, SimConfig,
+};
+use concordia_platform::workloads::WorkloadKind;
+use concordia_ran::{CellConfig, Nanos};
+use std::process::ExitCode;
+
+mod args;
+use args::{parse, CliError};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", args::USAGE);
+        return ExitCode::SUCCESS;
+    }
+    let (cfg, json_path) = match parse(&argv) {
+        Ok(v) => v,
+        Err(CliError(msg)) => {
+            eprintln!("error: {msg}\n");
+            eprint!("{}", args::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "running: {} cells x {} ({}MHz), {} cores, scheduler={}, predictor={}, \
+         colocation={}, load={:.0}%, {}s online...",
+        cfg.n_cells,
+        cfg.cell.generation_name(),
+        cfg.cell.bandwidth_mhz,
+        cfg.cores,
+        cfg.scheduler.name(),
+        cfg.predictor.name(),
+        cfg.colocation.name(),
+        cfg.load * 100.0,
+        cfg.duration.as_nanos() / 1_000_000_000
+    );
+
+    let report = run_experiment(cfg);
+    println!("{}", report.one_liner());
+    println!(
+        "  deadline {}us | mean {:.0}us | p99.99 {:.0}us | p99.999 {:.0}us",
+        report.deadline_us,
+        report.metrics.mean_latency_us,
+        report.metrics.p9999_latency_us,
+        report.metrics.p99999_latency_us
+    );
+    println!(
+        "  reclaimed {:.1}% | pool util {:.1}% | wakes {} | stall +{:.1}%",
+        report.metrics.reclaimed_fraction * 100.0,
+        report.metrics.pool_utilization * 100.0,
+        report.metrics.wake_events,
+        report.metrics.stall_cycles_pct
+    );
+    if let Some(w) = &report.workload {
+        println!(
+            "  {}: {:.0} {} ({:.1}% of a dedicated server)",
+            w.kind,
+            w.achieved_ops_per_sec,
+            w.unit,
+            w.fraction_of_ideal * 100.0
+        );
+    }
+    if !report.five_nines() {
+        println!("  WARNING: below 99.999% reliability");
+    }
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&report).expect("serializable report");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("report written to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Small extension used by the banner above.
+trait GenerationName {
+    fn generation_name(&self) -> &'static str;
+}
+impl GenerationName for CellConfig {
+    fn generation_name(&self) -> &'static str {
+        match self.generation {
+            concordia_ran::RanGeneration::Lte => "LTE",
+            concordia_ran::RanGeneration::Nr => "5G NR",
+        }
+    }
+}
+
+#[allow(dead_code)]
+fn _assert_types(cfg: SimConfig) {
+    // Compile-time sanity that the parser produces the real config types.
+    let _: Colocation = cfg.colocation;
+    let _: SchedulerChoice = cfg.scheduler;
+    let _: PredictorChoice = cfg.predictor;
+    let _: Option<Nanos> = cfg.deadline_override;
+    let _ = WorkloadKind::Redis;
+}

@@ -1,0 +1,217 @@
+//! Experiment configuration.
+
+use concordia_platform::workloads::WorkloadKind;
+use concordia_ran::cell::CellConfig;
+use concordia_ran::time::Nanos;
+use concordia_sched::concordia::ConcordiaConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which pool scheduler an experiment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SchedulerChoice {
+    /// The Concordia federated mixed-criticality scheduler (§3).
+    Concordia(ConcordiaConfig),
+    /// Vanilla FlexRAN queue-driven baseline.
+    FlexRan,
+    /// Shenango variant with the given queue-delay threshold (§6.3).
+    Shenango(Nanos),
+    /// Utilization-based scheduler with the given high watermark (§6.3).
+    Utilization(f64),
+    /// Full isolation: the vRAN holds every core all the time (§2.3
+    /// operator practice).
+    Dedicated,
+}
+
+impl SchedulerChoice {
+    /// Concordia with the paper's defaults.
+    pub fn concordia() -> Self {
+        SchedulerChoice::Concordia(ConcordiaConfig::default())
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerChoice::Concordia(_) => "concordia",
+            SchedulerChoice::FlexRan => "flexran",
+            SchedulerChoice::Shenango(_) => "shenango",
+            SchedulerChoice::Utilization(_) => "utilization",
+            SchedulerChoice::Dedicated => "dedicated",
+        }
+    }
+}
+
+/// Which WCET predictor feeds the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredictorChoice {
+    /// Quantile decision trees (the Concordia predictor, §4.2).
+    QuantileDt,
+    /// Linear regression + residual quantile (§6.4 baseline).
+    LinearRegression,
+    /// Gradient boosting + residual quantile (§6.4 baseline).
+    GradientBoosting,
+    /// Single-value EVT pWCET (§6.3 conventional baseline).
+    PwcetEvt,
+    /// Ground-truth expected cost scaled by a fixed margin (oracle
+    /// ablation; not available to a real system).
+    Oracle,
+}
+
+impl PredictorChoice {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PredictorChoice::QuantileDt => "quantile_dt",
+            PredictorChoice::LinearRegression => "linear_regression",
+            PredictorChoice::GradientBoosting => "gradient_boosting",
+            PredictorChoice::PwcetEvt => "pwcet_evt",
+            PredictorChoice::Oracle => "oracle",
+        }
+    }
+}
+
+/// The collocated best-effort load of an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Colocation {
+    /// vRAN in isolation (the recommended FlexRAN deployment).
+    Isolated,
+    /// A single saturating workload.
+    Single(WorkloadKind),
+    /// The randomized on/off mix of all workloads (§6).
+    Mix,
+}
+
+impl Colocation {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Colocation::Isolated => "isolated",
+            Colocation::Single(k) => k.name(),
+            Colocation::Mix => "mix",
+        }
+    }
+}
+
+/// Full configuration of one end-to-end experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Per-cell radio configuration.
+    pub cell: CellConfig,
+    /// Number of pooled cells (Table 1: 2 × 100 MHz or 7 × 20 MHz).
+    pub n_cells: u32,
+    /// vRAN pool cores.
+    pub cores: u32,
+    /// Scheduler under test.
+    pub scheduler: SchedulerChoice,
+    /// Predictor feeding the scheduler.
+    pub predictor: PredictorChoice,
+    /// Collocated workload.
+    pub colocation: Colocation,
+    /// Cell traffic load as a fraction of max average load (Fig. 8 x-axis).
+    pub load: f64,
+    /// Simulated duration of the online phase.
+    pub duration: Nanos,
+    /// Root seed; every component forks a deterministic stream from it.
+    pub seed: u64,
+    /// Override of the cell's DAG deadline (Fig. 15b sweep).
+    pub deadline_override: Option<Nanos>,
+    /// Enable the §7 FPGA LDPC offload.
+    pub fpga: bool,
+    /// Offline profiling slots (each yields one UL + one DL DAG of
+    /// samples); §5 collects 500 K samples — ~6 K slots suffice here.
+    pub profiling_slots: usize,
+    /// Keep feeding online observations to the predictor (§4.2 online
+    /// phase). Disable for the frozen-model ablation.
+    pub online_updates: bool,
+    /// §7 extension: run the MAC-layer schedulers as deadline tasks of the
+    /// vRAN pool instead of on dedicated cores.
+    pub mac_in_pool: bool,
+    /// Provision-for-peak traffic mode: every slot carries close to the
+    /// cell's peak volume (Table 2/3's "minimum # CPU cores required to
+    /// process the peak traffic"), instead of the bursty average-load trace.
+    pub peak_provisioning: bool,
+}
+
+impl SimConfig {
+    /// The paper's 100 MHz evaluation setup (Table 1/2): 2 TDD cells,
+    /// 12 cores, Concordia + QDT, isolated, full load, 10 s.
+    pub fn paper_100mhz() -> SimConfig {
+        SimConfig {
+            cell: CellConfig::tdd_100mhz(),
+            n_cells: 2,
+            cores: 12,
+            scheduler: SchedulerChoice::concordia(),
+            predictor: PredictorChoice::QuantileDt,
+            colocation: Colocation::Isolated,
+            load: 1.0,
+            duration: Nanos::from_secs(10),
+            seed: 1,
+            deadline_override: None,
+            fpga: false,
+            profiling_slots: 3_000,
+            online_updates: true,
+            mac_in_pool: false,
+            peak_provisioning: false,
+        }
+    }
+
+    /// The paper's 20 MHz evaluation setup (Table 1/2): 7 FDD cells,
+    /// 8 cores.
+    pub fn paper_20mhz() -> SimConfig {
+        SimConfig {
+            cell: CellConfig::fdd_20mhz(),
+            n_cells: 7,
+            cores: 8,
+            ..Self::paper_100mhz()
+        }
+    }
+
+    /// Effective DAG deadline (override or cell default).
+    pub fn deadline(&self) -> Nanos {
+        self.deadline_override.unwrap_or(self.cell.deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_match_tables() {
+        let c = SimConfig::paper_100mhz();
+        assert_eq!(c.n_cells, 2);
+        assert_eq!(c.cores, 12);
+        assert_eq!(c.deadline(), Nanos::from_micros(1500));
+        let c = SimConfig::paper_20mhz();
+        assert_eq!(c.n_cells, 7);
+        assert_eq!(c.cores, 8);
+        assert_eq!(c.deadline(), Nanos::from_millis(2));
+    }
+
+    #[test]
+    fn deadline_override_wins() {
+        let mut c = SimConfig::paper_20mhz();
+        c.deadline_override = Some(Nanos::from_micros(1600));
+        assert_eq!(c.deadline(), Nanos::from_micros(1600));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(SchedulerChoice::concordia().name(), "concordia");
+        assert_eq!(SchedulerChoice::FlexRan.name(), "flexran");
+        assert_eq!(PredictorChoice::QuantileDt.name(), "quantile_dt");
+        assert_eq!(Colocation::Isolated.name(), "isolated");
+        assert_eq!(
+            Colocation::Single(WorkloadKind::Redis).name(),
+            "redis"
+        );
+    }
+
+    #[test]
+    fn config_serializes() {
+        let c = SimConfig::paper_100mhz();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.n_cells, 2);
+        assert_eq!(back.scheduler.name(), "concordia");
+    }
+}

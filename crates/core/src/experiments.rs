@@ -1,0 +1,132 @@
+//! Canned experiment builders and search helpers used by the per-figure
+//! bench harness.
+
+use crate::config::{Colocation, SimConfig};
+use crate::report::ExperimentReport;
+use crate::sim::run_experiment;
+use concordia_ran::time::Nanos;
+
+/// Finds the minimum pool size (cores) at which the configuration meets
+/// the given reliability at its configured load, by linear scan from
+/// `min_cores` to `max_cores`. This is how the paper's Table 2/3
+/// "minimum # CPU cores" columns are produced.
+pub fn find_min_cores(
+    template: &SimConfig,
+    min_cores: u32,
+    max_cores: u32,
+    reliability: f64,
+) -> Option<(u32, ExperimentReport)> {
+    for cores in min_cores..=max_cores {
+        let cfg = SimConfig {
+            cores,
+            ..template.clone()
+        };
+        let report = run_experiment(cfg);
+        if report.metrics.reliability >= reliability {
+            return Some((cores, report));
+        }
+    }
+    None
+}
+
+/// Runs the Fig. 8a-style load sweep, returning `(load, report)` pairs.
+pub fn load_sweep(template: &SimConfig, loads: &[f64]) -> Vec<(f64, ExperimentReport)> {
+    loads
+        .iter()
+        .map(|&load| {
+            let cfg = SimConfig {
+                load,
+                ..template.clone()
+            };
+            (load, run_experiment(cfg))
+        })
+        .collect()
+}
+
+/// Runs the Fig. 15b-style deadline sweep.
+pub fn deadline_sweep(
+    template: &SimConfig,
+    deadlines: &[Nanos],
+) -> Vec<(Nanos, ExperimentReport)> {
+    deadlines
+        .iter()
+        .map(|&d| {
+            let cfg = SimConfig {
+                deadline_override: Some(d),
+                ..template.clone()
+            };
+            (d, run_experiment(cfg))
+        })
+        .collect()
+}
+
+/// Runs one experiment per colocation choice (the Fig. 11 grid rows).
+pub fn colocation_grid(
+    template: &SimConfig,
+    colocations: &[Colocation],
+) -> Vec<(Colocation, ExperimentReport)> {
+    colocations
+        .iter()
+        .map(|&c| {
+            let cfg = SimConfig {
+                colocation: c,
+                ..template.clone()
+            };
+            (c, run_experiment(cfg))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchedulerChoice;
+
+    fn tiny_template() -> SimConfig {
+        let mut cfg = SimConfig::paper_20mhz();
+        cfg.n_cells = 2;
+        cfg.duration = Nanos::from_millis(800);
+        cfg.profiling_slots = 250;
+        cfg.load = 0.5;
+        cfg
+    }
+
+    #[test]
+    fn find_min_cores_returns_a_sufficient_pool() {
+        let template = tiny_template();
+        let (cores, report) =
+            find_min_cores(&template, 1, 8, 0.999).expect("some pool size works");
+        assert!(cores >= 1 && cores <= 8);
+        assert!(report.metrics.reliability >= 0.999);
+    }
+
+    #[test]
+    fn load_sweep_is_monotone_in_utilization() {
+        let template = tiny_template();
+        let rs = load_sweep(&template, &[0.1, 0.9]);
+        assert_eq!(rs.len(), 2);
+        assert!(
+            rs[0].1.metrics.pool_utilization < rs[1].1.metrics.pool_utilization,
+            "utilization must grow with load"
+        );
+    }
+
+    #[test]
+    fn deadline_sweep_applies_override() {
+        let template = tiny_template();
+        let rs = deadline_sweep(&template, &[Nanos::from_millis(3)]);
+        assert_eq!(rs[0].1.deadline_us, 3000.0);
+    }
+
+    #[test]
+    fn colocation_grid_covers_requested_cases() {
+        let template = SimConfig {
+            scheduler: SchedulerChoice::concordia(),
+            ..tiny_template()
+        };
+        let rs = colocation_grid(&template, &[Colocation::Isolated, Colocation::Mix]);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].1.colocation, "isolated");
+        assert_eq!(rs[1].1.colocation, "mix");
+    }
+}

@@ -1,0 +1,29 @@
+//! # concordia-core
+//!
+//! The end-to-end Concordia simulation engine: composes the 5G domain
+//! model, traffic generation, the compute-platform simulator, the WCET
+//! predictors and the schedulers into runnable experiments that reproduce
+//! the paper's evaluation.
+//!
+//! * [`config`] — experiment configuration (cells × cores × scheduler ×
+//!   predictor × colocation × load × deadline).
+//! * [`profile`] — the offline profiling phase and predictor training
+//!   (§4.2, §5).
+//! * [`sim`] — the online slot loop: traffic → DAGs → predictions →
+//!   scheduling → execution → online adaptation.
+//! * [`report`] — serializable experiment reports.
+//! * [`experiments`] — canned sweeps and searches used by the per-figure
+//!   bench harness (min-cores search, load sweep, deadline sweep,
+//!   colocation grid).
+
+pub mod config;
+pub mod experiments;
+pub mod profile;
+pub mod report;
+pub mod runner;
+pub mod sim;
+
+pub use config::{Colocation, PredictorChoice, SchedulerChoice, SimConfig};
+pub use report::{ExperimentReport, WorkloadReport};
+pub use runner::run_parallel;
+pub use sim::{run_experiment, Simulation};

@@ -1,0 +1,131 @@
+//! Serializable experiment reports.
+
+use concordia_platform::metrics::MetricsSummary;
+use serde::{Deserialize, Serialize};
+
+/// Throughput outcome of the collocated best-effort workload (Fig. 8b–d).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadReport {
+    /// Workload name.
+    pub kind: String,
+    /// Throughput unit.
+    pub unit: String,
+    /// Achieved throughput per second.
+    pub achieved_ops_per_sec: f64,
+    /// Ideal (no vRAN, all cores) throughput per second.
+    pub ideal_ops_per_sec: f64,
+    /// Achieved / ideal.
+    pub fraction_of_ideal: f64,
+}
+
+/// Outcome of one end-to-end experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Predictor name.
+    pub predictor: String,
+    /// Colocation name.
+    pub colocation: String,
+    /// Pooled cells.
+    pub n_cells: u32,
+    /// Pool cores.
+    pub cores: u32,
+    /// Traffic load fraction.
+    pub load: f64,
+    /// DAG deadline (µs).
+    pub deadline_us: f64,
+    /// Online-phase duration (s).
+    pub duration_s: f64,
+    /// Root seed.
+    pub seed: u64,
+    /// Platform metrics.
+    pub metrics: MetricsSummary,
+    /// Best-effort workload outcome, when a single workload was collocated.
+    pub workload: Option<WorkloadReport>,
+}
+
+impl ExperimentReport {
+    /// `true` when the run met the paper's 99.999 % reliability bar.
+    pub fn five_nines(&self) -> bool {
+        self.metrics.reliability >= 0.99999
+    }
+
+    /// One-line human-readable summary.
+    pub fn one_liner(&self) -> String {
+        format!(
+            "{}/{} {}: {} dags, reliability {:.6}, p99.99 {:.0}us, p99.999 {:.0}us, reclaimed {:.1}%",
+            self.scheduler,
+            self.predictor,
+            self.colocation,
+            self.metrics.dags,
+            self.metrics.reliability,
+            self.metrics.p9999_latency_us,
+            self.metrics.p99999_latency_us,
+            self.metrics.reclaimed_fraction * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy() -> ExperimentReport {
+        ExperimentReport {
+            scheduler: "concordia".into(),
+            predictor: "quantile_dt".into(),
+            colocation: "redis".into(),
+            n_cells: 2,
+            cores: 8,
+            load: 0.5,
+            deadline_us: 1500.0,
+            duration_s: 10.0,
+            seed: 1,
+            metrics: MetricsSummary {
+                dags: 100_000,
+                violations: 0,
+                reliability: 1.0,
+                mean_latency_us: 200.0,
+                p9999_latency_us: 900.0,
+                p99999_latency_us: 1100.0,
+                reclaimed_fraction: 0.55,
+                pool_utilization: 0.3,
+                wake_events: 5000,
+                wake_tail_events: 3,
+                evictions: 5000,
+                stall_cycles_pct: 1.5,
+                tasks_executed: 2_000_000,
+                vran_busy_ms: 24_000.0,
+                wake_hist_counts: vec![10, 5, 1],
+            },
+            workload: None,
+        }
+    }
+
+    #[test]
+    fn five_nines_threshold() {
+        let mut r = dummy();
+        assert!(r.five_nines());
+        r.metrics.reliability = 0.9999;
+        assert!(!r.five_nines());
+        r.metrics.reliability = 0.99999;
+        assert!(r.five_nines());
+    }
+
+    #[test]
+    fn serializes_round_trip() {
+        let r = dummy();
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: ExperimentReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.metrics.dags, 100_000);
+        assert_eq!(back.scheduler, "concordia");
+    }
+
+    #[test]
+    fn one_liner_contains_key_fields() {
+        let s = dummy().one_liner();
+        assert!(s.contains("concordia"));
+        assert!(s.contains("reclaimed"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Parallel experiment runner.
+//!
+//! The per-figure harnesses sweep dozens of independent experiment
+//! configurations; each simulation is single-threaded and deterministic, so
+//! they parallelize perfectly across cores. The runner fans configurations
+//! out to a worker pool over crossbeam channels and collects reports in
+//! input order, with a shared progress counter behind a `parking_lot`
+//! mutex.
+
+use crate::config::SimConfig;
+use crate::report::ExperimentReport;
+use crate::sim::run_experiment;
+use crossbeam::channel;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Progress observer: called with (completed, total) after each experiment.
+pub type ProgressFn = Box<dyn Fn(usize, usize) + Send + Sync>;
+
+/// Runs every configuration, in parallel across up to `workers` threads,
+/// returning the reports in the same order as the inputs.
+///
+/// Each experiment is still internally deterministic (seeded), so the
+/// result is identical to running them sequentially.
+pub fn run_parallel(configs: Vec<SimConfig>, workers: usize) -> Vec<ExperimentReport> {
+    run_parallel_with_progress(configs, workers, None)
+}
+
+/// [`run_parallel`] with an optional progress callback.
+pub fn run_parallel_with_progress(
+    configs: Vec<SimConfig>,
+    workers: usize,
+    progress: Option<ProgressFn>,
+) -> Vec<ExperimentReport> {
+    let total = configs.len();
+    if total == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, total);
+    let (task_tx, task_rx) = channel::unbounded::<(usize, SimConfig)>();
+    let (result_tx, result_rx) = channel::unbounded::<(usize, ExperimentReport)>();
+    for item in configs.into_iter().enumerate() {
+        task_tx.send(item).expect("queue open");
+    }
+    drop(task_tx);
+
+    let done = Arc::new(Mutex::new(0usize));
+    let progress = progress.map(Arc::new);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let task_rx = task_rx.clone();
+            let result_tx = result_tx.clone();
+            let done = Arc::clone(&done);
+            let progress = progress.clone();
+            scope.spawn(move || {
+                while let Ok((idx, cfg)) = task_rx.recv() {
+                    let report = run_experiment(cfg);
+                    result_tx.send((idx, report)).expect("collector open");
+                    let mut d = done.lock();
+                    *d += 1;
+                    if let Some(p) = &progress {
+                        p(*d, total);
+                    }
+                }
+            });
+        }
+        drop(result_tx);
+
+        let mut out: Vec<Option<ExperimentReport>> = (0..total).map(|_| None).collect();
+        for (idx, report) in result_rx {
+            out[idx] = Some(report);
+        }
+        out.into_iter()
+            .map(|r| r.expect("every experiment reports"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Colocation;
+    use concordia_ran::time::Nanos;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn tiny(seed: u64, load: f64) -> SimConfig {
+        let mut cfg = SimConfig::paper_20mhz();
+        cfg.n_cells = 2;
+        cfg.duration = Nanos::from_millis(400);
+        cfg.profiling_slots = 150;
+        cfg.load = load;
+        cfg.seed = seed;
+        cfg.colocation = Colocation::Isolated;
+        cfg
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let configs: Vec<SimConfig> = (0..4).map(|i| tiny(i, 0.3 + 0.1 * i as f64)).collect();
+        let seq: Vec<_> = configs.iter().cloned().map(run_experiment).collect();
+        let par = run_parallel(configs, 4);
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.metrics.dags, p.metrics.dags);
+            assert_eq!(s.metrics.mean_latency_us, p.metrics.mean_latency_us);
+            assert_eq!(s.seed, p.seed);
+        }
+    }
+
+    #[test]
+    fn results_keep_input_order() {
+        let configs: Vec<SimConfig> = (0..6).map(|i| tiny(100 + i, 0.5)).collect();
+        let reports = run_parallel(configs, 3);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.seed, 100 + i as u64);
+        }
+    }
+
+    #[test]
+    fn progress_callback_reaches_total() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&counter);
+        let configs: Vec<SimConfig> = (0..3).map(|i| tiny(i, 0.5)).collect();
+        let _ = run_parallel_with_progress(
+            configs,
+            2,
+            Some(Box::new(move |done, total| {
+                assert!(done <= total);
+                c2.store(done, Ordering::SeqCst);
+            })),
+        );
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(run_parallel(Vec::new(), 4).is_empty());
+    }
+}

@@ -1,0 +1,368 @@
+//! The end-to-end Concordia simulation: offline profiling → predictor
+//! training → online slot loop with scheduling, colocation and online
+//! adaptation.
+
+use crate::config::{Colocation, SchedulerChoice, SimConfig};
+use crate::profile::{profile, train_bank};
+use crate::report::{ExperimentReport, WorkloadReport};
+use concordia_platform::pool::{PoolConfig, ScheduledDag, VranPool};
+use concordia_platform::sched_api::{DedicatedScheduler, PoolScheduler};
+use concordia_platform::workloads::{MixSchedule, WorkloadKind};
+use concordia_predictor::api::ModelBank;
+use concordia_ran::cost::CostModel;
+use concordia_ran::dag::build_dag;
+use concordia_ran::features::extract;
+use concordia_ran::numerology::SlotDirection;
+use concordia_ran::time::Nanos;
+use concordia_sched::baselines::{FlexRanScheduler, ShenangoScheduler, UtilizationScheduler};
+use concordia_sched::concordia::ConcordiaScheduler;
+use concordia_stats::rng::Rng;
+use concordia_traffic::gen5g::{CellTraffic, TrafficConfig};
+
+/// A fully assembled simulation, ready to run.
+pub struct Simulation {
+    cfg: SimConfig,
+    cost: CostModel,
+    pool: VranPool,
+    bank: ModelBank,
+    traffic: Vec<CellTraffic>,
+    mix: Option<MixSchedule>,
+    static_pressure: (f64, f64),
+    slot: u64,
+}
+
+fn make_scheduler(choice: SchedulerChoice) -> Box<dyn PoolScheduler> {
+    match choice {
+        SchedulerChoice::Concordia(cfg) => Box::new(ConcordiaScheduler::new(cfg)),
+        SchedulerChoice::FlexRan => Box::new(FlexRanScheduler::default()),
+        SchedulerChoice::Shenango(thr) => Box::new(ShenangoScheduler::new(thr)),
+        SchedulerChoice::Utilization(hi) => Box::new(UtilizationScheduler::new(hi)),
+        SchedulerChoice::Dedicated => Box::new(DedicatedScheduler),
+    }
+}
+
+impl Simulation {
+    /// Builds the simulation: runs the offline profiling phase, trains the
+    /// predictor bank, and sets up the pool, traffic sources and
+    /// colocation.
+    pub fn new(cfg: SimConfig) -> Self {
+        let mut cell = cfg.cell;
+        if let Some(d) = cfg.deadline_override {
+            cell.deadline = d;
+        }
+        let cfg = SimConfig { cell, ..cfg };
+        let cost = CostModel::new();
+        let root = Rng::new(cfg.seed);
+
+        // Offline phase (§4.2): isolated vRAN, randomized inputs.
+        let dataset = profile(
+            &cfg.cell,
+            &cost,
+            cfg.profiling_slots,
+            cfg.cores,
+            cfg.seed ^ 0x0FF_11FE,
+        );
+        let bank = train_bank(&dataset, cfg.predictor, &cost);
+
+        let pool = VranPool::new(
+            PoolConfig {
+                cores: cfg.cores,
+                ..PoolConfig::default()
+            },
+            cost.clone(),
+            make_scheduler(cfg.scheduler),
+            cfg.seed ^ 0x9001,
+        );
+
+        let traffic = (0..cfg.n_cells)
+            .map(|c| {
+                CellTraffic::new(
+                    cfg.cell,
+                    TrafficConfig {
+                        load: cfg.load,
+                        // Peak provisioning drives near-peak volume into
+                        // every slot (the Table 2/3 sizing criterion).
+                        mean_at_full: if cfg.peak_provisioning { 0.95 } else { 0.5 },
+                    },
+                    root.fork(100 + c as u64),
+                )
+            })
+            .collect();
+
+        let (mix, static_pressure) = match cfg.colocation {
+            Colocation::Isolated => (None, (0.0, 0.0)),
+            Colocation::Single(kind) => {
+                let p = kind.profile();
+                (None, (p.cache_intensity, p.kernel_intensity))
+            }
+            Colocation::Mix => {
+                let mut rng = root.fork(999);
+                (
+                    Some(MixSchedule::generate(cfg.duration, &mut rng)),
+                    (0.0, 0.0),
+                )
+            }
+        };
+
+        let mut sim = Simulation {
+            cfg,
+            cost,
+            pool,
+            bank,
+            traffic,
+            mix,
+            static_pressure,
+            slot: 0,
+        };
+        if sim.cfg.fpga {
+            sim.pool.enable_fpga(concordia_ran::accel::FpgaModel::default());
+        }
+        let (c0, k0) = sim.pressure_at(Nanos::ZERO);
+        sim.pool.set_pressure(c0, k0);
+        sim
+    }
+
+    fn pressure_at(&self, t: Nanos) -> (f64, f64) {
+        match &self.mix {
+            Some(m) => m.pressure_at(t),
+            None => self.static_pressure,
+        }
+    }
+
+    /// Runs the online phase to completion and produces the report.
+    pub fn run(mut self) -> ExperimentReport {
+        let slot_dur = self.cfg.cell.slot_duration();
+        let n_slots = self.cfg.duration.as_nanos() / slot_dur.as_nanos();
+
+        for slot in 0..n_slots {
+            let t = Nanos(slot * slot_dur.as_nanos());
+            self.pool.run_until(t);
+            self.slot = slot;
+
+            // Colocation pressure follows the mix schedule.
+            if self.mix.is_some() {
+                let (c, k) = self.pressure_at(t);
+                let (oc, ok) = self.pool.pressure();
+                if (c - oc).abs() > 1e-9 || (k - ok).abs() > 1e-9 {
+                    self.pool.set_pressure(c, k);
+                }
+            }
+
+            self.inject_slot(t, slot);
+
+            // Online adaptation (§4.2): feed observed runtimes back.
+            if self.cfg.online_updates {
+                for obs in self.pool.drain_observations() {
+                    self.bank.observe(obs.kind, &obs.features, obs.runtime_us);
+                }
+            } else {
+                self.pool.drain_observations();
+            }
+        }
+        // Drain the tail of the last slots.
+        self.pool
+            .run_until(self.cfg.duration + self.cfg.cell.deadline);
+        self.pool.flush_accounting();
+        self.report()
+    }
+
+    /// Injects the DAGs of one slot boundary for every cell.
+    fn inject_slot(&mut self, t: Nanos, slot: u64) {
+        let granted = self.pool.granted_cores().max(1);
+        for c in 0..self.cfg.n_cells as usize {
+            // §7 extension: MAC scheduling for the *next* slot runs in the
+            // pool, with a one-slot deadline.
+            if self.cfg.mac_in_pool {
+                let n_ues = (self.cfg.cell.max_ues / 2).max(1);
+                let mac = concordia_ran::dag::build_mac_dag(
+                    &self.cfg.cell,
+                    c as u32,
+                    slot,
+                    t,
+                    n_ues,
+                );
+                let node_wcet = mac
+                    .nodes
+                    .iter()
+                    .map(|n| {
+                        let mut params = n.task.params;
+                        params.pool_cores = granted;
+                        self.bank
+                            .predict(n.task.kind, &extract(&params))
+                            .unwrap_or_else(|| {
+                                self.cost
+                                    .expected_cost_on_pool(n.task.kind, &params)
+                                    .scale(1.5)
+                            })
+                    })
+                    .collect();
+                self.pool.inject_dag(ScheduledDag {
+                    dag: mac,
+                    node_wcet,
+                });
+            }
+            let dirs = self.cfg.cell.duplex.directions(slot);
+            for &dir in dirs {
+                let bytes = match dir {
+                    SlotDirection::Uplink => self.traffic[c].next_ul_bytes(),
+                    SlotDirection::Downlink => self.traffic[c].next_dl_bytes(),
+                    // The special slot carries a reduced DL volume.
+                    SlotDirection::Special => self.traffic[c].next_dl_bytes() * 0.6,
+                };
+                let wl = self.traffic[c].workload_for(dir, bytes);
+                let dag = build_dag(&self.cfg.cell, c as u32, slot, t, &wl);
+                if dag.is_empty() {
+                    continue;
+                }
+                let node_wcet = dag
+                    .nodes
+                    .iter()
+                    .map(|n| {
+                        let mut params = n.task.params;
+                        params.pool_cores = granted;
+                        self.bank
+                            .predict(n.task.kind, &extract(&params))
+                            .unwrap_or_else(|| {
+                                self.cost.expected_cost_on_pool(n.task.kind, &params).scale(1.5)
+                            })
+                    })
+                    .collect();
+                self.pool.inject_dag(ScheduledDag { dag, node_wcet });
+            }
+        }
+    }
+
+    fn report(&self) -> ExperimentReport {
+        let summary = self
+            .pool
+            .metrics()
+            .summary(self.cfg.cores, self.cfg.duration);
+        let workload = match self.cfg.colocation {
+            Colocation::Single(kind) => Some(self.workload_report(kind)),
+            _ => None,
+        };
+        ExperimentReport {
+            scheduler: self.cfg.scheduler.name().to_string(),
+            predictor: self.cfg.predictor.name().to_string(),
+            colocation: self.cfg.colocation.name().to_string(),
+            n_cells: self.cfg.n_cells,
+            cores: self.cfg.cores,
+            load: self.cfg.load,
+            deadline_us: self.cfg.deadline().as_micros_f64(),
+            duration_s: self.cfg.duration.as_nanos() as f64 / 1e9,
+            seed: self.cfg.seed,
+            metrics: summary,
+            workload,
+        }
+    }
+
+    fn workload_report(&self, kind: WorkloadKind) -> WorkloadReport {
+        let m = self.pool.metrics();
+        let p = kind.profile();
+        let achieved = p.achieved_ops(m.besteffort_core_time, m.evictions);
+        let ideal = p.ideal_ops(self.cfg.cores, self.cfg.duration);
+        WorkloadReport {
+            kind: kind.name().to_string(),
+            unit: p.unit.to_string(),
+            achieved_ops_per_sec: achieved / (self.cfg.duration.as_nanos() as f64 / 1e9),
+            ideal_ops_per_sec: ideal / (self.cfg.duration.as_nanos() as f64 / 1e9),
+            fraction_of_ideal: if ideal > 0.0 { achieved / ideal } else { 0.0 },
+        }
+    }
+
+    /// Read-only access to the pool metrics mid-experiment (tests).
+    pub fn metrics(&self) -> &concordia_platform::metrics::PoolMetrics {
+        self.pool.metrics()
+    }
+}
+
+/// Convenience: build and run in one call.
+pub fn run_experiment(cfg: SimConfig) -> ExperimentReport {
+    Simulation::new(cfg).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(cfg_mut: impl FnOnce(&mut SimConfig)) -> ExperimentReport {
+        let mut cfg = SimConfig::paper_20mhz();
+        cfg.duration = Nanos::from_secs(2);
+        cfg.profiling_slots = 400;
+        cfg.load = 0.25;
+        cfg_mut(&mut cfg);
+        run_experiment(cfg)
+    }
+
+    #[test]
+    fn concordia_isolated_meets_deadlines() {
+        let r = quick(|_| {});
+        assert!(r.metrics.dags > 10_000, "dags {}", r.metrics.dags);
+        assert_eq!(r.metrics.violations, 0, "violations {}", r.metrics.violations);
+        assert!(
+            r.metrics.reclaimed_fraction > 0.3,
+            "reclaimed {}",
+            r.metrics.reclaimed_fraction
+        );
+    }
+
+    #[test]
+    fn concordia_under_redis_keeps_reliability_and_reclaims() {
+        let r = quick(|c| {
+            c.colocation = Colocation::Single(WorkloadKind::Redis);
+        });
+        assert_eq!(r.metrics.violations, 0, "violations {}", r.metrics.violations);
+        assert!(r.metrics.reclaimed_fraction > 0.2);
+        let w = r.workload.as_ref().unwrap();
+        assert!(w.fraction_of_ideal > 0.1, "workload got {}", w.fraction_of_ideal);
+    }
+
+    #[test]
+    fn flexran_under_redis_violates_more_than_concordia() {
+        let conc = quick(|c| {
+            c.colocation = Colocation::Single(WorkloadKind::Redis);
+            c.load = 0.75;
+        });
+        let flex = quick(|c| {
+            c.colocation = Colocation::Single(WorkloadKind::Redis);
+            c.load = 0.75;
+            c.scheduler = SchedulerChoice::FlexRan;
+        });
+        assert!(
+            flex.metrics.p9999_latency_us > conc.metrics.p9999_latency_us,
+            "flexran p9999 {} vs concordia {}",
+            flex.metrics.p9999_latency_us,
+            conc.metrics.p9999_latency_us
+        );
+    }
+
+    #[test]
+    fn dedicated_reclaims_nothing() {
+        let r = quick(|c| {
+            c.scheduler = SchedulerChoice::Dedicated;
+        });
+        assert!(r.metrics.reclaimed_fraction < 0.01);
+        assert_eq!(r.metrics.violations, 0);
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let a = quick(|c| c.seed = 42);
+        let b = quick(|c| c.seed = 42);
+        assert_eq!(a.metrics.dags, b.metrics.dags);
+        assert_eq!(a.metrics.mean_latency_us, b.metrics.mean_latency_us);
+        assert_eq!(a.metrics.reclaimed_fraction, b.metrics.reclaimed_fraction);
+    }
+
+    #[test]
+    fn higher_load_reclaims_less() {
+        let lo = quick(|c| c.load = 0.05);
+        let hi = quick(|c| c.load = 1.0);
+        assert!(
+            lo.metrics.reclaimed_fraction > hi.metrics.reclaimed_fraction + 0.05,
+            "lo {} hi {}",
+            lo.metrics.reclaimed_fraction,
+            hi.metrics.reclaimed_fraction
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Runtime state of the FPGA offload engine inside the pool simulator.
+
+use concordia_ran::accel::{FpgaModel, FpgaQueue};
+use concordia_ran::task::TaskKind;
+use concordia_ran::time::Nanos;
+
+/// FPGA model plus its FIFO occupancy.
+#[derive(Debug, Clone)]
+pub struct FpgaState {
+    model: FpgaModel,
+    queue: FpgaQueue,
+}
+
+impl FpgaState {
+    /// Creates an idle engine.
+    pub fn new(model: FpgaModel) -> Self {
+        FpgaState {
+            model,
+            queue: FpgaQueue::new(),
+        }
+    }
+
+    /// CPU cost the submitting worker pays per request.
+    pub fn submit_cost(&self) -> Nanos {
+        self.model.submit_cost()
+    }
+
+    /// Enqueues an offloaded task; returns its completion time.
+    pub fn submit(&mut self, now: Nanos, kind: TaskKind, n_cbs: u32) -> Nanos {
+        let service = self.model.service_latency(kind, n_cbs.max(1));
+        self.queue.enqueue(now, service)
+    }
+
+    /// Requests served so far.
+    pub fn served(&self) -> u64 {
+        self.queue.served()
+    }
+
+    /// Accumulated engine busy time.
+    pub fn busy_time(&self) -> Nanos {
+        self.queue.busy_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submissions_serialize_on_the_engine() {
+        let mut f = FpgaState::new(FpgaModel::default());
+        let c1 = f.submit(Nanos::ZERO, TaskKind::LdpcDecode, 6);
+        let c2 = f.submit(Nanos::ZERO, TaskKind::LdpcDecode, 6);
+        assert!(c2 > c1);
+        assert_eq!(f.served(), 2);
+        assert!(f.busy_time() > Nanos::ZERO);
+    }
+
+    #[test]
+    fn zero_cb_requests_are_clamped() {
+        let mut f = FpgaState::new(FpgaModel::default());
+        let c = f.submit(Nanos::ZERO, TaskKind::LdpcEncode, 0);
+        assert!(c > Nanos::ZERO);
+    }
+}

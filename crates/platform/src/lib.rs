@@ -1,0 +1,32 @@
+//! # concordia-platform
+//!
+//! Discrete-event simulator of the compute platform the paper runs on: a
+//! pool of CPU cores executing vRAN worker threads next to best-effort
+//! workloads under a non-real-time OS.
+//!
+//! * [`events`] — deterministic event queue.
+//! * [`oslat`] — Linux wake-latency model (Fig. 10 shapes).
+//! * [`cache`] — LLC interference model + modeled perf counters (Fig. 9).
+//! * [`workloads`] — Redis/Nginx/TPCC/MLPerf/Mix best-effort models
+//!   (Fig. 8 beneficiaries and §2.3 interference sources).
+//! * [`sched_api`] — the [`PoolScheduler`] decision interface.
+//! * [`pool`] — the vRAN pool simulator (workers, EDF queues, DAG
+//!   execution, rotation, metrics).
+//! * [`accel_state`] — FPGA offload engine state (§7).
+//! * [`metrics`] — latency/reliability/reclaimed-CPU accounting.
+
+pub mod accel_state;
+pub mod cache;
+pub mod events;
+pub mod metrics;
+pub mod oslat;
+pub mod pool;
+pub mod sched_api;
+pub mod workloads;
+
+pub use cache::{CacheModel, CounterAccumulator, CounterDeltas};
+pub use metrics::{MetricsSummary, PoolMetrics, SlotLatencyRecorder};
+pub use oslat::OsLatencyModel;
+pub use pool::{Observation, PoolConfig, ScheduledDag, VranPool};
+pub use sched_api::{DagProgress, DedicatedScheduler, PoolScheduler, PoolView};
+pub use workloads::{MixSchedule, WorkloadKind, WorkloadProfile};

@@ -1,0 +1,264 @@
+//! Experiment metrics: slot latency percentiles, deadline reliability,
+//! reclaimed CPU, scheduling-event histograms.
+
+use concordia_ran::time::Nanos;
+use concordia_stats::hist::Log2Histogram;
+use concordia_stats::summary::quantile;
+use serde::{Deserialize, Serialize};
+
+/// Records per-slot (per-DAG) processing latencies and deadline outcomes.
+#[derive(Debug, Clone, Default)]
+pub struct SlotLatencyRecorder {
+    latencies_us: Vec<f64>,
+    violations: u64,
+}
+
+impl SlotLatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed DAG.
+    pub fn record(&mut self, latency: Nanos, deadline_budget: Nanos) {
+        self.latencies_us.push(latency.as_micros_f64());
+        if latency > deadline_budget {
+            self.violations += 1;
+        }
+    }
+
+    /// Number of completed DAGs.
+    pub fn count(&self) -> usize {
+        self.latencies_us.len()
+    }
+
+    /// Number of deadline violations.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Fraction of DAGs that met their deadline (the reliability readout;
+    /// the paper requires ≥ 0.99999). Returns 1.0 for an empty recorder.
+    pub fn reliability(&self) -> f64 {
+        if self.latencies_us.is_empty() {
+            1.0
+        } else {
+            1.0 - self.violations as f64 / self.latencies_us.len() as f64
+        }
+    }
+
+    /// Mean latency in µs.
+    pub fn mean_us(&self) -> f64 {
+        if self.latencies_us.is_empty() {
+            0.0
+        } else {
+            self.latencies_us.iter().sum::<f64>() / self.latencies_us.len() as f64
+        }
+    }
+
+    /// Latency quantile in µs (e.g. 0.9999 and 0.99999 for Fig. 11).
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        quantile(&self.latencies_us, q).unwrap_or(0.0)
+    }
+
+    /// Raw latencies (µs) for downstream analysis.
+    pub fn latencies_us(&self) -> &[f64] {
+        &self.latencies_us
+    }
+}
+
+/// Aggregate platform metrics for one experiment run.
+#[derive(Debug, Clone, Default)]
+pub struct PoolMetrics {
+    /// Per-DAG latency recorder.
+    pub slots: SlotLatencyRecorder,
+    /// Wake-latency histogram in µs buckets (Fig. 10).
+    pub wake_hist: Log2Histogram,
+    /// Number of worker wake (scheduling) events.
+    pub wake_events: u64,
+    /// Number of vRAN-induced evictions of best-effort work (core taken
+    /// back from the OS).
+    pub evictions: u64,
+    /// Total core-time granted to best-effort work.
+    pub besteffort_core_time: Nanos,
+    /// Total core-time the vRAN held cores (granted, whether busy or
+    /// spinning).
+    pub vran_core_time: Nanos,
+    /// Total core-time vRAN workers were actually executing tasks.
+    pub vran_busy_time: Nanos,
+    /// Interference counters (Fig. 9).
+    pub counters: crate::cache::CounterAccumulator,
+    /// Tasks executed.
+    pub tasks_executed: u64,
+}
+
+impl PoolMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fraction of total core-time reclaimed for best-effort work
+    /// (Fig. 8a's y-axis), given the pool size and the observed duration.
+    pub fn reclaimed_fraction(&self, cores: u32, duration: Nanos) -> f64 {
+        let total = cores as f64 * duration.as_nanos() as f64;
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.besteffort_core_time.as_nanos() as f64 / total
+        }
+    }
+
+    /// vRAN CPU utilization over the cores it held: busy / held (the
+    /// Fig. 4a readout is busy over *all* pool core-time; see
+    /// [`PoolMetrics::utilization_of_pool`]).
+    pub fn utilization_of_held(&self) -> f64 {
+        if self.vran_core_time == Nanos::ZERO {
+            0.0
+        } else {
+            self.vran_busy_time.as_nanos() as f64 / self.vran_core_time.as_nanos() as f64
+        }
+    }
+
+    /// vRAN CPU utilization over the whole pool (busy core-time over
+    /// `cores × duration`) — the Fig. 4a "Avg CPU util" column.
+    pub fn utilization_of_pool(&self, cores: u32, duration: Nanos) -> f64 {
+        let total = cores as f64 * duration.as_nanos() as f64;
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.vran_busy_time.as_nanos() as f64 / total
+        }
+    }
+}
+
+/// Serializable summary of [`PoolMetrics`] for experiment reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricsSummary {
+    /// Completed DAGs.
+    pub dags: usize,
+    /// Deadline violations.
+    pub violations: u64,
+    /// Deadline reliability.
+    pub reliability: f64,
+    /// Mean slot latency (µs).
+    pub mean_latency_us: f64,
+    /// 99.99th-percentile slot latency (µs).
+    pub p9999_latency_us: f64,
+    /// 99.999th-percentile slot latency (µs).
+    pub p99999_latency_us: f64,
+    /// Reclaimed CPU fraction.
+    pub reclaimed_fraction: f64,
+    /// vRAN pool utilization (busy over pool).
+    pub pool_utilization: f64,
+    /// Worker wake events.
+    pub wake_events: u64,
+    /// Wake events at or above 64 µs.
+    pub wake_tail_events: u64,
+    /// Best-effort evictions.
+    pub evictions: u64,
+    /// Stall-cycle increase (%) vs isolated.
+    pub stall_cycles_pct: f64,
+    /// Tasks executed.
+    pub tasks_executed: u64,
+    /// Total vRAN busy core-time in milliseconds.
+    pub vran_busy_ms: f64,
+    /// Wake-latency log2 histogram counts (bucket 0 = 0-1 µs, 1 = 2-3 µs,
+    /// 2 = 4-7 µs, … — the Fig. 10 `runqlat` layout).
+    pub wake_hist_counts: Vec<u64>,
+}
+
+impl PoolMetrics {
+    /// Produces the serializable summary.
+    pub fn summary(&self, cores: u32, duration: Nanos) -> MetricsSummary {
+        MetricsSummary {
+            dags: self.slots.count(),
+            violations: self.slots.violations(),
+            reliability: self.slots.reliability(),
+            mean_latency_us: self.slots.mean_us(),
+            p9999_latency_us: self.slots.quantile_us(0.9999),
+            p99999_latency_us: self.slots.quantile_us(0.99999),
+            reclaimed_fraction: self.reclaimed_fraction(cores, duration),
+            pool_utilization: self.utilization_of_pool(cores, duration),
+            wake_events: self.wake_events,
+            wake_tail_events: self.wake_hist.count_at_or_above(64),
+            evictions: self.evictions,
+            stall_cycles_pct: self.counters.deltas().stall_cycles_pct,
+            tasks_executed: self.tasks_executed,
+            vran_busy_ms: self.vran_busy_time.as_millis_f64(),
+            wake_hist_counts: self.wake_hist.counts().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliability_counts_violations() {
+        let mut r = SlotLatencyRecorder::new();
+        let budget = Nanos::from_millis(1);
+        for i in 0..1000 {
+            let lat = if i < 3 {
+                Nanos::from_millis(2)
+            } else {
+                Nanos::from_micros(500)
+            };
+            r.record(lat, budget);
+        }
+        assert_eq!(r.violations(), 3);
+        assert!((r.reliability() - 0.997).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_recorder_is_fully_reliable() {
+        let r = SlotLatencyRecorder::new();
+        assert_eq!(r.reliability(), 1.0);
+        assert_eq!(r.mean_us(), 0.0);
+        assert_eq!(r.quantile_us(0.9999), 0.0);
+    }
+
+    #[test]
+    fn quantiles_reflect_tail() {
+        let mut r = SlotLatencyRecorder::new();
+        let budget = Nanos::from_millis(10);
+        for _ in 0..9999 {
+            r.record(Nanos::from_micros(100), budget);
+        }
+        r.record(Nanos::from_micros(5_000), budget);
+        assert!(r.quantile_us(0.5) < 150.0);
+        assert!(r.quantile_us(0.99999) > 1_000.0);
+        assert!(r.quantile_us(1.0) == 5_000.0);
+    }
+
+    #[test]
+    fn reclaimed_fraction_arithmetic() {
+        let mut m = PoolMetrics::new();
+        m.besteffort_core_time = Nanos::from_secs(6);
+        let f = m.reclaimed_fraction(8, Nanos::from_secs(1));
+        assert!((f - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_arithmetic() {
+        let mut m = PoolMetrics::new();
+        m.vran_core_time = Nanos::from_secs(4);
+        m.vran_busy_time = Nanos::from_secs(1);
+        assert!((m.utilization_of_held() - 0.25).abs() < 1e-12);
+        assert!((m.utilization_of_pool(8, Nanos::from_secs(1)) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let mut m = PoolMetrics::new();
+        m.slots
+            .record(Nanos::from_micros(100), Nanos::from_millis(1));
+        m.wake_hist.record(80);
+        m.wake_events = 1;
+        let s = m.summary(4, Nanos::from_secs(1));
+        assert_eq!(s.dags, 1);
+        assert_eq!(s.wake_tail_events, 1);
+        assert_eq!(s.reliability, 1.0);
+    }
+}

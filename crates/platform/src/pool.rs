@@ -1,0 +1,1124 @@
+//! The vRAN pool simulator.
+//!
+//! A discrete-event model of the queue-based worker-thread design of §2.1
+//! (Fig. 2): worker threads pinned to cores pull the earliest-deadline task
+//! from a priority queue, completed tasks release their DAG successors (one
+//! kept locally for cache efficiency, the rest re-queued), idle workers
+//! either busy-wait or yield the core to the OS, and yielded workers pay an
+//! OS wake latency when signalled back (§2.3).
+//!
+//! A pluggable [`PoolScheduler`] chooses how many cores the vRAN holds at
+//! every tick; the pool rotates the physical cores every 2 ms (§5) and
+//! accounts reclaimed core-time, wake events/latencies, interference
+//! counters and per-DAG slot latencies — everything the paper's evaluation
+//! reads out.
+
+use crate::accel_state::FpgaState;
+use crate::cache::{CacheModel, WARMUP};
+use crate::events::EventQueue;
+use crate::metrics::PoolMetrics;
+use crate::oslat::OsLatencyModel;
+use crate::sched_api::{DagProgress, PoolScheduler, PoolView};
+use concordia_ran::accel::FpgaModel;
+use concordia_ran::cost::CostModel;
+use concordia_ran::dag::SlotDag;
+use concordia_ran::features::{extract, FeatureVec};
+use concordia_ran::task::TaskKind;
+use concordia_ran::time::Nanos;
+use concordia_stats::rng::Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A DAG released to the pool together with its per-node WCET predictions
+/// (what the Concordia predictor computed at the slot boundary; baselines
+/// that ignore predictions pass zeros).
+#[derive(Debug, Clone)]
+pub struct ScheduledDag {
+    /// The slot DAG.
+    pub dag: SlotDag,
+    /// Predicted WCET per node, aligned with `dag.nodes`.
+    pub node_wcet: Vec<Nanos>,
+}
+
+/// One completed-task observation for online predictor training.
+#[derive(Debug, Clone, Copy)]
+pub struct Observation {
+    /// Task kind.
+    pub kind: TaskKind,
+    /// Features at dispatch (including the pool width actually used).
+    pub features: FeatureVec,
+    /// Observed runtime in microseconds.
+    pub runtime_us: f64,
+}
+
+/// Pool configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Worker cores in the pool.
+    pub cores: u32,
+    /// Physical-core rotation period (§5: 2 ms). `None` disables rotation.
+    pub rotation: Option<Nanos>,
+    /// EMA smoothing for the utilization signal.
+    pub utilization_alpha: f64,
+    /// Whether a finishing worker keeps one DAG successor to run locally
+    /// (§2.1's cache-efficiency optimization).
+    pub keep_local_successor: bool,
+    /// Record per-task observations for online training.
+    pub record_observations: bool,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            cores: 8,
+            rotation: Some(Nanos::from_millis(2)),
+            utilization_alpha: 0.05,
+            keep_local_successor: true,
+            record_observations: true,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CoreState {
+    /// Yielded to the OS / best-effort workloads.
+    Released,
+    /// Signalled; the wake event is in flight.
+    Waking,
+    /// Granted and polling the queue (busy-wait).
+    Spinning,
+    /// Executing a task.
+    Busy { dag: u32, node: u32 },
+}
+
+#[derive(Debug, Clone)]
+struct Core {
+    state: CoreState,
+    /// Bumped on every state-machine reset so in-flight events for the old
+    /// incarnation are ignored.
+    epoch: u64,
+    /// When the vRAN acquired this core (cache-warmth reference; valid
+    /// unless Released).
+    held_since: Nanos,
+    /// Last time this core's occupancy was flushed into the metrics.
+    acct_since: Nanos,
+    /// Release as soon as the current task finishes.
+    release_pending: bool,
+}
+
+#[derive(Debug)]
+enum Event {
+    /// Scheduler re-evaluation.
+    Tick,
+    /// Physical core rotation.
+    Rotate,
+    /// Worker on `core` finished waking.
+    Wake { core: u32, epoch: u64 },
+    /// Task on `core` finished executing.
+    TaskFinish {
+        core: u32,
+        epoch: u64,
+        runtime: Nanos,
+        offload_submit: bool,
+    },
+    /// FPGA completed an offloaded node.
+    FpgaDone { dag: u32, node: u32 },
+}
+
+/// Ready-queue entry: EDF order (deadline, then FIFO).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ReadyTask {
+    deadline: Nanos,
+    seq: u64,
+    dag: u32,
+    node: u32,
+}
+
+impl PartialOrd for ReadyTask {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ReadyTask {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+struct ActiveDag {
+    sched: ScheduledDag,
+    pred_left: Vec<u16>,
+    done: Vec<bool>,
+    remaining: usize,
+    /// Longest predicted path from each node to a sink, including the node.
+    tail: Vec<Nanos>,
+    remaining_work: Nanos,
+}
+
+/// The vRAN pool simulator.
+pub struct VranPool {
+    cfg: PoolConfig,
+    cost: CostModel,
+    scheduler: Box<dyn PoolScheduler>,
+    oslat: OsLatencyModel,
+    cache: CacheModel,
+    /// Per-cell FPGA offload engines, lazily grown by cell id. The DE5-Net
+    /// card exposes multiple decoder cores; modelling one engine per cell
+    /// keeps the Table 4 single-slot wait profile while providing the
+    /// aggregate throughput the Table 3 multi-cell scenario needs.
+    fpga: Option<(FpgaModel, Vec<FpgaState>)>,
+
+    now: Nanos,
+    events: EventQueue<Event>,
+    cores: Vec<Core>,
+    ready: BinaryHeap<Reverse<ReadyTask>>,
+    ready_seq: u64,
+    queue_nonempty_since: Option<Nanos>,
+    dags: Vec<Option<ActiveDag>>,
+    free_dags: Vec<u32>,
+    active_dag_count: usize,
+    running_tasks: usize,
+    utilization_ema: f64,
+
+    /// LLC pressure from collocated workloads (runtime inflation).
+    cache_pressure: f64,
+    /// Kernel-activity pressure (wake latency + storm rate).
+    kernel_pressure: f64,
+    /// Kernel-storm window: wakes issued before `storm_until` complete only
+    /// after it. Storms model correlated kernel activity (interrupt storms,
+    /// RCU floods, long non-preemptible paths) driven by saturating
+    /// collocated workloads — the §2.3 "tens of microseconds to tens of
+    /// milliseconds" scheduling-latency pathology that single-wake jitter
+    /// cannot produce.
+    storm_until: Nanos,
+    /// Next storm arrival (rolled forward lazily).
+    next_storm: Nanos,
+    rng_cost: Rng,
+    rng_os: Rng,
+    metrics: PoolMetrics,
+    observations: Vec<Observation>,
+}
+
+impl VranPool {
+    /// Creates a pool. All cores start granted (spinning) at time zero.
+    pub fn new(
+        cfg: PoolConfig,
+        cost: CostModel,
+        scheduler: Box<dyn PoolScheduler>,
+        seed: u64,
+    ) -> Self {
+        assert!(cfg.cores > 0);
+        let root = Rng::new(seed);
+        let mut events = EventQueue::new();
+        events.push(Nanos::ZERO, Event::Tick);
+        if let Some(rot) = cfg.rotation {
+            events.push(rot, Event::Rotate);
+        }
+        let cores = (0..cfg.cores)
+            .map(|_| Core {
+                state: CoreState::Spinning,
+                epoch: 0,
+                held_since: Nanos::ZERO,
+                acct_since: Nanos::ZERO,
+                release_pending: false,
+            })
+            .collect();
+        VranPool {
+            cfg,
+            cost,
+            scheduler,
+            oslat: OsLatencyModel::default(),
+            cache: CacheModel::default(),
+            fpga: None,
+            now: Nanos::ZERO,
+            events,
+            cores,
+            ready: BinaryHeap::new(),
+            ready_seq: 0,
+            queue_nonempty_since: None,
+            dags: Vec::new(),
+            free_dags: Vec::new(),
+            active_dag_count: 0,
+            running_tasks: 0,
+            utilization_ema: 0.0,
+            cache_pressure: 0.0,
+            kernel_pressure: 0.0,
+            storm_until: Nanos::ZERO,
+            next_storm: Nanos(u64::MAX),
+            rng_cost: root.fork(1),
+            rng_os: root.fork(2),
+            metrics: PoolMetrics::new(),
+            observations: Vec::new(),
+        }
+    }
+
+    /// Enables the §7 FPGA LDPC offload.
+    pub fn enable_fpga(&mut self, model: FpgaModel) {
+        self.fpga = Some((model, Vec::new()));
+    }
+
+    /// Sets the aggregate cache and kernel pressures of the active
+    /// best-effort workloads.
+    pub fn set_pressure(&mut self, cache: f64, kernel: f64) {
+        self.cache_pressure = cache.max(0.0);
+        self.kernel_pressure = kernel.max(0.0);
+    }
+
+    /// Current (cache, kernel) pressures.
+    pub fn pressure(&self) -> (f64, f64) {
+        (self.cache_pressure, self.kernel_pressure)
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> &PoolMetrics {
+        &self.metrics
+    }
+
+    /// Cores currently held by the vRAN (not released).
+    pub fn granted_cores(&self) -> u32 {
+        self.cores
+            .iter()
+            .filter(|c| c.state != CoreState::Released)
+            .count() as u32
+    }
+
+    /// Number of incomplete DAGs.
+    pub fn active_dags(&self) -> usize {
+        self.active_dag_count
+    }
+
+    /// Takes the buffered task observations (for online predictor training).
+    pub fn drain_observations(&mut self) -> Vec<Observation> {
+        std::mem::take(&mut self.observations)
+    }
+
+    /// Releases a DAG to the pool at the current time. The DAG's `arrival`
+    /// must not be in the past.
+    pub fn inject_dag(&mut self, sched: ScheduledDag) {
+        debug_assert!(sched.dag.arrival >= self.now);
+        debug_assert_eq!(sched.dag.nodes.len(), sched.node_wcet.len());
+        let n = sched.dag.nodes.len();
+        if n == 0 {
+            return;
+        }
+        // Tail lengths over the topological order, reversed.
+        let mut tail = vec![Nanos::ZERO; n];
+        for i in (0..n).rev() {
+            let succ_max = sched.dag.nodes[i]
+                .succs
+                .iter()
+                .map(|&s| tail[s as usize])
+                .fold(Nanos::ZERO, Nanos::max);
+            tail[i] = sched.node_wcet[i] + succ_max;
+        }
+        let remaining_work = sched
+            .node_wcet
+            .iter()
+            .fold(Nanos::ZERO, |a, &b| a + b);
+        let pred_left: Vec<u16> = sched
+            .dag
+            .nodes
+            .iter()
+            .map(|nd| nd.preds.len() as u16)
+            .collect();
+        let deadline = sched.dag.deadline;
+        let active = ActiveDag {
+            sched,
+            pred_left,
+            done: vec![false; n],
+            remaining: n,
+            tail,
+            remaining_work,
+        };
+        let slot = match self.free_dags.pop() {
+            Some(s) => {
+                self.dags[s as usize] = Some(active);
+                s
+            }
+            None => {
+                self.dags.push(Some(active));
+                (self.dags.len() - 1) as u32
+            }
+        };
+        self.active_dag_count += 1;
+        // Queue the source nodes.
+        let sources: Vec<u32> = {
+            let d = self.dags[slot as usize].as_ref().unwrap();
+            (0..n as u32).filter(|&i| d.pred_left[i as usize] == 0).collect()
+        };
+        for node in sources {
+            self.enqueue_ready(slot, node, deadline);
+        }
+        // Arrival triggers a scheduling decision (§3: predictions are sent
+        // to the scheduler at the beginning of each TTI slot).
+        self.reallocate();
+        self.dispatch();
+    }
+
+    /// Runs the simulation until `t_end` (inclusive of events at `t_end`).
+    pub fn run_until(&mut self, t_end: Nanos) {
+        while let Some(t) = self.events.peek_time() {
+            if t > t_end {
+                break;
+            }
+            let (t, ev) = self.events.pop().unwrap();
+            debug_assert!(t >= self.now);
+            self.now = t;
+            self.handle(ev);
+        }
+        self.now = self.now.max(t_end);
+    }
+
+    // ---- internals ----
+
+    fn enqueue_ready(&mut self, dag: u32, node: u32, deadline: Nanos) {
+        if self.ready.is_empty() {
+            self.queue_nonempty_since = Some(self.now);
+        }
+        let seq = self.ready_seq;
+        self.ready_seq += 1;
+        self.ready.push(Reverse(ReadyTask {
+            deadline,
+            seq,
+            dag,
+            node,
+        }));
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::Tick => {
+                self.update_utilization();
+                self.reallocate();
+                self.dispatch();
+                let tick = self.scheduler.tick();
+                self.events.push(self.now + tick, Event::Tick);
+            }
+            Event::Rotate => {
+                self.rotate_cores();
+                if let Some(rot) = self.cfg.rotation {
+                    self.events.push(self.now + rot, Event::Rotate);
+                }
+            }
+            Event::Wake { core, epoch } => {
+                let c = &mut self.cores[core as usize];
+                if c.epoch != epoch || c.state != CoreState::Waking {
+                    return; // stale wake for a previous incarnation
+                }
+                c.state = CoreState::Spinning;
+                self.dispatch();
+            }
+            Event::TaskFinish {
+                core,
+                epoch,
+                runtime,
+                offload_submit,
+            } => {
+                let c = &self.cores[core as usize];
+                debug_assert_eq!(c.epoch, epoch, "running tasks are never abandoned");
+                let (dag, node) = match c.state {
+                    CoreState::Busy { dag, node } => (dag, node),
+                    _ => unreachable!("TaskFinish on a non-busy core"),
+                };
+                self.metrics.vran_busy_time += runtime;
+                self.running_tasks -= 1;
+                if offload_submit {
+                    // The CPU part (submission) is done; the node itself
+                    // completes when the cell's FPGA engine finishes.
+                    let d = self.dags[dag as usize].as_ref().unwrap();
+                    let cell = d.sched.dag.cell_id as usize;
+                    let tnode = &d.sched.dag.nodes[node as usize];
+                    let (kind, n_cbs) = (tnode.task.kind, tnode.task.params.n_cbs);
+                    let (model, engines) =
+                        self.fpga.as_mut().expect("offload without FPGA");
+                    while engines.len() <= cell {
+                        engines.push(FpgaState::new(*model));
+                    }
+                    let done_at = engines[cell].submit(self.now, kind, n_cbs);
+                    self.events.push(done_at, Event::FpgaDone { dag, node });
+                    self.after_worker_free(core, None);
+                } else {
+                    let local = self.complete_node(dag, node);
+                    self.after_worker_free(core, local);
+                }
+                self.dispatch();
+            }
+            Event::FpgaDone { dag, node } => {
+                // No worker context here: a locally-kept successor would
+                // have no core to run on, so queue it like the others.
+                if let Some((ldag, lnode)) = self.complete_node(dag, node) {
+                    let deadline = self.dags[ldag as usize]
+                        .as_ref()
+                        .expect("live dag")
+                        .sched
+                        .dag
+                        .deadline;
+                    self.enqueue_ready(ldag, lnode, deadline);
+                }
+                self.dispatch();
+            }
+        }
+    }
+
+    /// Marks a node complete; queues newly-ready successors except an
+    /// optional locally-kept one, which is returned for immediate dispatch.
+    fn complete_node(&mut self, dag: u32, node: u32) -> Option<(u32, u32)> {
+        let deadline;
+        let mut newly_ready: Vec<u32> = Vec::new();
+        let finished;
+        {
+            let d = self.dags[dag as usize].as_mut().expect("live dag");
+            debug_assert!(!d.done[node as usize]);
+            d.done[node as usize] = true;
+            d.remaining -= 1;
+            d.remaining_work = d
+                .remaining_work
+                .saturating_sub(d.sched.node_wcet[node as usize]);
+            deadline = d.sched.dag.deadline;
+            let succs = d.sched.dag.nodes[node as usize].succs.clone();
+            for s in succs {
+                let pl = &mut d.pred_left[s as usize];
+                *pl -= 1;
+                if *pl == 0 {
+                    newly_ready.push(s);
+                }
+            }
+            finished = d.remaining == 0;
+        }
+
+        let mut local: Option<(u32, u32)> = None;
+        if self.cfg.keep_local_successor && !newly_ready.is_empty() {
+            // Keep the successor with the longest tail (most critical).
+            let d = self.dags[dag as usize].as_ref().unwrap();
+            let best = newly_ready
+                .iter()
+                .copied()
+                .max_by_key(|&s| d.tail[s as usize])
+                .unwrap();
+            newly_ready.retain(|&s| s != best);
+            local = Some((dag, best));
+        }
+        for s in newly_ready {
+            self.enqueue_ready(dag, s, deadline);
+        }
+
+        if finished {
+            let d = self.dags[dag as usize].take().unwrap();
+            self.free_dags.push(dag);
+            self.active_dag_count -= 1;
+            let latency = self.now.saturating_sub(d.sched.dag.arrival);
+            let budget = d.sched.dag.deadline.saturating_sub(d.sched.dag.arrival);
+            self.metrics.slots.record(latency, budget);
+            debug_assert!(local.is_none());
+        }
+        local
+    }
+
+    /// After a worker finishes (or submits an offload): run the local
+    /// successor if any, release if pending, otherwise go spinning.
+    fn after_worker_free(&mut self, core: u32, local: Option<(u32, u32)>) {
+        if let Some((dag, node)) = local {
+            if !self.cores[core as usize].release_pending {
+                self.start_task(core, dag, node);
+                return;
+            }
+            // Release was requested: don't keep work locally.
+            let deadline = self.dags[dag as usize].as_ref().unwrap().sched.dag.deadline;
+            self.enqueue_ready(dag, node, deadline);
+        }
+        if self.cores[core as usize].release_pending {
+            self.release_core(core);
+        } else {
+            self.cores[core as usize].state = CoreState::Spinning;
+        }
+    }
+
+    fn start_task(&mut self, core: u32, dag: u32, node: u32) {
+        let pool_cores = self.effective_granted();
+        let (kind, mut params) = {
+            let d = self.dags[dag as usize].as_ref().expect("live dag");
+            let t = &d.sched.dag.nodes[node as usize].task;
+            (t.kind, t.params)
+        };
+        params.pool_cores = pool_cores.max(1);
+
+        let offload = self.fpga.is_some() && kind.offloadable();
+        let c = &mut self.cores[core as usize];
+        let warm = self.now.saturating_sub(c.held_since) >= WARMUP;
+        let (runtime, interference) = if offload {
+            (self.fpga.as_ref().unwrap().0.submit_cost(), 1.0)
+        } else {
+            let f = self
+                .cache
+                .interference_factor(self.cache_pressure, warm, &mut self.rng_cost);
+            (
+                self.cost
+                    .sample_runtime(kind, &params, f, &mut self.rng_cost),
+                f,
+            )
+        };
+        self.metrics.counters.record_task(interference);
+        self.metrics.tasks_executed += 1;
+        if self.cfg.record_observations && !offload {
+            self.observations.push(Observation {
+                kind,
+                features: extract(&params),
+                runtime_us: runtime.as_micros_f64(),
+            });
+        }
+
+        let c = &mut self.cores[core as usize];
+        c.state = CoreState::Busy { dag, node };
+        self.running_tasks += 1;
+        self.events.push(
+            self.now + runtime,
+            Event::TaskFinish {
+                core,
+                epoch: c.epoch,
+                runtime,
+                offload_submit: offload,
+            },
+        );
+    }
+
+    /// Assigns ready tasks to spinning cores (EDF order).
+    fn dispatch(&mut self) {
+        loop {
+            if self.ready.is_empty() {
+                self.queue_nonempty_since = None;
+                return;
+            }
+            let core = match self
+                .cores
+                .iter()
+                .position(|c| c.state == CoreState::Spinning && !c.release_pending)
+            {
+                Some(i) => i as u32,
+                None => return,
+            };
+            let Reverse(task) = self.ready.pop().unwrap();
+            if self.ready.is_empty() {
+                self.queue_nonempty_since = None;
+            }
+            self.start_task(core, task.dag, task.node);
+        }
+    }
+
+    /// Cores held and not scheduled for release.
+    fn effective_granted(&self) -> u32 {
+        self.cores
+            .iter()
+            .filter(|c| c.state != CoreState::Released && !c.release_pending)
+            .count() as u32
+    }
+
+    fn update_utilization(&mut self) {
+        let granted = self.effective_granted().max(1);
+        let inst = self.running_tasks as f64 / granted as f64;
+        let a = self.cfg.utilization_alpha;
+        self.utilization_ema = a * inst + (1.0 - a) * self.utilization_ema;
+    }
+
+    fn build_progress(&self) -> Vec<DagProgress> {
+        self.dags
+            .iter()
+            .flatten()
+            .map(|d| {
+                let remaining_cp = d
+                    .tail
+                    .iter()
+                    .zip(&d.done)
+                    .filter(|(_, &done)| !done)
+                    .map(|(&t, _)| t)
+                    .fold(Nanos::ZERO, Nanos::max);
+                DagProgress {
+                    arrival: d.sched.dag.arrival,
+                    deadline: d.sched.dag.deadline,
+                    remaining_work: d.remaining_work,
+                    remaining_critical_path: remaining_cp,
+                }
+            })
+            .collect()
+    }
+
+    /// Consults the scheduler and applies the target core count.
+    fn reallocate(&mut self) {
+        let dags = self.build_progress();
+        let view = PoolView {
+            now: self.now,
+            total_cores: self.cfg.cores,
+            granted_cores: self.granted_cores(),
+            dags: &dags,
+            ready_tasks: self.ready.len(),
+            running_tasks: self.running_tasks,
+            oldest_ready_wait: self
+                .queue_nonempty_since
+                .map(|t| self.now.saturating_sub(t))
+                .unwrap_or(Nanos::ZERO),
+            recent_utilization: self.utilization_ema,
+        };
+        let target = self.scheduler.target_cores(&view).min(self.cfg.cores);
+        self.apply_target(target);
+    }
+
+    fn apply_target(&mut self, target: u32) {
+        let mut effective = self.effective_granted();
+
+        // Grow: first cancel pending releases, then wake released cores.
+        while effective < target {
+            if let Some(i) = self
+                .cores
+                .iter()
+                .position(|c| c.release_pending && c.state != CoreState::Released)
+            {
+                self.cores[i].release_pending = false;
+                effective += 1;
+                continue;
+            }
+            match self.cores.iter().position(|c| c.state == CoreState::Released) {
+                Some(i) => {
+                    self.wake_core(i as u32);
+                    effective += 1;
+                }
+                None => break,
+            }
+        }
+
+        // Shrink: spinning first (instant), then waking (cancel), then busy
+        // (deferred until task completion).
+        while effective > target {
+            if let Some(i) = self.cores.iter().position(|c| {
+                c.state == CoreState::Spinning && !c.release_pending
+            }) {
+                self.release_core(i as u32);
+                effective -= 1;
+                continue;
+            }
+            if let Some(i) = self
+                .cores
+                .iter()
+                .position(|c| c.state == CoreState::Waking && !c.release_pending)
+            {
+                self.release_core(i as u32);
+                effective -= 1;
+                continue;
+            }
+            match self.cores.iter().position(|c| {
+                matches!(c.state, CoreState::Busy { .. }) && !c.release_pending
+            }) {
+                Some(i) => {
+                    self.cores[i].release_pending = true;
+                    effective -= 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Rolls the kernel-storm process forward to `now` and returns the
+    /// current storm end, if a storm is in progress. Storm arrivals follow
+    /// a Poisson process whose rate grows with best-effort pressure;
+    /// durations are 0.8-3 ms.
+    fn storm_end_at(&mut self, now: Nanos) -> Option<Nanos> {
+        if self.kernel_pressure <= 0.0 {
+            return None;
+        }
+        if self.next_storm == Nanos(u64::MAX) {
+            // First call under pressure: draw the initial arrival from the
+            // same exponential as subsequent gaps, so a kernel-light
+            // workload (MLPerf) storms proportionally rarely.
+            let mean_gap_ms = 2_000.0 / self.kernel_pressure;
+            self.next_storm =
+                now + Nanos::from_micros_f64(self.rng_os.exponential(mean_gap_ms) * 1_000.0);
+        }
+        while self.next_storm <= now {
+            let dur = Nanos::from_micros(self.rng_os.range_u64(600, 2_000));
+            let end = self.next_storm + dur;
+            if now < end {
+                self.storm_until = end;
+            }
+            let mean_gap_ms = 2_000.0 / self.kernel_pressure;
+            let gap = Nanos::from_micros_f64(self.rng_os.exponential(mean_gap_ms) * 1_000.0);
+            self.next_storm = end + gap;
+        }
+        if now < self.storm_until {
+            Some(self.storm_until)
+        } else {
+            None
+        }
+    }
+
+    fn wake_core(&mut self, core: u32) {
+        let mut latency = self.oslat.sample_wake(self.kernel_pressure, &mut self.rng_os);
+        if let Some(storm_end) = self.storm_end_at(self.now) {
+            // The wake cannot complete while the kernel storm holds the
+            // yielded cores; it lands shortly after the storm passes.
+            let deferred = storm_end.saturating_sub(self.now)
+                + Nanos::from_micros_f64(1.0 + self.rng_os.f64() * 3.0);
+            latency = latency.max(deferred);
+        }
+        self.metrics.wake_events += 1;
+        self.metrics
+            .wake_hist
+            .record(latency.as_micros_f64() as u64);
+        self.metrics.evictions += 1;
+        let now = self.now;
+        let c = &mut self.cores[core as usize];
+        debug_assert_eq!(c.state, CoreState::Released);
+        self.metrics.besteffort_core_time += now.saturating_sub(c.acct_since);
+        c.acct_since = now;
+        c.epoch += 1;
+        c.state = CoreState::Waking;
+        c.held_since = now;
+        c.release_pending = false;
+        let epoch = c.epoch;
+        self.events.push(now + latency, Event::Wake { core, epoch });
+    }
+
+    fn release_core(&mut self, core: u32) {
+        let now = self.now;
+        let c = &mut self.cores[core as usize];
+        debug_assert!(c.state != CoreState::Released);
+        debug_assert!(!matches!(c.state, CoreState::Busy { .. }));
+        self.metrics.vran_core_time += now.saturating_sub(c.acct_since);
+        c.acct_since = now;
+        c.epoch += 1; // invalidates any in-flight Wake
+        c.state = CoreState::Released;
+        c.release_pending = false;
+    }
+
+    /// Flushes the in-progress occupancy of every core into the metrics.
+    /// Call before reading final reclaimed-CPU / held-time totals —
+    /// otherwise time spent in the *current* (unterminated) released or
+    /// held interval is invisible.
+    pub fn flush_accounting(&mut self) {
+        let now = self.now;
+        for c in &mut self.cores {
+            let span = now.saturating_sub(c.acct_since);
+            c.acct_since = now;
+            if c.state == CoreState::Released {
+                self.metrics.besteffort_core_time += span;
+            } else {
+                self.metrics.vran_core_time += span;
+            }
+        }
+    }
+
+    /// §5: "the scheduler changes the order of cores that are used for vRAN
+    /// pools every 2 ms to avoid constantly using the same cores", so
+    /// unmigratable kernel work gets CPU time on every physical core.
+    fn rotate_cores(&mut self) {
+        let spinning = self
+            .cores
+            .iter()
+            .position(|c| c.state == CoreState::Spinning && !c.release_pending);
+        let released = self.cores.iter().position(|c| c.state == CoreState::Released);
+        if let (Some(s), Some(r)) = (spinning, released) {
+            self.release_core(s as u32);
+            self.wake_core(r as u32);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched_api::DedicatedScheduler;
+    use concordia_ran::cell::CellConfig;
+    use concordia_ran::dag::{build_uplink_dag, SlotWorkload, UeAlloc};
+    use concordia_ran::numerology::SlotDirection;
+
+    fn test_dag(arrival: Nanos, ue_bytes: u32, n_ues: usize) -> ScheduledDag {
+        let cell = CellConfig::tdd_100mhz();
+        let wl = SlotWorkload {
+            direction: SlotDirection::Uplink,
+            ues: (0..n_ues)
+                .map(|_| UeAlloc {
+                    tb_bytes: ue_bytes,
+                    mcs_index: 16,
+                    snr_db: 22.0,
+                    layers: 2,
+                    prbs: 30,
+                })
+                .collect(),
+        };
+        let dag = build_uplink_dag(&cell, 0, 0, arrival, &wl);
+        let cost = CostModel::new();
+        let node_wcet = dag
+            .nodes
+            .iter()
+            .map(|n| cost.expected_cost(n.task.kind, &n.task.params).scale(1.3))
+            .collect();
+        ScheduledDag { dag, node_wcet }
+    }
+
+    fn pool_with(cores: u32) -> VranPool {
+        VranPool::new(
+            PoolConfig {
+                cores,
+                rotation: None,
+                ..PoolConfig::default()
+            },
+            CostModel::new(),
+            Box::new(DedicatedScheduler),
+            7,
+        )
+    }
+
+    #[test]
+    fn single_dag_completes_and_is_recorded() {
+        let mut pool = pool_with(4);
+        pool.inject_dag(test_dag(Nanos::ZERO, 6_000, 2));
+        pool.run_until(Nanos::from_millis(5));
+        assert_eq!(pool.active_dags(), 0);
+        assert_eq!(pool.metrics().slots.count(), 1);
+        assert_eq!(pool.metrics().slots.violations(), 0);
+        assert!(pool.metrics().tasks_executed > 5);
+    }
+
+    #[test]
+    fn dag_latency_at_least_critical_path() {
+        let mut pool = pool_with(8);
+        let sd = test_dag(Nanos::ZERO, 10_000, 3);
+        let cp = sd.dag.critical_path(&CostModel::new());
+        pool.inject_dag(sd);
+        pool.run_until(Nanos::from_millis(5));
+        let lat = Nanos::from_micros_f64(pool.metrics().slots.latencies_us()[0]);
+        assert!(
+            lat.as_nanos() as f64 > cp.as_nanos() as f64 * 0.7,
+            "latency {lat} vs critical path {cp}"
+        );
+    }
+
+    #[test]
+    fn more_cores_process_parallel_dag_faster() {
+        let run = |cores: u32| {
+            let mut pool = pool_with(cores);
+            pool.inject_dag(test_dag(Nanos::ZERO, 20_000, 6));
+            pool.run_until(Nanos::from_millis(20));
+            assert_eq!(pool.active_dags(), 0, "{cores} cores did not finish");
+            pool.metrics().slots.latencies_us()[0]
+        };
+        let slow = run(1);
+        let fast = run(8);
+        assert!(
+            fast < slow * 0.55,
+            "8 cores {fast}us should beat 1 core {slow}us"
+        );
+    }
+
+    #[test]
+    fn observations_match_executed_tasks() {
+        let mut pool = pool_with(4);
+        pool.inject_dag(test_dag(Nanos::ZERO, 4_000, 2));
+        pool.run_until(Nanos::from_millis(5));
+        let obs = pool.drain_observations();
+        assert_eq!(obs.len() as u64, pool.metrics().tasks_executed);
+        assert!(obs.iter().all(|o| o.runtime_us > 0.0));
+        // Draining empties the buffer.
+        assert!(pool.drain_observations().is_empty());
+    }
+
+    #[test]
+    fn busy_time_not_more_than_core_time_bound() {
+        let mut pool = pool_with(4);
+        for k in 0..10 {
+            let arrival = Nanos::from_micros(500 * k);
+            pool.run_until(arrival);
+            pool.inject_dag(test_dag(arrival, 5_000, 2));
+        }
+        pool.run_until(Nanos::from_millis(20));
+        let m = pool.metrics();
+        // Dedicated scheduler never releases: busy time <= 4 cores * 20 ms.
+        assert!(m.vran_busy_time <= Nanos::from_millis(80));
+        assert!(m.vran_busy_time > Nanos::ZERO);
+        assert_eq!(m.besteffort_core_time, Nanos::ZERO);
+    }
+
+    /// A scheduler that holds a fixed number of cores.
+    struct FixedCores(u32);
+    impl PoolScheduler for FixedCores {
+        fn target_cores(&mut self, _v: &PoolView<'_>) -> u32 {
+            self.0
+        }
+        fn tick(&self) -> Nanos {
+            Nanos::from_micros(20)
+        }
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+    }
+
+    #[test]
+    fn released_cores_accumulate_besteffort_time() {
+        let mut pool = VranPool::new(
+            PoolConfig {
+                cores: 8,
+                rotation: None,
+                ..PoolConfig::default()
+            },
+            CostModel::new(),
+            Box::new(FixedCores(2)),
+            9,
+        );
+        pool.run_until(Nanos::from_millis(10));
+        let m = pool.metrics();
+        // 6 of 8 cores released: once the first tick fires, ~6 * 10 ms of
+        // best-effort time accumulates, but release time is only accounted
+        // at wake; force accounting by growing the grant.
+        assert_eq!(pool.granted_cores(), 2);
+        let _ = m;
+        // Grow back and check accounting.
+        pool.scheduler = Box::new(FixedCores(8));
+        pool.run_until(Nanos::from_millis(11));
+        let m = pool.metrics();
+        let be_ms = m.besteffort_core_time.as_millis_f64();
+        assert!((55.0..=62.0).contains(&be_ms), "best-effort core-ms {be_ms}");
+        assert!(m.wake_events >= 6);
+    }
+
+    #[test]
+    fn wake_latency_recorded_per_wake() {
+        let mut pool = VranPool::new(
+            PoolConfig {
+                cores: 4,
+                rotation: None,
+                ..PoolConfig::default()
+            },
+            CostModel::new(),
+            Box::new(FixedCores(0)),
+            11,
+        );
+        pool.run_until(Nanos::from_millis(1));
+        pool.scheduler = Box::new(FixedCores(4));
+        pool.run_until(Nanos::from_millis(2));
+        let m = pool.metrics();
+        assert_eq!(m.wake_events, 4);
+        assert_eq!(m.wake_hist.total(), 4);
+        assert_eq!(m.evictions, 4);
+    }
+
+    #[test]
+    fn rotation_cycles_physical_cores() {
+        let mut pool = VranPool::new(
+            PoolConfig {
+                cores: 4,
+                rotation: Some(Nanos::from_millis(2)),
+                ..PoolConfig::default()
+            },
+            CostModel::new(),
+            Box::new(FixedCores(2)),
+            13,
+        );
+        pool.run_until(Nanos::from_millis(21));
+        // ~10 rotations in 21 ms, each one wake.
+        let m = pool.metrics();
+        assert!(
+            (8..=14).contains(&(m.wake_events as i64)),
+            "wake events {}",
+            m.wake_events
+        );
+    }
+
+    #[test]
+    fn deadline_violation_detected_when_starved() {
+        // One core, a heavy DAG: the deadline must be blown and recorded.
+        let mut pool = pool_with(1);
+        let mut sd = test_dag(Nanos::ZERO, 50_000, 8);
+        // Tighten the deadline to something impossible.
+        sd.dag.deadline = Nanos::from_micros(100);
+        pool.inject_dag(sd);
+        pool.run_until(Nanos::from_millis(50));
+        assert_eq!(pool.metrics().slots.violations(), 1);
+        assert!(pool.metrics().slots.reliability() < 1.0);
+    }
+
+    #[test]
+    fn fpga_offload_reduces_cpu_busy_time() {
+        let run = |fpga: bool| {
+            let mut pool = pool_with(4);
+            if fpga {
+                pool.enable_fpga(concordia_ran::accel::FpgaModel::default());
+            }
+            pool.inject_dag(test_dag(Nanos::ZERO, 30_000, 4));
+            pool.run_until(Nanos::from_millis(30));
+            assert_eq!(pool.active_dags(), 0);
+            pool.metrics().vran_busy_time
+        };
+        let cpu_only = run(false);
+        let offloaded = run(true);
+        assert!(
+            offloaded < cpu_only.scale(0.7),
+            "offloaded busy {offloaded} vs cpu {cpu_only}"
+        );
+    }
+
+    #[test]
+    fn interference_pressure_increases_latency() {
+        let run = |pressure: f64| {
+            let mut pool = pool_with(2);
+            pool.set_pressure(pressure, pressure);
+            let mut total = 0.0;
+            for k in 0..40 {
+                let t = Nanos::from_micros(500 * k);
+                pool.run_until(t);
+                pool.inject_dag(test_dag(t, 8_000, 2));
+            }
+            pool.run_until(Nanos::from_millis(60));
+            for &l in pool.metrics().slots.latencies_us() {
+                total += l;
+            }
+            total / pool.metrics().slots.count() as f64
+        };
+        let iso = run(0.0);
+        let loaded = run(3.0);
+        assert!(
+            loaded > iso * 1.01,
+            "interference must slow tasks: {iso} vs {loaded}"
+        );
+    }
+
+    #[test]
+    fn determinism_across_identical_runs() {
+        let run = || {
+            let mut pool = pool_with(4);
+            for k in 0..20 {
+                let t = Nanos::from_micros(500 * k);
+                pool.run_until(t);
+                pool.inject_dag(test_dag(t, 6_000, 2));
+            }
+            pool.run_until(Nanos::from_millis(30));
+            (
+                pool.metrics().slots.mean_us(),
+                pool.metrics().tasks_executed,
+                pool.metrics().vran_busy_time,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn empty_dag_is_ignored() {
+        let mut pool = pool_with(2);
+        let sd = ScheduledDag {
+            dag: SlotDag {
+                cell_id: 0,
+                slot_idx: 0,
+                direction: SlotDirection::Uplink,
+                arrival: Nanos::ZERO,
+                deadline: Nanos::from_millis(1),
+                nodes: vec![],
+            },
+            node_wcet: vec![],
+        };
+        pool.inject_dag(sd);
+        pool.run_until(Nanos::from_millis(1));
+        assert_eq!(pool.metrics().slots.count(), 0);
+        assert_eq!(pool.active_dags(), 0);
+    }
+}

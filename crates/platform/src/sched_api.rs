@@ -1,0 +1,98 @@
+//! The scheduler interface the pool simulator drives.
+//!
+//! Concordia (§3) and the baselines of §6.3 all reduce to one decision,
+//! re-evaluated at a fine time granularity: *how many cores should the vRAN
+//! hold right now?* The pool rotates which physical cores implement that
+//! count (§5: rotation every 2 ms) and handles wake latency; the scheduler
+//! only chooses the target count from the [`PoolView`].
+
+use concordia_ran::time::Nanos;
+
+/// Progress snapshot of one active (incomplete) DAG.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DagProgress {
+    /// Release time of the DAG.
+    pub arrival: Nanos,
+    /// Absolute deadline.
+    pub deadline: Nanos,
+    /// Sum of predicted WCETs of unfinished nodes (the remaining `C`).
+    pub remaining_work: Nanos,
+    /// Longest predicted path through unfinished nodes (the remaining `L`).
+    pub remaining_critical_path: Nanos,
+}
+
+/// What a scheduler sees when making its core-count decision.
+#[derive(Debug, Clone)]
+pub struct PoolView<'a> {
+    /// Current simulation time.
+    pub now: Nanos,
+    /// Physical cores in the vRAN pool.
+    pub total_cores: u32,
+    /// Cores currently held by the vRAN (granted, waking or busy).
+    pub granted_cores: u32,
+    /// Active DAG progress snapshots.
+    pub dags: &'a [DagProgress],
+    /// Ready (runnable, unclaimed) tasks in the priority queues.
+    pub ready_tasks: usize,
+    /// Tasks currently executing on workers.
+    pub running_tasks: usize,
+    /// How long the oldest ready task has been waiting (Shenango's signal).
+    pub oldest_ready_wait: Nanos,
+    /// Exponentially weighted recent busy fraction of granted cores (the
+    /// utilization-based scheduler's signal).
+    pub recent_utilization: f64,
+}
+
+/// A vRAN pool scheduler: chooses the number of cores the vRAN holds.
+pub trait PoolScheduler: Send {
+    /// Target number of cores for the vRAN, in `[0, view.total_cores]`.
+    /// Called every [`PoolScheduler::tick`] and on DAG arrival.
+    fn target_cores(&mut self, view: &PoolView<'_>) -> u32;
+
+    /// Re-evaluation period (Concordia: 20 µs).
+    fn tick(&self) -> Nanos;
+
+    /// Scheduler name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// A trivial scheduler that always holds every core — the operators'
+/// current best practice of full isolation (§2.3), used as the isolated
+/// baseline and in tests.
+#[derive(Debug, Clone, Copy)]
+pub struct DedicatedScheduler;
+
+impl PoolScheduler for DedicatedScheduler {
+    fn target_cores(&mut self, view: &PoolView<'_>) -> u32 {
+        view.total_cores
+    }
+    fn tick(&self) -> Nanos {
+        Nanos::from_micros(100)
+    }
+    fn name(&self) -> &'static str {
+        "dedicated"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedicated_scheduler_holds_everything() {
+        let mut s = DedicatedScheduler;
+        let view = PoolView {
+            now: Nanos::ZERO,
+            total_cores: 8,
+            granted_cores: 2,
+            dags: &[],
+            ready_tasks: 0,
+            running_tasks: 0,
+            oldest_ready_wait: Nanos::ZERO,
+            recent_utilization: 0.0,
+        };
+        assert_eq!(s.target_cores(&view), 8);
+        assert_eq!(s.name(), "dedicated");
+        assert!(s.tick() > Nanos::ZERO);
+    }
+}

@@ -1,0 +1,326 @@
+//! Best-effort collocated workload models.
+//!
+//! §6 collocates the vRAN with Redis (8 containers), Nginx (5 containers),
+//! a MySQL TPCC benchmark, MLPerf ResNet-50 training, and a randomized Mix
+//! of all of them. For the reproduction each workload is characterized by:
+//!
+//! * an **ideal throughput per core-second** (what it achieves on a core it
+//!   fully owns — the "No vRAN" bars of Fig. 8b–d);
+//! * a **cache intensity** — the LLC pressure it exerts on the vRAN (§2.3);
+//! * a **preemption sensitivity** — how much throughput it loses per
+//!   vRAN-induced eviction (cold caches, dropped connections, stalled
+//!   transactions), which produces the Fig. 8 gap between the reclaimed
+//!   core share and the achieved throughput share.
+
+use concordia_ran::time::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// The collocated workload types of §6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// 8 Redis containers saturated with GET/SET (ops/s).
+    Redis,
+    /// 5 Nginx containers serving 612 B files (requests/s).
+    Nginx,
+    /// 1 MySQL container running TPCC (transactions/s).
+    Tpcc,
+    /// MLPerf ResNet-50 training (samples/s).
+    MlPerf,
+}
+
+impl WorkloadKind {
+    /// All workload kinds.
+    pub const ALL: [WorkloadKind; 4] = [
+        WorkloadKind::Redis,
+        WorkloadKind::Nginx,
+        WorkloadKind::Tpcc,
+        WorkloadKind::MlPerf,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::Redis => "redis",
+            WorkloadKind::Nginx => "nginx",
+            WorkloadKind::Tpcc => "tpcc",
+            WorkloadKind::MlPerf => "mlperf",
+        }
+    }
+
+    /// Characterization of the workload.
+    pub fn profile(self) -> WorkloadProfile {
+        match self {
+            // Redis: memory-resident key-value store — very cache hungry,
+            // moderately eviction sensitive. ~700k ops/s per core.
+            WorkloadKind::Redis => WorkloadProfile {
+                kind: self,
+                ideal_rate_per_core: 700_000.0,
+                cache_intensity: 1.3,
+                kernel_intensity: 1.6,
+                preemption_sensitivity: 1.0,
+                unit: "ops/s",
+            },
+            // Nginx: small static files, kernel-heavy but stateless per
+            // request — least eviction sensitive.
+            WorkloadKind::Nginx => WorkloadProfile {
+                kind: self,
+                ideal_rate_per_core: 7_000.0,
+                cache_intensity: 0.9,
+                kernel_intensity: 1.5,
+                preemption_sensitivity: 0.55,
+                unit: "req/s",
+            },
+            // TPCC/MySQL: lock-holding transactions — most eviction
+            // sensitive (a preempted transaction blocks others).
+            WorkloadKind::Tpcc => WorkloadProfile {
+                kind: self,
+                ideal_rate_per_core: 350.0,
+                cache_intensity: 1.1,
+                kernel_intensity: 1.0,
+                preemption_sensitivity: 1.5,
+                unit: "txn/s",
+            },
+            // MLPerf training: long compute bursts, large working set.
+            WorkloadKind::MlPerf => WorkloadProfile {
+                kind: self,
+                ideal_rate_per_core: 95.0,
+                cache_intensity: 1.5,
+                kernel_intensity: 0.2,
+                preemption_sensitivity: 1.2,
+                unit: "samples/s",
+            },
+        }
+    }
+}
+
+/// Static characterization of one best-effort workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Which workload this profiles.
+    pub kind: WorkloadKind,
+    /// Throughput on a fully owned core (units per core-second).
+    pub ideal_rate_per_core: f64,
+    /// LLC pressure exerted on collocated vRAN tasks.
+    pub cache_intensity: f64,
+    /// Kernel-activity pressure (syscalls, interrupts, softirq storms):
+    /// drives OS wake latency and storm frequency. Network-saturating
+    /// workloads (Redis/Nginx on a 40G link) are kernel-heavy; MLPerf
+    /// training is almost pure userspace compute — which is why the paper
+    /// finds MLPerf the mildest interferer for vanilla FlexRAN (Fig. 11).
+    pub kernel_intensity: f64,
+    /// Fractional throughput loss per (eviction per core-millisecond) of
+    /// granted time (scaled linearly, saturating at 90 % loss). Calibrated
+    /// so that a Concordia-like eviction rate (~0.1 per core-ms: rotation
+    /// every 2 ms plus occasional slot-envelope growth) yields the Fig. 8
+    /// achieved-throughput ordering and magnitudes.
+    pub preemption_sensitivity: f64,
+    /// Human-readable throughput unit.
+    pub unit: &'static str,
+}
+
+impl WorkloadProfile {
+    /// Ideal throughput over `cores` fully owned cores for `duration` —
+    /// the "No vRAN (N cores)" reference bars of Fig. 8.
+    pub fn ideal_ops(&self, cores: u32, duration: Nanos) -> f64 {
+        self.ideal_rate_per_core * cores as f64 * duration.as_nanos() as f64 / 1e9
+    }
+
+    /// Achieved throughput given the core-time actually granted to
+    /// best-effort work and the vRAN-induced eviction count.
+    ///
+    /// `granted_core_time` is the summed released-core time; `evictions`
+    /// is the number of times the vRAN took a core back.
+    pub fn achieved_ops(&self, granted_core_time: Nanos, evictions: u64) -> f64 {
+        let core_secs = granted_core_time.as_nanos() as f64 / 1e9;
+        if core_secs <= 0.0 {
+            return 0.0;
+        }
+        // Evictions per core-millisecond of granted time.
+        let evict_rate = evictions as f64 / (core_secs * 1000.0);
+        let loss = (self.preemption_sensitivity * evict_rate).min(0.9);
+        self.ideal_rate_per_core * core_secs * (1.0 - loss)
+    }
+
+    /// Fraction of the ideal achieved (the Fig. 8 normalized readout).
+    pub fn achieved_fraction(
+        &self,
+        cores: u32,
+        duration: Nanos,
+        granted_core_time: Nanos,
+        evictions: u64,
+    ) -> f64 {
+        let ideal = self.ideal_ops(cores, duration);
+        if ideal <= 0.0 {
+            0.0
+        } else {
+            self.achieved_ops(granted_core_time, evictions) / ideal
+        }
+    }
+}
+
+/// A randomized on/off schedule for the Mix workload: each component turns
+/// on and off at random intervals of 10–70 s (§6).
+#[derive(Debug, Clone)]
+pub struct MixSchedule {
+    /// (workload, on/off toggle times) — at even indices the workload turns
+    /// on, at odd indices off.
+    segments: Vec<(WorkloadKind, Vec<Nanos>)>,
+}
+
+impl MixSchedule {
+    /// Generates a schedule covering `duration`.
+    pub fn generate(duration: Nanos, rng: &mut concordia_stats::rng::Rng) -> Self {
+        let segments = WorkloadKind::ALL
+            .iter()
+            .map(|&kind| {
+                let mut toggles = Vec::new();
+                let mut t = Nanos::from_secs(0);
+                // Random initial phase so components are decorrelated.
+                t += Nanos::from_millis(rng.range_u64(0, 10_000));
+                while t < duration {
+                    toggles.push(t);
+                    t += Nanos::from_secs(rng.range_u64(10, 70));
+                }
+                (kind, toggles)
+            })
+            .collect();
+        MixSchedule { segments }
+    }
+
+    /// The workloads active at time `t` (a component is active between its
+    /// even-indexed and the following odd-indexed toggle).
+    pub fn active_at(&self, t: Nanos) -> Vec<WorkloadKind> {
+        self.segments
+            .iter()
+            .filter(|(_, toggles)| {
+                let crossed = toggles.iter().filter(|&&x| x <= t).count();
+                crossed % 2 == 1
+            })
+            .map(|(k, _)| *k)
+            .collect()
+    }
+
+    /// Aggregate (cache, kernel) pressure of the active components at `t`.
+    pub fn pressure_at(&self, t: Nanos) -> (f64, f64) {
+        self.active_at(t)
+            .iter()
+            .map(|k| {
+                let p = k.profile();
+                (p.cache_intensity, p.kernel_intensity)
+            })
+            .fold((0.0, 0.0), |(a, b), (c, k)| (a + c, b + k))
+    }
+
+    /// All toggle times, sorted — the instants at which pressure changes.
+    pub fn toggle_times(&self) -> Vec<Nanos> {
+        let mut ts: Vec<Nanos> = self
+            .segments
+            .iter()
+            .flat_map(|(_, t)| t.iter().copied())
+            .collect();
+        ts.sort_unstable();
+        ts.dedup();
+        ts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concordia_stats::rng::Rng;
+
+    #[test]
+    fn profiles_are_distinct_and_positive() {
+        for k in WorkloadKind::ALL {
+            let p = k.profile();
+            assert!(p.ideal_rate_per_core > 0.0);
+            assert!(p.cache_intensity > 0.0);
+            assert!((0.0..2.0).contains(&p.preemption_sensitivity));
+        }
+        // TPCC must be the most preemption-sensitive, Nginx the least —
+        // that ordering produces the Fig. 8 ordering (Nginx 82% > Redis
+        // 77% > TPCC 72% of ideal at equal reclaimed share).
+        let s = |k: WorkloadKind| k.profile().preemption_sensitivity;
+        assert!(s(WorkloadKind::Tpcc) > s(WorkloadKind::Redis));
+        assert!(s(WorkloadKind::Redis) > s(WorkloadKind::Nginx));
+    }
+
+    #[test]
+    fn ideal_ops_scale_with_cores_and_time() {
+        let p = WorkloadKind::Redis.profile();
+        let one = p.ideal_ops(1, Nanos::from_secs(1));
+        assert_eq!(p.ideal_ops(8, Nanos::from_secs(1)), 8.0 * one);
+        assert_eq!(p.ideal_ops(1, Nanos::from_secs(10)), 10.0 * one);
+    }
+
+    #[test]
+    fn achieved_fraction_matches_fig8_magnitudes() {
+        // 83.3% of 12 cores reclaimed for 10s with a Concordia-like
+        // eviction rate (~0.1 per core-ms): TPCC ≈ 72% of ideal, Redis
+        // ≈ 77%, Nginx ≈ 82% (Fig. 8b-d at low cell load).
+        let duration = Nanos::from_secs(10);
+        let granted = Nanos::from_secs(100); // 10 of 12 core-seconds per s
+        let core_ms = 100_000.0;
+        let evictions = (0.1 * core_ms) as u64;
+        let frac = |k: WorkloadKind| {
+            k.profile()
+                .achieved_fraction(12, duration, granted, evictions)
+        };
+        let tpcc = frac(WorkloadKind::Tpcc);
+        let redis = frac(WorkloadKind::Redis);
+        let nginx = frac(WorkloadKind::Nginx);
+        assert!((0.62..0.78).contains(&tpcc), "tpcc {tpcc}");
+        assert!((0.68..0.82).contains(&redis), "redis {redis}");
+        assert!((0.74..0.88).contains(&nginx), "nginx {nginx}");
+        assert!(nginx > redis && redis > tpcc);
+    }
+
+    #[test]
+    fn zero_granted_time_means_zero_ops() {
+        let p = WorkloadKind::Tpcc.profile();
+        assert_eq!(p.achieved_ops(Nanos::ZERO, 0), 0.0);
+        assert_eq!(
+            p.achieved_fraction(8, Nanos::from_secs(1), Nanos::ZERO, 0),
+            0.0
+        );
+    }
+
+    #[test]
+    fn extreme_eviction_rate_saturates_at_90pct_loss() {
+        let p = WorkloadKind::Tpcc.profile();
+        let granted = Nanos::from_secs(1);
+        let ops = p.achieved_ops(granted, 10_000_000);
+        assert!((ops - p.ideal_rate_per_core * 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mix_schedule_toggles_components() {
+        let mut rng = Rng::new(9);
+        let dur = Nanos::from_secs(300);
+        let mix = MixSchedule::generate(dur, &mut rng);
+        // Pressure must actually vary over time.
+        let samples: Vec<f64> = (0..300)
+            .map(|s| mix.pressure_at(Nanos::from_secs(s)).0)
+            .collect();
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(0.0, f64::max);
+        assert!(max > min, "pressure must vary: {min}..{max}");
+        assert!(max <= WorkloadKind::ALL.iter().map(|k| k.profile().cache_intensity).sum::<f64>() + 1e-9);
+        // Toggle times sorted and within duration window + one interval.
+        let ts = mix.toggle_times();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn mix_active_at_respects_toggle_parity() {
+        let mix = MixSchedule {
+            segments: vec![(
+                WorkloadKind::Redis,
+                vec![Nanos::from_secs(10), Nanos::from_secs(20)],
+            )],
+        };
+        assert!(mix.active_at(Nanos::from_secs(5)).is_empty());
+        assert_eq!(mix.active_at(Nanos::from_secs(15)), vec![WorkloadKind::Redis]);
+        assert!(mix.active_at(Nanos::from_secs(25)).is_empty());
+    }
+}

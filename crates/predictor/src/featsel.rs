@@ -1,0 +1,222 @@
+//! Feature selection — Algorithm 1 of the paper.
+//!
+//! 1. Rank candidate features by distance correlation with the task runtime
+//!    and keep the top `N`.
+//! 2. Backwards elimination down to `M` features, scored by the validation
+//!    error of a small decision tree.
+//! 3. Union with the hand-picked domain-expertise features.
+
+use crate::api::TrainingSample;
+use crate::tree::{Tree, TreeConfig};
+use concordia_ran::features::{Feature, FeatureVec, NUM_FEATURES};
+use concordia_stats::dcor::distance_correlation;
+
+/// Configuration of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatSelConfig {
+    /// Keep the `n_dcor` most distance-correlated features.
+    pub n_dcor: usize,
+    /// Backwards-eliminate down to `m_final` features.
+    pub m_final: usize,
+    /// Subsample size for the O(n²) distance-correlation estimate.
+    pub dcor_subsample: usize,
+    /// Train/validation split fraction for elimination scoring.
+    pub train_fraction: f64,
+}
+
+impl Default for FeatSelConfig {
+    fn default() -> Self {
+        FeatSelConfig {
+            n_dcor: 8,
+            m_final: 4,
+            dcor_subsample: 800,
+            train_fraction: 0.7,
+        }
+    }
+}
+
+/// Ranks all features by distance correlation with the runtime, descending.
+/// Returns `(feature index, dcor)` pairs.
+pub fn dcor_ranking(samples: &[TrainingSample], subsample: usize) -> Vec<(usize, f64)> {
+    assert!(samples.len() >= 4, "need samples to rank features");
+    let take = samples.len().min(subsample);
+    // Deterministic stride subsample (samples are already i.i.d. in time).
+    let stride = samples.len() / take;
+    let picked: Vec<&TrainingSample> = samples.iter().step_by(stride.max(1)).take(take).collect();
+    let ys: Vec<f64> = picked.iter().map(|s| s.runtime_us).collect();
+    let mut ranking: Vec<(usize, f64)> = (0..NUM_FEATURES)
+        .map(|f| {
+            let xs: Vec<f64> = picked.iter().map(|s| s.x[f]).collect();
+            (f, distance_correlation(&xs, &ys))
+        })
+        .collect();
+    ranking.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN dcor"));
+    ranking
+}
+
+/// Validation mean-absolute-error of a small tree restricted to `feats`.
+fn validation_mae(
+    train_x: &[FeatureVec],
+    train_y: &[f64],
+    val_x: &[FeatureVec],
+    val_y: &[f64],
+    feats: &[usize],
+) -> f64 {
+    let cfg = TreeConfig {
+        max_depth: 6,
+        min_leaf: 30,
+        n_thresholds: 8,
+    };
+    let (tree, leaf_samples) = Tree::fit(train_x, train_y, feats, &cfg);
+    // Leaf means as point predictions.
+    let means: Vec<f64> = leaf_samples
+        .iter()
+        .map(|idxs| idxs.iter().map(|&i| train_y[i]).sum::<f64>() / idxs.len().max(1) as f64)
+        .collect();
+    val_x
+        .iter()
+        .zip(val_y)
+        .map(|(x, &y)| (means[tree.leaf_of(x)] - y).abs())
+        .sum::<f64>()
+        / val_y.len() as f64
+}
+
+/// Backwards elimination: repeatedly drops the feature whose removal hurts
+/// validation error the least, until `m_final` remain.
+pub fn backwards_elimination(
+    samples: &[TrainingSample],
+    mut feats: Vec<usize>,
+    m_final: usize,
+    train_fraction: f64,
+) -> Vec<usize> {
+    assert!(m_final >= 1);
+    let split = ((samples.len() as f64) * train_fraction) as usize;
+    let split = split.clamp(1, samples.len() - 1);
+    let train_x: Vec<FeatureVec> = samples[..split].iter().map(|s| s.x).collect();
+    let train_y: Vec<f64> = samples[..split].iter().map(|s| s.runtime_us).collect();
+    let val_x: Vec<FeatureVec> = samples[split..].iter().map(|s| s.x).collect();
+    let val_y: Vec<f64> = samples[split..].iter().map(|s| s.runtime_us).collect();
+
+    while feats.len() > m_final {
+        let mut best: Option<(usize, f64)> = None; // (position to drop, mae)
+        for pos in 0..feats.len() {
+            let mut reduced = feats.clone();
+            reduced.remove(pos);
+            let mae = validation_mae(&train_x, &train_y, &val_x, &val_y, &reduced);
+            if best.map_or(true, |(_, b)| mae < b) {
+                best = Some((pos, mae));
+            }
+        }
+        let (pos, _) = best.expect("non-empty candidate set");
+        feats.remove(pos);
+    }
+    feats
+}
+
+/// Runs the full Algorithm 1: dcor top-N → backwards elimination to M →
+/// union with hand-picked features. Returns a sorted, deduplicated feature
+/// index list.
+pub fn select_features(
+    samples: &[TrainingSample],
+    handpicked: &[Feature],
+    cfg: &FeatSelConfig,
+) -> Vec<usize> {
+    let ranking = dcor_ranking(samples, cfg.dcor_subsample);
+    let top: Vec<usize> = ranking
+        .iter()
+        .take(cfg.n_dcor)
+        .filter(|(_, d)| *d > 0.0)
+        .map(|(f, _)| *f)
+        .collect();
+    let kept = if top.len() > cfg.m_final {
+        backwards_elimination(samples, top, cfg.m_final, cfg.train_fraction)
+    } else {
+        top
+    };
+    let mut out: Vec<usize> = kept;
+    out.extend(handpicked.iter().map(|&f| f as usize));
+    out.sort_unstable();
+    out.dedup();
+    if out.is_empty() {
+        // A totally uninformative task (constant runtime): any feature does.
+        out.push(0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concordia_stats::rng::Rng;
+
+    /// Runtime depends on features 0 (linear) and 7 (nonlinear); all others
+    /// are noise.
+    fn synthetic(n: usize, seed: u64) -> Vec<TrainingSample> {
+        let mut rng = Rng::new(seed);
+        (0..n)
+            .map(|_| {
+                let mut x = [0.0; NUM_FEATURES];
+                for slot in x.iter_mut() {
+                    *slot = rng.f64() * 10.0;
+                }
+                let y = 20.0 * x[0] + 3.0 * (x[7] - 5.0).powi(2) + rng.normal() * 2.0;
+                TrainingSample { x, runtime_us: y }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dcor_ranks_informative_features_first() {
+        let samples = synthetic(3_000, 1);
+        let ranking = dcor_ranking(&samples, 600);
+        let top2: Vec<usize> = ranking.iter().take(2).map(|(f, _)| *f).collect();
+        assert!(top2.contains(&0), "ranking {ranking:?}");
+        assert!(top2.contains(&7), "ranking {ranking:?}");
+    }
+
+    #[test]
+    fn backwards_elimination_keeps_informative_features() {
+        let samples = synthetic(3_000, 2);
+        let kept = backwards_elimination(&samples, vec![0, 1, 2, 7, 9], 2, 0.7);
+        assert_eq!(kept.len(), 2);
+        assert!(kept.contains(&0), "kept {kept:?}");
+        assert!(kept.contains(&7), "kept {kept:?}");
+    }
+
+    #[test]
+    fn select_features_unions_handpicked() {
+        let samples = synthetic(2_000, 3);
+        let cfg = FeatSelConfig {
+            n_dcor: 4,
+            m_final: 2,
+            dcor_subsample: 400,
+            train_fraction: 0.7,
+        };
+        // Hand-pick feature 15 (pool cores) even though it is noise here —
+        // Algorithm 1 always unions the domain-expertise picks.
+        let out = select_features(&samples, &[Feature::PoolCores], &cfg);
+        assert!(out.contains(&(Feature::PoolCores as usize)), "{out:?}");
+        assert!(out.contains(&0) || out.contains(&7), "{out:?}");
+        // Sorted + deduplicated.
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(out, sorted);
+    }
+
+    #[test]
+    fn constant_runtime_falls_back_to_nonempty_set() {
+        let mut rng = Rng::new(4);
+        let samples: Vec<TrainingSample> = (0..500)
+            .map(|_| {
+                let mut x = [0.0; NUM_FEATURES];
+                for slot in x.iter_mut() {
+                    *slot = rng.f64();
+                }
+                TrainingSample { x, runtime_us: 5.0 }
+            })
+            .collect();
+        let out = select_features(&samples, &[], &FeatSelConfig::default());
+        assert!(!out.is_empty());
+    }
+}

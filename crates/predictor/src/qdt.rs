@@ -1,0 +1,329 @@
+//! The quantile decision tree — the paper's WCET predictor (§4.2,
+//! Algorithms 1 & 2).
+//!
+//! Offline, a CART tree is fitted to profiling samples so that leaves have
+//! minimal runtime variance; each leaf holds a ring buffer (5 000 entries
+//! in the reference implementation) seeded with the offline samples.
+//! Online, observed runtimes replace the buffer contents *without changing
+//! the tree structure* — the Fig. 7 observation that the offline grouping
+//! stays valid under interference, only the within-leaf distribution
+//! shifts. Prediction is the maximum over the leaf's buffer.
+
+use crate::api::{TrainingSample, WcetPredictor};
+use crate::tree::{Tree, TreeConfig};
+use concordia_ran::features::FeatureVec;
+use concordia_stats::ring::MaxRingBuffer;
+
+/// Leaf ring-buffer capacity (§5: "ring buffers of the leaf nodes having
+/// 5K entries").
+pub const LEAF_BUFFER_CAPACITY: usize = 5_000;
+
+/// Which statistic of the leaf buffer becomes the WCET prediction.
+/// The paper uses the maximum; the quantile variant exists for the
+/// leaf-statistic ablation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LeafStatistic {
+    /// `max(B_i)` — Algorithm 2.
+    Max,
+    /// An upper quantile of `B_i` (e.g. 0.999).
+    Quantile(f64),
+}
+
+/// Quantile-decision-tree WCET predictor for one task kind.
+pub struct QuantileDecisionTree {
+    tree: Tree,
+    leaves: Vec<MaxRingBuffer>,
+    stat: LeafStatistic,
+    /// Safety margin applied multiplicatively to the leaf statistic.
+    margin: f64,
+    /// Fallback prediction for leaves that lost all their samples (never
+    /// happens in practice — buffers are seeded offline — but the predictor
+    /// must stay total).
+    fallback_us: f64,
+}
+
+impl QuantileDecisionTree {
+    /// Fits the tree offline on profiling samples restricted to the feature
+    /// subset `feats` (the output of Algorithm 1), then seeds every leaf
+    /// buffer with its training samples.
+    pub fn fit(samples: &[TrainingSample], feats: &[usize], cfg: &TreeConfig) -> Self {
+        Self::fit_with(samples, feats, cfg, LeafStatistic::Max, 1.0)
+    }
+
+    /// [`QuantileDecisionTree::fit`] with an explicit leaf statistic and
+    /// multiplicative margin (for ablations).
+    pub fn fit_with(
+        samples: &[TrainingSample],
+        feats: &[usize],
+        cfg: &TreeConfig,
+        stat: LeafStatistic,
+        margin: f64,
+    ) -> Self {
+        assert!(!samples.is_empty(), "offline phase needs samples");
+        let xs: Vec<FeatureVec> = samples.iter().map(|s| s.x).collect();
+        let ys: Vec<f64> = samples.iter().map(|s| s.runtime_us).collect();
+        let (tree, leaf_samples) = Tree::fit(&xs, &ys, feats, cfg);
+        let global_max = ys.iter().cloned().fold(0.0, f64::max);
+        let leaves = leaf_samples
+            .iter()
+            .map(|idxs| {
+                let mut rb = MaxRingBuffer::new(LEAF_BUFFER_CAPACITY);
+                for &i in idxs {
+                    rb.push(ys[i]);
+                }
+                rb
+            })
+            .collect();
+        QuantileDecisionTree {
+            tree,
+            leaves,
+            stat,
+            margin,
+            fallback_us: global_max,
+        }
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Leaf id a feature vector routes to (exposed for the Fig. 7
+    /// leaf-distribution analysis).
+    pub fn leaf_of(&self, x: &FeatureVec) -> usize {
+        self.tree.leaf_of(x)
+    }
+
+    /// Read-only view of a leaf's current samples.
+    pub fn leaf_samples(&self, leaf: usize) -> &[f64] {
+        self.leaves[leaf].samples()
+    }
+
+    /// Clears every leaf buffer (used by the online-adaptation ablation to
+    /// model a freshly deployed tree with no history).
+    pub fn clear_buffers(&mut self) {
+        for l in &mut self.leaves {
+            l.clear();
+        }
+    }
+
+    fn leaf_stat(&self, leaf: usize) -> f64 {
+        let rb = &self.leaves[leaf];
+        let v = match self.stat {
+            LeafStatistic::Max => rb.max(),
+            LeafStatistic::Quantile(q) => rb.quantile(q),
+        };
+        v.unwrap_or(self.fallback_us)
+    }
+}
+
+impl WcetPredictor for QuantileDecisionTree {
+    fn predict_us(&self, x: &FeatureVec) -> f64 {
+        self.leaf_stat(self.tree.leaf_of(x)) * self.margin
+    }
+
+    fn observe(&mut self, x: &FeatureVec, runtime_us: f64) {
+        let leaf = self.tree.leaf_of(x);
+        self.leaves[leaf].push(runtime_us);
+    }
+
+    fn name(&self) -> &'static str {
+        "quantile_dt"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concordia_ran::features::NUM_FEATURES;
+    use concordia_stats::rng::Rng;
+
+    fn fv(v0: f64, v1: f64) -> FeatureVec {
+        let mut x = [0.0; NUM_FEATURES];
+        x[0] = v0;
+        x[1] = v1;
+        x
+    }
+
+    /// Synthetic decode-like workload: runtime = 30*x0 + noise, where x0
+    /// plays the codeblock-count role.
+    fn synthetic(n: usize, seed: u64) -> Vec<TrainingSample> {
+        let mut rng = Rng::new(seed);
+        (0..n)
+            .map(|_| {
+                let cbs = rng.range_u64(1, 16) as f64;
+                let noise = rng.lognormal(0.0, 0.05);
+                TrainingSample {
+                    x: fv(cbs, rng.f64()),
+                    runtime_us: (10.0 + 30.0 * cbs) * noise,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parameterized_prediction_tracks_input_size() {
+        let samples = synthetic(20_000, 1);
+        let qdt = QuantileDecisionTree::fit(&samples, &[0, 1], &TreeConfig::default());
+        let small = qdt.predict_us(&fv(2.0, 0.5));
+        let large = qdt.predict_us(&fv(14.0, 0.5));
+        assert!(
+            large > 3.0 * small,
+            "prediction must grow with input size: {small} vs {large}"
+        );
+    }
+
+    #[test]
+    fn predictions_upper_bound_most_runtimes() {
+        // The max-of-leaf statistic should cover essentially all in-leaf
+        // samples (that is the design goal of Algorithm 2).
+        let samples = synthetic(20_000, 2);
+        let qdt = QuantileDecisionTree::fit(&samples, &[0, 1], &TreeConfig::default());
+        let mut rng = Rng::new(3);
+        let mut misses = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            let cbs = rng.range_u64(1, 16) as f64;
+            let actual = (10.0 + 30.0 * cbs) * rng.lognormal(0.0, 0.05);
+            if actual > qdt.predict_us(&fv(cbs, rng.f64())) {
+                misses += 1;
+            }
+        }
+        let miss_rate = misses as f64 / n as f64;
+        assert!(miss_rate < 0.01, "miss rate {miss_rate}");
+    }
+
+    #[test]
+    fn less_pessimistic_than_single_value_wcet() {
+        // Fig. 13: the parameterized prediction is far tighter than one
+        // global WCET for small inputs.
+        let samples = synthetic(20_000, 4);
+        let global_max = samples
+            .iter()
+            .map(|s| s.runtime_us)
+            .fold(0.0, f64::max);
+        let qdt = QuantileDecisionTree::fit(&samples, &[0, 1], &TreeConfig::default());
+        let small_pred = qdt.predict_us(&fv(2.0, 0.5));
+        assert!(
+            small_pred < global_max / 3.0,
+            "parameterized {small_pred} vs global {global_max}"
+        );
+    }
+
+    #[test]
+    fn online_observation_adapts_to_interference() {
+        // Shift the runtime distribution up 30% (cache interference) and
+        // verify that after online updates predictions cover the new regime
+        // without refitting the tree.
+        let samples = synthetic(20_000, 5);
+        let mut qdt = QuantileDecisionTree::fit(&samples, &[0, 1], &TreeConfig::default());
+        let before = qdt.predict_us(&fv(8.0, 0.5));
+        let mut rng = Rng::new(6);
+        for _ in 0..30_000 {
+            let cbs = rng.range_u64(1, 16) as f64;
+            let inflated = (10.0 + 30.0 * cbs) * rng.lognormal(0.0, 0.05) * 1.3;
+            qdt.observe(&fv(cbs, rng.f64()), inflated);
+        }
+        let after = qdt.predict_us(&fv(8.0, 0.5));
+        assert!(after > before * 1.1, "before {before} after {after}");
+        // And new samples are covered.
+        let mut misses = 0;
+        for _ in 0..5_000 {
+            let cbs = rng.range_u64(1, 16) as f64;
+            let actual = (10.0 + 30.0 * cbs) * rng.lognormal(0.0, 0.05) * 1.3;
+            if actual > qdt.predict_us(&fv(cbs, 0.5)) {
+                misses += 1;
+            }
+        }
+        assert!(misses < 50, "misses {misses}");
+    }
+
+    #[test]
+    fn tree_structure_frozen_after_fit() {
+        let samples = synthetic(5_000, 7);
+        let mut qdt = QuantileDecisionTree::fit(&samples, &[0, 1], &TreeConfig::default());
+        let leaves_before = qdt.n_leaves();
+        let leaf_route_before = qdt.leaf_of(&fv(8.0, 0.5));
+        for _ in 0..10_000 {
+            qdt.observe(&fv(8.0, 0.5), 1e6); // extreme outliers
+        }
+        assert_eq!(qdt.n_leaves(), leaves_before);
+        assert_eq!(qdt.leaf_of(&fv(8.0, 0.5)), leaf_route_before);
+    }
+
+    #[test]
+    fn ring_buffer_forgets_old_regime() {
+        // After a burst of inflated samples ages out, predictions relax
+        // (the ring buffer keeps only the most recent capacity samples).
+        let samples = synthetic(20_000, 8);
+        let mut qdt = QuantileDecisionTree::fit(&samples, &[0, 1], &TreeConfig::default());
+        let x = fv(8.0, 0.5);
+        qdt.observe(&x, 5_000.0); // one pathological sample
+        let spiked = qdt.predict_us(&x);
+        assert!(spiked >= 5_000.0);
+        // Push a full buffer of normal samples through the same leaf.
+        for _ in 0..LEAF_BUFFER_CAPACITY + 1 {
+            qdt.observe(&x, 250.0);
+        }
+        let relaxed = qdt.predict_us(&x);
+        assert!(relaxed < 300.0, "relaxed {relaxed}");
+    }
+
+    #[test]
+    fn quantile_statistic_is_less_conservative_than_max() {
+        let samples = synthetic(20_000, 9);
+        let qmax = QuantileDecisionTree::fit(&samples, &[0, 1], &TreeConfig::default());
+        let q99 = QuantileDecisionTree::fit_with(
+            &samples,
+            &[0, 1],
+            &TreeConfig::default(),
+            LeafStatistic::Quantile(0.99),
+            1.0,
+        );
+        let x = fv(8.0, 0.5);
+        assert!(q99.predict_us(&x) <= qmax.predict_us(&x));
+    }
+
+    #[test]
+    fn margin_scales_predictions() {
+        let samples = synthetic(5_000, 10);
+        let base = QuantileDecisionTree::fit(&samples, &[0], &TreeConfig::default());
+        let margined = QuantileDecisionTree::fit_with(
+            &samples,
+            &[0],
+            &TreeConfig::default(),
+            LeafStatistic::Max,
+            1.2,
+        );
+        let x = fv(8.0, 0.5);
+        let ratio = margined.predict_us(&x) / base.predict_us(&x);
+        assert!((ratio - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn low_variance_within_leaves() {
+        // The Fig. 7a property: within-leaf variance is small relative to
+        // the overall variance.
+        let samples = synthetic(20_000, 11);
+        let qdt = QuantileDecisionTree::fit(&samples, &[0, 1], &TreeConfig::default());
+        let all: Vec<f64> = samples.iter().map(|s| s.runtime_us).collect();
+        let gm = all.iter().sum::<f64>() / all.len() as f64;
+        let gvar = all.iter().map(|y| (y - gm).powi(2)).sum::<f64>() / all.len() as f64;
+        let mut within = 0.0;
+        let mut n = 0usize;
+        for leaf in 0..qdt.n_leaves() {
+            let ys = qdt.leaf_samples(leaf);
+            if ys.is_empty() {
+                continue;
+            }
+            let m = ys.iter().sum::<f64>() / ys.len() as f64;
+            within += ys.iter().map(|y| (y - m).powi(2)).sum::<f64>();
+            n += ys.len();
+        }
+        let wvar = within / n as f64;
+        assert!(
+            wvar < gvar * 0.05,
+            "within-leaf var {wvar} vs global {gvar}"
+        );
+    }
+}

@@ -1,0 +1,396 @@
+//! CART regression-tree construction.
+//!
+//! §4.2: the quantile decision tree "uses the CART algorithm to minimize
+//! the variance among the samples that end up in the same leaf". This
+//! module is the shared split machinery: the quantile decision tree
+//! ([`crate::qdt`]) puts ring buffers in the leaves, and the
+//! gradient-boosting baseline ([`crate::gbt`]) puts mean values there.
+//!
+//! Trees are stored flattened in a `Vec` for cache-friendly traversal — the
+//! predictor runs every TTI and must be fast (§5 / Fig. 15a).
+
+use concordia_ran::features::FeatureVec;
+use serde::{Deserialize, Serialize};
+
+/// Tree-construction hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: u32,
+    /// Minimum samples per leaf; splits creating smaller leaves are
+    /// rejected.
+    pub min_leaf: usize,
+    /// Number of candidate thresholds examined per feature (quantile grid).
+    pub n_thresholds: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 8,
+            min_leaf: 50,
+            n_thresholds: 16,
+        }
+    }
+}
+
+/// A flattened tree node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Node {
+    /// Internal split: `x[feature] <= threshold` goes left.
+    Split {
+        /// Feature index into the [`FeatureVec`].
+        feature: usize,
+        /// Split threshold.
+        threshold: f64,
+        /// Index of the left child in the node array.
+        left: u32,
+        /// Index of the right child in the node array.
+        right: u32,
+    },
+    /// Terminal node holding a dense leaf id.
+    Leaf {
+        /// Dense leaf index in `[0, n_leaves)`.
+        leaf_id: u32,
+    },
+}
+
+/// A fitted regression-tree structure (no leaf payloads — those belong to
+/// the caller, keyed by leaf id).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tree {
+    nodes: Vec<Node>,
+    n_leaves: usize,
+    features_used: Vec<usize>,
+}
+
+impl Tree {
+    /// Fits a variance-minimizing tree on `(xs, ys)` restricted to the
+    /// feature subset `feats`. Returns the tree and, per leaf id, the
+    /// indices of the training samples that landed in it.
+    ///
+    /// Panics on empty input or mismatched lengths.
+    pub fn fit(
+        xs: &[FeatureVec],
+        ys: &[f64],
+        feats: &[usize],
+        cfg: &TreeConfig,
+    ) -> (Tree, Vec<Vec<usize>>) {
+        assert_eq!(xs.len(), ys.len());
+        assert!(!xs.is_empty(), "cannot fit a tree on no samples");
+        assert!(!feats.is_empty(), "need at least one feature");
+
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut leaf_samples: Vec<Vec<usize>> = Vec::new();
+        let all: Vec<usize> = (0..xs.len()).collect();
+        // Stack of (node index to fill, samples, depth).
+        nodes.push(Node::Leaf { leaf_id: 0 }); // placeholder for root
+        let mut stack = vec![(0usize, all, 0u32)];
+
+        while let Some((slot, samples, depth)) = stack.pop() {
+            let split = if depth < cfg.max_depth && samples.len() >= 2 * cfg.min_leaf {
+                best_split(xs, ys, &samples, feats, cfg)
+            } else {
+                None
+            };
+            match split {
+                Some((feature, threshold)) => {
+                    let (l, r): (Vec<usize>, Vec<usize>) = samples
+                        .iter()
+                        .partition(|&&i| xs[i][feature] <= threshold);
+                    debug_assert!(l.len() >= cfg.min_leaf && r.len() >= cfg.min_leaf);
+                    let left = nodes.len() as u32;
+                    let right = left + 1;
+                    nodes.push(Node::Leaf { leaf_id: 0 }); // placeholders
+                    nodes.push(Node::Leaf { leaf_id: 0 });
+                    nodes[slot] = Node::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    };
+                    stack.push((left as usize, l, depth + 1));
+                    stack.push((right as usize, r, depth + 1));
+                }
+                None => {
+                    let leaf_id = leaf_samples.len() as u32;
+                    nodes[slot] = Node::Leaf { leaf_id };
+                    leaf_samples.push(samples);
+                }
+            }
+        }
+
+        (
+            Tree {
+                nodes,
+                n_leaves: leaf_samples.len(),
+                features_used: feats.to_vec(),
+            },
+            leaf_samples,
+        )
+    }
+
+    /// Leaf id for a feature vector. O(depth).
+    #[inline]
+    pub fn leaf_of(&self, x: &FeatureVec) -> usize {
+        let mut i = 0usize;
+        loop {
+            match self.nodes[i] {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if x[feature] <= threshold {
+                        left as usize
+                    } else {
+                        right as usize
+                    };
+                }
+                Node::Leaf { leaf_id } => return leaf_id as usize,
+            }
+        }
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.n_leaves
+    }
+
+    /// Total node count.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Features the tree was fitted on.
+    pub fn features_used(&self) -> &[usize] {
+        &self.features_used
+    }
+}
+
+/// Finds the variance-minimizing split over the candidate thresholds;
+/// returns `None` when no split reduces the sum of squared errors or
+/// satisfies the minimum-leaf constraint.
+fn best_split(
+    xs: &[FeatureVec],
+    ys: &[f64],
+    samples: &[usize],
+    feats: &[usize],
+    cfg: &TreeConfig,
+) -> Option<(usize, f64)> {
+    let n = samples.len();
+    let sum: f64 = samples.iter().map(|&i| ys[i]).sum();
+    let sum_sq: f64 = samples.iter().map(|&i| ys[i] * ys[i]).sum();
+    let parent_sse = sum_sq - sum * sum / n as f64;
+    if parent_sse <= 1e-12 {
+        return None; // already pure
+    }
+
+    let mut best: Option<(usize, f64, f64)> = None; // (feat, thr, sse)
+    let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(n);
+    for &f in feats {
+        pairs.clear();
+        pairs.extend(samples.iter().map(|&i| (xs[i][f], ys[i])));
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN feature"));
+        if pairs[0].0 == pairs[n - 1].0 {
+            continue; // constant feature in this node
+        }
+        // Prefix sums for O(1) SSE at each cut position.
+        let mut pre_s = vec![0.0f64; n + 1];
+        let mut pre_q = vec![0.0f64; n + 1];
+        for (k, &(_, y)) in pairs.iter().enumerate() {
+            pre_s[k + 1] = pre_s[k] + y;
+            pre_q[k + 1] = pre_q[k] + y * y;
+        }
+        // Candidate cut positions: an evenly spaced grid, snapped forward so
+        // the threshold falls between distinct feature values.
+        let step = (n / (cfg.n_thresholds + 1)).max(1);
+        let mut k = step;
+        while k < n {
+            // Snap to the last index sharing pairs[k-1].0.
+            let v = pairs[k - 1].0;
+            while k < n && pairs[k].0 == v {
+                k += 1;
+            }
+            if k >= n {
+                break;
+            }
+            let (nl, nr) = (k, n - k);
+            if nl >= cfg.min_leaf && nr >= cfg.min_leaf {
+                let sl = pre_s[k];
+                let ql = pre_q[k];
+                let sse_l = ql - sl * sl / nl as f64;
+                let sr = sum - sl;
+                let qr = sum_sq - ql;
+                let sse_r = qr - sr * sr / nr as f64;
+                let sse = sse_l + sse_r;
+                if best.map_or(true, |(_, _, b)| sse < b) {
+                    let thr = (v + pairs[k].0) / 2.0;
+                    best = Some((f, thr, sse));
+                }
+            }
+            k += step;
+        }
+    }
+
+    best.and_then(|(f, thr, sse)| {
+        if sse < parent_sse - 1e-9 {
+            Some((f, thr))
+        } else {
+            None
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concordia_ran::features::NUM_FEATURES;
+    use concordia_stats::rng::Rng;
+
+    fn fv(vals: &[(usize, f64)]) -> FeatureVec {
+        let mut x = [0.0; NUM_FEATURES];
+        for &(i, v) in vals {
+            x[i] = v;
+        }
+        x
+    }
+
+    #[test]
+    fn splits_a_step_function_perfectly() {
+        // y = 10 for x0 < 5, y = 50 for x0 >= 5 — one split suffices.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..200 {
+            let v = i as f64 / 20.0; // 0..10
+            xs.push(fv(&[(0, v)]));
+            ys.push(if v < 5.0 { 10.0 } else { 50.0 });
+        }
+        // 19 thresholds over 200 samples puts a candidate cut exactly at
+        // the class boundary (position 100).
+        let cfg = TreeConfig {
+            max_depth: 4,
+            min_leaf: 10,
+            n_thresholds: 19,
+        };
+        let (tree, leaves) = Tree::fit(&xs, &ys, &[0], &cfg);
+        assert!(tree.n_leaves() >= 2);
+        // Every leaf must be pure.
+        for leaf in &leaves {
+            let vals: Vec<f64> = leaf.iter().map(|&i| ys[i]).collect();
+            let first = vals[0];
+            assert!(vals.iter().all(|&v| v == first), "impure leaf {vals:?}");
+        }
+        // Routing agrees with training assignment.
+        assert_ne!(tree.leaf_of(&fv(&[(0, 1.0)])), tree.leaf_of(&fv(&[(0, 9.0)])));
+    }
+
+    #[test]
+    fn respects_min_leaf() {
+        let mut rng = Rng::new(1);
+        let xs: Vec<FeatureVec> = (0..300).map(|_| fv(&[(0, rng.f64())])).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * 100.0).collect();
+        let cfg = TreeConfig {
+            max_depth: 10,
+            min_leaf: 40,
+            n_thresholds: 16,
+        };
+        let (_, leaves) = Tree::fit(&xs, &ys, &[0], &cfg);
+        for leaf in &leaves {
+            assert!(leaf.len() >= 40, "leaf of size {}", leaf.len());
+        }
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let mut rng = Rng::new(2);
+        let xs: Vec<FeatureVec> = (0..4000).map(|_| fv(&[(0, rng.f64())])).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * 100.0).collect();
+        let cfg = TreeConfig {
+            max_depth: 3,
+            min_leaf: 2,
+            n_thresholds: 16,
+        };
+        let (tree, _) = Tree::fit(&xs, &ys, &[0], &cfg);
+        assert!(tree.n_leaves() <= 8, "2^3 leaves max, got {}", tree.n_leaves());
+    }
+
+    #[test]
+    fn picks_the_informative_feature() {
+        // y depends on feature 3 only; features 0-2 are noise.
+        let mut rng = Rng::new(3);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..500 {
+            let x = fv(&[
+                (0, rng.f64()),
+                (1, rng.f64()),
+                (2, rng.f64()),
+                (3, rng.f64() * 10.0),
+            ]);
+            ys.push(if x[3] > 5.0 { 100.0 } else { 0.0 });
+            xs.push(x);
+        }
+        let (tree, _) = Tree::fit(&xs, &ys, &[0, 1, 2, 3], &TreeConfig::default());
+        // The root split must use feature 3.
+        match tree.nodes[0] {
+            Node::Split { feature, .. } => assert_eq!(feature, 3),
+            Node::Leaf { .. } => panic!("expected a split at the root"),
+        }
+    }
+
+    #[test]
+    fn leaf_partition_covers_all_samples_once() {
+        let mut rng = Rng::new(4);
+        let xs: Vec<FeatureVec> =
+            (0..800).map(|_| fv(&[(0, rng.f64()), (1, rng.f64())])).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * 10.0 + x[1]).collect();
+        let (tree, leaves) = Tree::fit(&xs, &ys, &[0, 1], &TreeConfig::default());
+        let total: usize = leaves.iter().map(|l| l.len()).sum();
+        assert_eq!(total, xs.len());
+        // leaf_of must agree with the training partition.
+        for (leaf_id, samples) in leaves.iter().enumerate() {
+            for &i in samples {
+                assert_eq!(tree.leaf_of(&xs[i]), leaf_id);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let xs: Vec<FeatureVec> = (0..100).map(|i| fv(&[(0, i as f64)])).collect();
+        let ys = vec![7.0; 100];
+        let (tree, leaves) = Tree::fit(&xs, &ys, &[0], &TreeConfig::default());
+        assert_eq!(tree.n_leaves(), 1);
+        assert_eq!(leaves[0].len(), 100);
+    }
+
+    #[test]
+    fn variance_reduction_monotone_with_depth() {
+        // Deeper trees must not have higher within-leaf SSE.
+        let mut rng = Rng::new(5);
+        let xs: Vec<FeatureVec> = (0..2000).map(|_| fv(&[(0, rng.f64() * 10.0)])).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0].powi(2) + rng.normal()).collect();
+        let sse_at = |depth: u32| {
+            let cfg = TreeConfig {
+                max_depth: depth,
+                min_leaf: 20,
+                n_thresholds: 16,
+            };
+            let (_, leaves) = Tree::fit(&xs, &ys, &[0], &cfg);
+            leaves
+                .iter()
+                .map(|l| {
+                    let m = l.iter().map(|&i| ys[i]).sum::<f64>() / l.len() as f64;
+                    l.iter().map(|&i| (ys[i] - m).powi(2)).sum::<f64>()
+                })
+                .sum::<f64>()
+        };
+        let s1 = sse_at(1);
+        let s3 = sse_at(3);
+        let s6 = sse_at(6);
+        assert!(s1 >= s3 && s3 >= s6, "{s1} {s3} {s6}");
+        assert!(s6 < s1 * 0.2, "depth 6 should explain most variance");
+    }
+}

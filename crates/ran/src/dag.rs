@@ -1,0 +1,741 @@
+//! Per-slot signal-processing DAG construction.
+//!
+//! Fig. 1 of the paper shows the (simplified) 5G NR uplink DAG and Fig. 16
+//! the downlink one. This module builds those DAGs from a slot's scheduled
+//! UE allocations: the node set and edge structure depend on the input
+//! parameters (number of UEs, transport-block sizes → codeblock groups),
+//! exactly as §2.1 describes ("the exact DAG structure depends on various
+//! input parameters"). Tasks from the same DAG can run in parallel (e.g.
+//! multiple LDPC decoding operations on different cores).
+
+use crate::cell::{CellConfig, RanGeneration};
+use crate::cost::CostModel;
+use crate::numerology::SlotDirection;
+use crate::task::{TaskInstance, TaskKind, TaskParams};
+use crate::time::Nanos;
+use crate::transport::{segment_codeblocks, segment_codeblocks_lte, Mcs};
+use serde::{Deserialize, Serialize};
+
+/// Maximum codeblocks handled by one decode/encode task instance: large
+/// transport blocks are split into codeblock groups so that LDPC work can be
+/// spread across worker cores (FlexRAN-style segment granularity).
+pub const CB_GROUP: u32 = 6;
+
+/// One UE's scheduled allocation within a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UeAlloc {
+    /// Transport-block payload in bytes.
+    pub tb_bytes: u32,
+    /// Modulation-and-coding scheme index (0–27).
+    pub mcs_index: u8,
+    /// Post-equalization SNR in dB.
+    pub snr_db: f64,
+    /// MIMO layers (1–4).
+    pub layers: u32,
+    /// PRBs allocated to this UE.
+    pub prbs: u32,
+}
+
+impl UeAlloc {
+    /// Transport-block size in bits.
+    pub fn tb_bits(&self) -> u32 {
+        self.tb_bytes * 8
+    }
+}
+
+/// The scheduled contents of one slot in one direction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotWorkload {
+    /// Direction of the slot.
+    pub direction: SlotDirection,
+    /// Scheduled UE allocations (may be empty for an idle slot).
+    pub ues: Vec<UeAlloc>,
+}
+
+impl SlotWorkload {
+    /// Total payload bytes across UEs.
+    pub fn total_bytes(&self) -> u32 {
+        self.ues.iter().map(|u| u.tb_bytes).sum()
+    }
+
+    /// Total codeblocks across UEs (5G LDPC segmentation).
+    pub fn total_cbs(&self) -> u32 {
+        self.ues
+            .iter()
+            .map(|u| segment_codeblocks(u.tb_bits()).1)
+            .sum()
+    }
+
+    /// Total codeblocks for a given generation's segmentation rule.
+    pub fn total_cbs_for(&self, generation: RanGeneration) -> u32 {
+        self.ues
+            .iter()
+            .map(|u| match generation {
+                RanGeneration::Nr => segment_codeblocks(u.tb_bits()).1,
+                RanGeneration::Lte => segment_codeblocks_lte(u.tb_bits()),
+            })
+            .sum()
+    }
+}
+
+/// A node of a slot DAG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DagNode {
+    /// The task this node executes.
+    pub task: TaskInstance,
+    /// Indices of predecessor nodes.
+    pub preds: Vec<u32>,
+    /// Indices of successor nodes.
+    pub succs: Vec<u32>,
+}
+
+/// A slot-processing DAG with its deadline.
+///
+/// Nodes are stored in a topological order (construction builds them
+/// layer by layer), which downstream consumers rely on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotDag {
+    /// Cell this DAG belongs to.
+    pub cell_id: u32,
+    /// Slot counter at arrival.
+    pub slot_idx: u64,
+    /// Direction (one DAG per direction per slot).
+    pub direction: SlotDirection,
+    /// Time the DAG was released to the pool.
+    pub arrival: Nanos,
+    /// Absolute completion deadline.
+    pub deadline: Nanos,
+    /// Task nodes in topological order.
+    pub nodes: Vec<DagNode>,
+}
+
+impl SlotDag {
+    /// Number of task nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the DAG has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Source nodes (no predecessors).
+    pub fn sources(&self) -> impl Iterator<Item = usize> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.preds.is_empty())
+            .map(|(i, _)| i)
+    }
+
+    /// Sum of expected single-core costs of all nodes — the `C` (total
+    /// work) term of the federated scheduling rule.
+    pub fn total_work(&self, cost: &CostModel) -> Nanos {
+        self.nodes
+            .iter()
+            .map(|n| cost.expected_cost(n.task.kind, &n.task.params))
+            .fold(Nanos::ZERO, |a, b| a + b)
+    }
+
+    /// Length of the longest expected-cost path — the `L` (critical path)
+    /// term of the federated scheduling rule. O(V + E) over the topological
+    /// order.
+    pub fn critical_path(&self, cost: &CostModel) -> Nanos {
+        let mut finish = vec![Nanos::ZERO; self.nodes.len()];
+        let mut best = Nanos::ZERO;
+        for (i, n) in self.nodes.iter().enumerate() {
+            let start = n
+                .preds
+                .iter()
+                .map(|&p| finish[p as usize])
+                .fold(Nanos::ZERO, Nanos::max);
+            let c = cost.expected_cost(n.task.kind, &n.task.params);
+            finish[i] = start + c;
+            best = best.max(finish[i]);
+        }
+        best
+    }
+
+    /// Verifies the topological-order invariant (preds always point to
+    /// earlier indices, succs to later) and pred/succ symmetry. Used by
+    /// tests and debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, n) in self.nodes.iter().enumerate() {
+            for &p in &n.preds {
+                if p as usize >= i {
+                    return Err(format!("node {i} has pred {p} not before it"));
+                }
+                if !self.nodes[p as usize].succs.contains(&(i as u32)) {
+                    return Err(format!("pred {p} of {i} missing succ backlink"));
+                }
+            }
+            for &s in &n.succs {
+                if (s as usize) <= i {
+                    return Err(format!("node {i} has succ {s} not after it"));
+                }
+                if !self.nodes[s as usize].preds.contains(&(i as u32)) {
+                    return Err(format!("succ {s} of {i} missing pred backlink"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental DAG builder maintaining the topological invariant.
+struct DagBuilder {
+    nodes: Vec<DagNode>,
+}
+
+impl DagBuilder {
+    fn new() -> Self {
+        DagBuilder { nodes: Vec::new() }
+    }
+
+    fn add(&mut self, task: TaskInstance, preds: &[u32]) -> u32 {
+        let id = self.nodes.len() as u32;
+        for &p in preds {
+            debug_assert!((p as usize) < self.nodes.len());
+            self.nodes[p as usize].succs.push(id);
+        }
+        self.nodes.push(DagNode {
+            task,
+            preds: preds.to_vec(),
+            succs: Vec::new(),
+        });
+        id
+    }
+}
+
+/// Shared slot-level context folded into every task's parameters.
+fn slot_context(wl: &SlotWorkload) -> (u32, u32, u32) {
+    (wl.ues.len() as u32, wl.total_cbs(), wl.total_bytes())
+}
+
+fn ue_params(cell: &CellConfig, wl: &SlotWorkload, ue: &UeAlloc) -> TaskParams {
+    let (n_ues, slot_cbs, slot_bytes) = slot_context(wl);
+    let mcs = Mcs::from_index(ue.mcs_index);
+    let n_cbs = match cell.generation {
+        RanGeneration::Nr => segment_codeblocks(ue.tb_bits()).1,
+        RanGeneration::Lte => segment_codeblocks_lte(ue.tb_bits()),
+    };
+    let cb_bits = if n_cbs > 0 { ue.tb_bits() / n_cbs } else { 0 };
+    TaskParams {
+        n_cbs,
+        cb_bits,
+        tb_bits: ue.tb_bits(),
+        mcs_index: ue.mcs_index,
+        modulation_order: mcs.modulation_order,
+        code_rate: mcs.code_rate,
+        snr_db: ue.snr_db,
+        layers: ue.layers,
+        prbs: ue.prbs,
+        symbols: cell.numerology.symbols_per_slot(),
+        antennas: cell.antennas,
+        n_ues_slot: n_ues,
+        slot_cbs,
+        slot_bytes,
+        pool_cores: 1,
+    }
+}
+
+fn slot_params(cell: &CellConfig, wl: &SlotWorkload) -> TaskParams {
+    let (n_ues, slot_cbs, slot_bytes) = slot_context(wl);
+    TaskParams {
+        prbs: cell.prbs,
+        symbols: cell.numerology.symbols_per_slot(),
+        antennas: cell.antennas,
+        n_ues_slot: n_ues,
+        slot_cbs,
+        slot_bytes,
+        layers: cell.max_layers,
+        ..TaskParams::default()
+    }
+}
+
+/// Splits `n_cbs` codeblocks into groups of at most [`CB_GROUP`].
+fn cb_groups(n_cbs: u32) -> Vec<u32> {
+    let mut groups = Vec::new();
+    let mut left = n_cbs;
+    while left > 0 {
+        let g = left.min(CB_GROUP);
+        groups.push(g);
+        left -= g;
+    }
+    groups
+}
+
+/// Builds the uplink slot DAG of Fig. 1.
+///
+/// Structure: FFT → {per UE: channel estimation → equalization →
+/// demodulation → descrambling → {per codeblock group: rate dematch → LDPC
+/// decode} → CRC check}, plus PUCCH polar decoding off the FFT. An idle
+/// slot still carries the always-on receive work (FFT + control decode).
+pub fn build_uplink_dag(
+    cell: &CellConfig,
+    cell_id: u32,
+    slot_idx: u64,
+    arrival: Nanos,
+    wl: &SlotWorkload,
+) -> SlotDag {
+    debug_assert_eq!(wl.direction, SlotDirection::Uplink);
+    let mut b = DagBuilder::new();
+    let sp = slot_params(cell, wl);
+
+    let fft = b.add(
+        TaskInstance {
+            kind: TaskKind::Fft,
+            params: sp,
+        },
+        &[],
+    );
+    b.add(
+        TaskInstance {
+            kind: TaskKind::PolarDecode,
+            params: sp,
+        },
+        &[fft],
+    );
+
+    for ue in &wl.ues {
+        let p = ue_params(cell, wl, ue);
+        let ce = b.add(
+            TaskInstance {
+                kind: TaskKind::ChannelEstimation,
+                params: p,
+            },
+            &[fft],
+        );
+        let eq = b.add(
+            TaskInstance {
+                kind: TaskKind::Equalization,
+                params: p,
+            },
+            &[ce],
+        );
+        let dm = b.add(
+            TaskInstance {
+                kind: TaskKind::Demodulation,
+                params: p,
+            },
+            &[eq],
+        );
+        let ds = b.add(
+            TaskInstance {
+                kind: TaskKind::Descrambling,
+                params: p,
+            },
+            &[dm],
+        );
+        let decode_kind = match cell.generation {
+            RanGeneration::Nr => TaskKind::LdpcDecode,
+            RanGeneration::Lte => TaskKind::TurboDecode,
+        };
+        let mut decode_ids = Vec::new();
+        for g in cb_groups(p.n_cbs) {
+            let gp = TaskParams { n_cbs: g, ..p };
+            let rd = b.add(
+                TaskInstance {
+                    kind: TaskKind::RateDematch,
+                    params: gp,
+                },
+                &[ds],
+            );
+            let de = b.add(
+                TaskInstance {
+                    kind: decode_kind,
+                    params: gp,
+                },
+                &[rd],
+            );
+            decode_ids.push(de);
+        }
+        if !decode_ids.is_empty() {
+            b.add(
+                TaskInstance {
+                    kind: TaskKind::CrcCheck,
+                    params: p,
+                },
+                &decode_ids,
+            );
+        }
+    }
+
+    let dag = SlotDag {
+        cell_id,
+        slot_idx,
+        direction: SlotDirection::Uplink,
+        arrival,
+        deadline: arrival + cell.deadline,
+        nodes: b.nodes,
+    };
+    debug_assert!(dag.validate().is_ok());
+    dag
+}
+
+/// Builds the downlink slot DAG of Fig. 16.
+///
+/// Structure: {per UE: CRC attach → {per codeblock group: LDPC encode →
+/// rate match} → scrambling → modulation → precoding} → iFFT, with PDCCH
+/// polar encoding also feeding the iFFT. An idle slot still carries the
+/// always-on transmit work (control encode + iFFT).
+pub fn build_downlink_dag(
+    cell: &CellConfig,
+    cell_id: u32,
+    slot_idx: u64,
+    arrival: Nanos,
+    wl: &SlotWorkload,
+) -> SlotDag {
+    debug_assert!(matches!(
+        wl.direction,
+        SlotDirection::Downlink | SlotDirection::Special
+    ));
+    let mut b = DagBuilder::new();
+    let sp = slot_params(cell, wl);
+
+    let pe = b.add(
+        TaskInstance {
+            kind: TaskKind::PolarEncode,
+            params: sp,
+        },
+        &[],
+    );
+    let mut ifft_preds = vec![pe];
+
+    for ue in &wl.ues {
+        let p = ue_params(cell, wl, ue);
+        let crc = b.add(
+            TaskInstance {
+                kind: TaskKind::CrcAttach,
+                params: p,
+            },
+            &[],
+        );
+        let encode_kind = match cell.generation {
+            RanGeneration::Nr => TaskKind::LdpcEncode,
+            RanGeneration::Lte => TaskKind::TurboEncode,
+        };
+        let mut rm_ids = Vec::new();
+        for g in cb_groups(p.n_cbs) {
+            let gp = TaskParams { n_cbs: g, ..p };
+            let en = b.add(
+                TaskInstance {
+                    kind: encode_kind,
+                    params: gp,
+                },
+                &[crc],
+            );
+            let rm = b.add(
+                TaskInstance {
+                    kind: TaskKind::RateMatch,
+                    params: gp,
+                },
+                &[en],
+            );
+            rm_ids.push(rm);
+        }
+        let scr_preds = if rm_ids.is_empty() { vec![crc] } else { rm_ids };
+        let sc = b.add(
+            TaskInstance {
+                kind: TaskKind::Scrambling,
+                params: p,
+            },
+            &scr_preds,
+        );
+        let md = b.add(
+            TaskInstance {
+                kind: TaskKind::Modulation,
+                params: p,
+            },
+            &[sc],
+        );
+        let pc = b.add(
+            TaskInstance {
+                kind: TaskKind::Precoding,
+                params: p,
+            },
+            &[md],
+        );
+        ifft_preds.push(pc);
+    }
+
+    b.add(
+        TaskInstance {
+            kind: TaskKind::Ifft,
+            params: sp,
+        },
+        &ifft_preds,
+    );
+
+    let dag = SlotDag {
+        cell_id,
+        slot_idx,
+        direction: wl.direction,
+        arrival,
+        deadline: arrival + cell.deadline,
+        nodes: b.nodes,
+    };
+    debug_assert!(dag.validate().is_ok());
+    dag
+}
+
+/// Builds the §7-extension MAC-scheduling DAG for a slot: the uplink and
+/// downlink radio-resource schedulers run as deadline tasks of the pool
+/// (sequential: the DL allocation depends on the UL grant decisions).
+pub fn build_mac_dag(
+    cell: &CellConfig,
+    cell_id: u32,
+    slot_idx: u64,
+    arrival: Nanos,
+    n_ues: u32,
+) -> SlotDag {
+    let mut b = DagBuilder::new();
+    let params = TaskParams {
+        prbs: cell.prbs,
+        antennas: cell.antennas,
+        layers: cell.max_layers,
+        n_ues_slot: n_ues,
+        symbols: cell.numerology.symbols_per_slot(),
+        ..TaskParams::default()
+    };
+    let ul = b.add(
+        TaskInstance {
+            kind: TaskKind::MacScheduling,
+            params,
+        },
+        &[],
+    );
+    b.add(
+        TaskInstance {
+            kind: TaskKind::MacScheduling,
+            params,
+        },
+        &[ul],
+    );
+    let dag = SlotDag {
+        cell_id,
+        slot_idx,
+        direction: SlotDirection::Downlink,
+        arrival,
+        // MAC decisions must be ready for the next slot.
+        deadline: arrival + cell.slot_duration(),
+        nodes: b.nodes,
+    };
+    debug_assert!(dag.validate().is_ok());
+    dag
+}
+
+/// Builds the DAG for a slot in the given direction.
+pub fn build_dag(
+    cell: &CellConfig,
+    cell_id: u32,
+    slot_idx: u64,
+    arrival: Nanos,
+    wl: &SlotWorkload,
+) -> SlotDag {
+    match wl.direction {
+        SlotDirection::Uplink => build_uplink_dag(cell, cell_id, slot_idx, arrival, wl),
+        SlotDirection::Downlink | SlotDirection::Special => {
+            build_downlink_dag(cell, cell_id, slot_idx, arrival, wl)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ue(bytes: u32) -> UeAlloc {
+        UeAlloc {
+            tb_bytes: bytes,
+            mcs_index: 16,
+            snr_db: 20.0,
+            layers: 2,
+            prbs: 50,
+        }
+    }
+
+    fn ul_workload(ues: Vec<UeAlloc>) -> SlotWorkload {
+        SlotWorkload {
+            direction: SlotDirection::Uplink,
+            ues,
+        }
+    }
+
+    #[test]
+    fn idle_uplink_slot_has_only_receive_baseline() {
+        let cell = CellConfig::tdd_100mhz();
+        let dag = build_uplink_dag(&cell, 0, 0, Nanos::ZERO, &ul_workload(vec![]));
+        assert_eq!(dag.len(), 2); // FFT + polar decode
+        assert!(dag.validate().is_ok());
+    }
+
+    #[test]
+    fn uplink_dag_node_count_scales_with_ues_and_cbs() {
+        let cell = CellConfig::tdd_100mhz();
+        // 10 KB => 80k bits => 10 CBs => 2 groups of (6,4).
+        let one = build_uplink_dag(&cell, 0, 0, Nanos::ZERO, &ul_workload(vec![ue(10_000)]));
+        // FFT + polar + (ce, eq, demod, descr) + 2*(rd, dec) + crc = 2+4+4+1 = 11
+        assert_eq!(one.len(), 11);
+        let two = build_uplink_dag(
+            &cell,
+            0,
+            0,
+            Nanos::ZERO,
+            &ul_workload(vec![ue(10_000), ue(10_000)]),
+        );
+        assert_eq!(two.len(), 20);
+        assert!(two.validate().is_ok());
+    }
+
+    #[test]
+    fn decode_tasks_parallelizable_within_ue() {
+        // §2.1: "multiple LDPC decoding operations on different cores".
+        // Decode groups of the same UE must not depend on each other.
+        let cell = CellConfig::tdd_100mhz();
+        let dag = build_uplink_dag(&cell, 0, 0, Nanos::ZERO, &ul_workload(vec![ue(20_000)]));
+        let decode_ids: Vec<usize> = dag
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.task.kind == TaskKind::LdpcDecode)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(decode_ids.len() >= 3, "expect several decode groups");
+        for &a in &decode_ids {
+            for &b in &decode_ids {
+                assert!(!dag.nodes[a].preds.contains(&(b as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_is_arrival_plus_cell_deadline() {
+        let cell = CellConfig::fdd_20mhz();
+        let arrival = Nanos::from_millis(5);
+        let dag = build_uplink_dag(&cell, 3, 7, arrival, &ul_workload(vec![ue(500)]));
+        assert_eq!(dag.deadline, arrival + Nanos::from_millis(2));
+        assert_eq!(dag.cell_id, 3);
+        assert_eq!(dag.slot_idx, 7);
+    }
+
+    #[test]
+    fn downlink_dag_structure() {
+        let cell = CellConfig::tdd_100mhz();
+        let wl = SlotWorkload {
+            direction: SlotDirection::Downlink,
+            ues: vec![ue(10_000)],
+        };
+        let dag = build_downlink_dag(&cell, 0, 0, Nanos::ZERO, &wl);
+        // polar + crc + 2*(enc, rm) + scr + mod + prec + ifft = 10
+        assert_eq!(dag.len(), 10);
+        assert!(dag.validate().is_ok());
+        // iFFT must be the sink: last node with no succs, with >= 2 preds.
+        let last = dag.nodes.last().unwrap();
+        assert_eq!(last.task.kind, TaskKind::Ifft);
+        assert!(last.succs.is_empty());
+        assert!(last.preds.len() >= 2);
+    }
+
+    #[test]
+    fn critical_path_at_most_total_work() {
+        let cell = CellConfig::tdd_100mhz();
+        let cost = CostModel::new();
+        let dag = build_uplink_dag(
+            &cell,
+            0,
+            0,
+            Nanos::ZERO,
+            &ul_workload(vec![ue(20_000), ue(8_000), ue(3_000)]),
+        );
+        let cp = dag.critical_path(&cost);
+        let tw = dag.total_work(&cost);
+        assert!(cp <= tw);
+        assert!(cp > Nanos::ZERO);
+    }
+
+    #[test]
+    fn critical_path_fits_deadline_at_peak() {
+        // The peak uplink slot's critical path must fit comfortably inside
+        // the 1.5 ms deadline, otherwise no scheduler could ever succeed.
+        let cell = CellConfig::tdd_100mhz();
+        let cost = CostModel::new();
+        // Peak: ~50 KB over 8 UEs.
+        let ues: Vec<UeAlloc> = (0..8).map(|_| ue(6_250)).collect();
+        let dag = build_uplink_dag(&cell, 0, 0, Nanos::ZERO, &ul_workload(ues));
+        let cp = dag.critical_path(&cost);
+        assert!(
+            cp < Nanos::from_micros(600),
+            "critical path {cp} too long for the 1.5 ms deadline"
+        );
+    }
+
+    #[test]
+    fn parallelism_helps_at_peak() {
+        // Total work should be several times the critical path at peak —
+        // that is the parallelism the federated scheduler exploits.
+        let cell = CellConfig::tdd_100mhz();
+        let cost = CostModel::new();
+        let ues: Vec<UeAlloc> = (0..8).map(|_| ue(6_250)).collect();
+        let dag = build_uplink_dag(&cell, 0, 0, Nanos::ZERO, &ul_workload(ues));
+        let ratio = dag.total_work(&cost).as_nanos() as f64
+            / dag.critical_path(&cost).as_nanos() as f64;
+        assert!(ratio > 2.5, "parallelism ratio {ratio}");
+    }
+
+    #[test]
+    fn cb_groups_partition() {
+        assert_eq!(cb_groups(0), Vec::<u32>::new());
+        assert_eq!(cb_groups(5), vec![5]);
+        assert_eq!(cb_groups(6), vec![6]);
+        assert_eq!(cb_groups(13), vec![6, 6, 1]);
+        assert_eq!(cb_groups(13).iter().sum::<u32>(), 13);
+    }
+
+    #[test]
+    fn workload_totals() {
+        let wl = ul_workload(vec![ue(1_000), ue(2_000)]);
+        assert_eq!(wl.total_bytes(), 3_000);
+        assert!(wl.total_cbs() >= 3);
+    }
+
+    #[test]
+    fn lte_cell_builds_turbo_dags() {
+        let cell = CellConfig::lte_20mhz();
+        let wl = ul_workload(vec![ue(10_000)]);
+        let dag = build_uplink_dag(&cell, 0, 0, Nanos::ZERO, &wl);
+        assert!(dag.nodes.iter().any(|n| n.task.kind == TaskKind::TurboDecode));
+        assert!(!dag.nodes.iter().any(|n| n.task.kind == TaskKind::LdpcDecode));
+        let dl = SlotWorkload {
+            direction: SlotDirection::Downlink,
+            ues: vec![ue(10_000)],
+        };
+        let dag = build_downlink_dag(&cell, 0, 0, Nanos::ZERO, &dl);
+        assert!(dag.nodes.iter().any(|n| n.task.kind == TaskKind::TurboEncode));
+    }
+
+    #[test]
+    fn mac_dag_is_sequential_with_slot_deadline() {
+        let cell = CellConfig::tdd_100mhz();
+        let dag = build_mac_dag(&cell, 1, 5, Nanos::from_millis(3), 8);
+        assert_eq!(dag.len(), 2);
+        assert!(dag.validate().is_ok());
+        assert_eq!(dag.deadline, Nanos::from_millis(3) + cell.slot_duration());
+        assert!(dag.nodes.iter().all(|n| n.task.kind == TaskKind::MacScheduling));
+        // Strictly sequential: second depends on first.
+        assert_eq!(dag.nodes[1].preds, vec![0]);
+    }
+
+    #[test]
+    fn special_slot_builds_downlink_dag() {
+        let cell = CellConfig::tdd_100mhz();
+        let wl = SlotWorkload {
+            direction: SlotDirection::Special,
+            ues: vec![ue(1_000)],
+        };
+        let dag = build_dag(&cell, 0, 3, Nanos::ZERO, &wl);
+        assert_eq!(dag.direction, SlotDirection::Special);
+        assert!(dag.nodes.iter().any(|n| n.task.kind == TaskKind::LdpcEncode));
+    }
+}

@@ -1,0 +1,217 @@
+//! Feature-vector extraction for WCET prediction.
+//!
+//! §3: "the predictor takes as input a set of features X describing the
+//! state of the base station (e.g. number of scheduled UEs and their
+//! transport block sizes, number of layers, etc.)". This module flattens a
+//! task instance plus its slot context into a fixed-width numeric vector so
+//! the predictors (decision trees, regressions) can consume it uniformly.
+
+use crate::task::TaskParams;
+use crate::transport::Mcs;
+
+/// Number of features in [`FeatureVec`].
+pub const NUM_FEATURES: usize = 18;
+
+/// A fixed-width feature vector (the `X` of the paper).
+pub type FeatureVec = [f64; NUM_FEATURES];
+
+/// Named indices into a [`FeatureVec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Feature {
+    /// Codeblocks handled by this task instance.
+    NCbs = 0,
+    /// Bits per codeblock.
+    CbBits = 1,
+    /// Transport-block bits of the owning allocation.
+    TbBits = 2,
+    /// MCS index.
+    McsIndex = 3,
+    /// Modulation order.
+    ModulationOrder = 4,
+    /// Code rate.
+    CodeRate = 5,
+    /// UE SNR (dB).
+    SnrDb = 6,
+    /// SNR margin over the MCS requirement (dB) — the link-adaptation
+    /// driver of decode iterations.
+    SnrMargin = 7,
+    /// MIMO layers.
+    Layers = 8,
+    /// PRBs of the allocation.
+    Prbs = 9,
+    /// OFDM symbols.
+    Symbols = 10,
+    /// Antenna ports.
+    Antennas = 11,
+    /// UEs scheduled in the slot.
+    NUesSlot = 12,
+    /// Total codeblocks in the slot.
+    SlotCbs = 13,
+    /// Total transport bytes in the slot.
+    SlotBytes = 14,
+    /// Worker cores allocated to the pool (multi-core stall driver).
+    PoolCores = 15,
+    /// Interaction term: transport bits × layers.
+    BitsTimesLayers = 16,
+    /// Coded bits (transport bits / code rate) — rate-dematch volume.
+    CodedBits = 17,
+}
+
+impl Feature {
+    /// All features in index order.
+    pub const ALL: [Feature; NUM_FEATURES] = [
+        Feature::NCbs,
+        Feature::CbBits,
+        Feature::TbBits,
+        Feature::McsIndex,
+        Feature::ModulationOrder,
+        Feature::CodeRate,
+        Feature::SnrDb,
+        Feature::SnrMargin,
+        Feature::Layers,
+        Feature::Prbs,
+        Feature::Symbols,
+        Feature::Antennas,
+        Feature::NUesSlot,
+        Feature::SlotCbs,
+        Feature::SlotBytes,
+        Feature::PoolCores,
+        Feature::BitsTimesLayers,
+        Feature::CodedBits,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Feature::NCbs => "n_cbs",
+            Feature::CbBits => "cb_bits",
+            Feature::TbBits => "tb_bits",
+            Feature::McsIndex => "mcs_index",
+            Feature::ModulationOrder => "modulation_order",
+            Feature::CodeRate => "code_rate",
+            Feature::SnrDb => "snr_db",
+            Feature::SnrMargin => "snr_margin",
+            Feature::Layers => "layers",
+            Feature::Prbs => "prbs",
+            Feature::Symbols => "symbols",
+            Feature::Antennas => "antennas",
+            Feature::NUesSlot => "n_ues_slot",
+            Feature::SlotCbs => "slot_cbs",
+            Feature::SlotBytes => "slot_bytes",
+            Feature::PoolCores => "pool_cores",
+            Feature::BitsTimesLayers => "bits_x_layers",
+            Feature::CodedBits => "coded_bits",
+        }
+    }
+}
+
+/// Extracts the feature vector from a task's parameters.
+pub fn extract(p: &TaskParams) -> FeatureVec {
+    let required = Mcs::from_index(p.mcs_index).required_snr_db();
+    [
+        p.n_cbs as f64,
+        p.cb_bits as f64,
+        p.tb_bits as f64,
+        p.mcs_index as f64,
+        p.modulation_order as f64,
+        p.code_rate,
+        p.snr_db,
+        p.snr_db - required,
+        p.layers as f64,
+        p.prbs as f64,
+        p.symbols as f64,
+        p.antennas as f64,
+        p.n_ues_slot as f64,
+        p.slot_cbs as f64,
+        p.slot_bytes as f64,
+        p.pool_cores as f64,
+        p.tb_bits as f64 * p.layers as f64,
+        p.tb_bits as f64 / p.code_rate.max(0.05),
+    ]
+}
+
+/// The hand-picked domain-expertise feature set of Algorithm 1 for each
+/// task kind: the parameters an engineer knows drive the kind's runtime.
+pub fn handpicked(kind: crate::task::TaskKind) -> Vec<Feature> {
+    use crate::task::TaskKind as K;
+    match kind {
+        K::LdpcDecode => vec![Feature::NCbs, Feature::SnrMargin, Feature::PoolCores],
+        K::LdpcEncode => vec![Feature::NCbs, Feature::PoolCores],
+        K::ChannelEstimation => vec![Feature::Prbs, Feature::Antennas],
+        K::Equalization => vec![Feature::Prbs, Feature::Layers],
+        K::Demodulation | K::Modulation => {
+            vec![Feature::TbBits, Feature::ModulationOrder]
+        }
+        K::RateDematch => vec![Feature::CodedBits],
+        K::RateMatch | K::Scrambling | K::Descrambling => vec![Feature::TbBits],
+        K::CrcCheck | K::CrcAttach => vec![Feature::TbBits],
+        K::Fft | K::Ifft => vec![Feature::Prbs, Feature::Symbols, Feature::Antennas],
+        K::Precoding => vec![Feature::Prbs, Feature::Layers, Feature::Antennas],
+        K::PolarDecode | K::PolarEncode => vec![],
+        K::TurboDecode => vec![Feature::NCbs, Feature::SnrMargin, Feature::PoolCores],
+        K::TurboEncode => vec![Feature::NCbs, Feature::PoolCores],
+        K::MacScheduling => vec![Feature::NUesSlot, Feature::Antennas, Feature::Prbs],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskKind;
+
+    #[test]
+    fn all_indices_consistent() {
+        for (i, f) in Feature::ALL.iter().enumerate() {
+            assert_eq!(*f as usize, i);
+        }
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for f in Feature::ALL {
+            assert!(seen.insert(f.name()));
+        }
+    }
+
+    #[test]
+    fn extract_maps_params_to_named_slots() {
+        let p = TaskParams {
+            n_cbs: 7,
+            cb_bits: 8448,
+            tb_bits: 59_136,
+            mcs_index: 16,
+            modulation_order: 6,
+            code_rate: 0.7,
+            snr_db: 22.0,
+            layers: 3,
+            prbs: 66,
+            symbols: 14,
+            antennas: 4,
+            n_ues_slot: 5,
+            slot_cbs: 20,
+            slot_bytes: 30_000,
+            pool_cores: 4,
+        };
+        let x = extract(&p);
+        assert_eq!(x[Feature::NCbs as usize], 7.0);
+        assert_eq!(x[Feature::Layers as usize], 3.0);
+        assert_eq!(x[Feature::PoolCores as usize], 4.0);
+        assert_eq!(x[Feature::BitsTimesLayers as usize], 59_136.0 * 3.0);
+        let margin = x[Feature::SnrMargin as usize];
+        assert!((margin - (22.0 - crate::transport::Mcs::from_index(16).required_snr_db())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handpicked_features_are_relevant() {
+        // The decode hand-picks must include its dominant cost drivers.
+        let hp = handpicked(TaskKind::LdpcDecode);
+        assert!(hp.contains(&Feature::NCbs));
+        assert!(hp.contains(&Feature::SnrMargin));
+        // Every kind has a defined (possibly empty) hand-pick set.
+        for k in TaskKind::ALL {
+            let _ = handpicked(k);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # concordia-ran
+//!
+//! The 5G NR domain model of the Concordia reproduction: everything the
+//! scheduler and predictor need to know about what a vRAN pool computes.
+//!
+//! * [`time`] — nanosecond wall clock ([`Nanos`]).
+//! * [`numerology`] — NR numerologies, slot durations, FDD/TDD patterns.
+//! * [`cell`] — cell configurations, including the paper's two evaluation
+//!   deployments (Table 1/2).
+//! * [`transport`] — MCS table, transport-block sizing, LDPC codeblock
+//!   segmentation.
+//! * [`task`] — the signal-processing task taxonomy (Appendix A.1).
+//! * [`dag`] — per-slot uplink/downlink DAG construction (Fig. 1 / Fig. 16).
+//! * [`cost`] — the calibrated parameterized runtime model (Fig. 6,
+//!   Table 5).
+//! * [`features`] — feature-vector extraction for WCET prediction (§3).
+//! * [`accel`] — the FPGA LDPC-offload model of the §7 extension.
+
+pub mod accel;
+pub mod cell;
+pub mod cost;
+pub mod dag;
+pub mod features;
+pub mod numerology;
+pub mod task;
+pub mod time;
+pub mod transport;
+
+pub use cell::{CellConfig, RanGeneration};
+pub use cost::CostModel;
+pub use dag::{build_dag, build_mac_dag, SlotDag, SlotWorkload, UeAlloc};
+pub use features::{extract, Feature, FeatureVec, NUM_FEATURES};
+pub use numerology::{Duplex, Numerology, SlotDirection};
+pub use task::{TaskInstance, TaskKind, TaskParams};
+pub use time::Nanos;

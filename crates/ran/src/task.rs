@@ -1,0 +1,266 @@
+//! Signal-processing task taxonomy.
+//!
+//! Each shaded node of the paper's Fig. 1 (uplink) and Fig. 16 (downlink)
+//! DAGs is a *task instance*: a task kind plus the input parameters that
+//! drive its runtime. Appendix A.1 describes the significant kinds; the
+//! cost model in [`crate::cost`] reproduces their published cost shares
+//! (Table 5).
+
+use crate::numerology::SlotDirection;
+use serde::{Deserialize, Serialize};
+
+/// The kinds of signal-processing tasks in the 5G NR uplink and downlink
+/// slot DAGs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TaskKind {
+    // ---- Uplink (Fig. 1) ----
+    /// FFT of received OFDM symbols.
+    Fft,
+    /// Channel estimation from DMRS pilots (per UE).
+    ChannelEstimation,
+    /// MIMO equalization (per UE).
+    Equalization,
+    /// Soft demodulation to LLRs (per UE).
+    Demodulation,
+    /// Descrambling of LLRs (per UE).
+    Descrambling,
+    /// Rate dematching / HARQ combining (per codeblock group).
+    RateDematch,
+    /// LDPC decoding (per codeblock group) — the most expensive task
+    /// (> 60 % of uplink time, Table 5).
+    LdpcDecode,
+    /// Transport-block CRC verification.
+    CrcCheck,
+    /// Polar decoding of uplink control (PUCCH).
+    PolarDecode,
+
+    // ---- Downlink (Fig. 16) ----
+    /// CRC attachment to the transport block.
+    CrcAttach,
+    /// LDPC encoding (per codeblock group) — > 40 % of downlink time.
+    LdpcEncode,
+    /// Rate matching (per codeblock group).
+    RateMatch,
+    /// Scrambling of the coded stream (per UE).
+    Scrambling,
+    /// Modulation mapping (per UE) — > 10 % of downlink time.
+    Modulation,
+    /// MIMO precoding (per UE) — > 15 % of downlink time.
+    Precoding,
+    /// Inverse FFT of transmit OFDM symbols.
+    Ifft,
+    /// Polar encoding of downlink control (PDCCH).
+    PolarEncode,
+
+    // ---- 4G (LTE) codecs (Appendix A.1: "In the case of 4G, the
+    // algorithm used is Turbo coding") ----
+    /// Turbo decoding (LTE uplink data; per codeblock group).
+    TurboDecode,
+    /// Turbo encoding (LTE downlink data; per codeblock group).
+    TurboEncode,
+
+    // ---- §7 extension: MAC-layer scheduling as a pool deadline task ----
+    /// MAC radio-resource scheduling for a slot (complexity grows with the
+    /// number of users and Massive-MIMO antennas, §7).
+    MacScheduling,
+}
+
+impl TaskKind {
+    /// All kinds, uplink first.
+    pub const ALL: [TaskKind; 20] = [
+        TaskKind::Fft,
+        TaskKind::ChannelEstimation,
+        TaskKind::Equalization,
+        TaskKind::Demodulation,
+        TaskKind::Descrambling,
+        TaskKind::RateDematch,
+        TaskKind::LdpcDecode,
+        TaskKind::CrcCheck,
+        TaskKind::PolarDecode,
+        TaskKind::CrcAttach,
+        TaskKind::LdpcEncode,
+        TaskKind::RateMatch,
+        TaskKind::Scrambling,
+        TaskKind::Modulation,
+        TaskKind::Precoding,
+        TaskKind::Ifft,
+        TaskKind::PolarEncode,
+        TaskKind::TurboDecode,
+        TaskKind::TurboEncode,
+        TaskKind::MacScheduling,
+    ];
+
+    /// Direction of the slot DAG this kind belongs to.
+    pub fn direction(self) -> SlotDirection {
+        match self {
+            TaskKind::Fft
+            | TaskKind::ChannelEstimation
+            | TaskKind::Equalization
+            | TaskKind::Demodulation
+            | TaskKind::Descrambling
+            | TaskKind::RateDematch
+            | TaskKind::LdpcDecode
+            | TaskKind::CrcCheck
+            | TaskKind::TurboDecode
+            | TaskKind::PolarDecode => SlotDirection::Uplink,
+            // MAC scheduling precedes the downlink transmission chain.
+            _ => SlotDirection::Downlink,
+        }
+    }
+
+    /// Whether the task is a candidate for hardware-accelerator offload
+    /// (§7 offloads LDPC encoding/decoding to an FPGA).
+    pub fn offloadable(self) -> bool {
+        matches!(self, TaskKind::LdpcDecode | TaskKind::LdpcEncode)
+    }
+
+    /// Dense index for array-based per-kind tables.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&k| k == self).expect("kind in ALL")
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TaskKind::Fft => "fft",
+            TaskKind::ChannelEstimation => "chan_est",
+            TaskKind::Equalization => "equalization",
+            TaskKind::Demodulation => "demodulation",
+            TaskKind::Descrambling => "descrambling",
+            TaskKind::RateDematch => "rate_dematch",
+            TaskKind::LdpcDecode => "ldpc_decode",
+            TaskKind::CrcCheck => "crc_check",
+            TaskKind::PolarDecode => "polar_decode",
+            TaskKind::CrcAttach => "crc_attach",
+            TaskKind::LdpcEncode => "ldpc_encode",
+            TaskKind::RateMatch => "rate_match",
+            TaskKind::Scrambling => "scrambling",
+            TaskKind::Modulation => "modulation",
+            TaskKind::Precoding => "precoding",
+            TaskKind::Ifft => "ifft",
+            TaskKind::PolarEncode => "polar_encode",
+            TaskKind::TurboDecode => "turbo_decode",
+            TaskKind::TurboEncode => "turbo_encode",
+            TaskKind::MacScheduling => "mac_scheduling",
+        }
+    }
+}
+
+/// Input parameters of one task instance — the `X` of §3: "the state of the
+/// base station (e.g. number of scheduled UEs and their transport block
+/// sizes, number of layers, etc.)", plus the execution context parameters
+/// (§4.1: number of CPU cores matters non-linearly).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskParams {
+    /// Codeblocks handled by this instance (decode/encode/dematch groups).
+    pub n_cbs: u32,
+    /// Bits per codeblock.
+    pub cb_bits: u32,
+    /// Transport-block bits of the owning UE allocation.
+    pub tb_bits: u32,
+    /// MCS index of the owning UE allocation.
+    pub mcs_index: u8,
+    /// Modulation order (bits/symbol).
+    pub modulation_order: u8,
+    /// Code rate in (0, 1].
+    pub code_rate: f64,
+    /// Post-equalization SNR of the UE, dB.
+    pub snr_db: f64,
+    /// MIMO layers of the allocation.
+    pub layers: u32,
+    /// PRBs of the allocation (or of the whole slot for FFT-class tasks).
+    pub prbs: u32,
+    /// OFDM symbols processed.
+    pub symbols: u32,
+    /// Antenna ports of the cell.
+    pub antennas: u32,
+    /// UEs scheduled in the slot (slot-level context).
+    pub n_ues_slot: u32,
+    /// Total codeblocks in the slot (slot-level context).
+    pub slot_cbs: u32,
+    /// Total transport bytes in the slot (slot-level context).
+    pub slot_bytes: u32,
+    /// Worker cores currently allocated to the vRAN pool — the §4.1
+    /// multi-core memory-stall driver. Filled in at dispatch time.
+    pub pool_cores: u32,
+}
+
+impl Default for TaskParams {
+    fn default() -> Self {
+        TaskParams {
+            n_cbs: 0,
+            cb_bits: 0,
+            tb_bits: 0,
+            mcs_index: 0,
+            modulation_order: 2,
+            code_rate: 0.3,
+            snr_db: 20.0,
+            layers: 1,
+            prbs: 0,
+            symbols: 14,
+            antennas: 4,
+            n_ues_slot: 0,
+            slot_cbs: 0,
+            slot_bytes: 0,
+            pool_cores: 1,
+        }
+    }
+}
+
+/// A task instance: a node of a slot DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskInstance {
+    /// What computation this node performs.
+    pub kind: TaskKind,
+    /// Runtime-driving inputs.
+    pub params: TaskParams,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_have_unique_indices() {
+        let mut seen = std::collections::HashSet::new();
+        for k in TaskKind::ALL {
+            assert!(seen.insert(k.index()), "duplicate index for {k:?}");
+        }
+        assert_eq!(seen.len(), TaskKind::ALL.len());
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for (i, k) in TaskKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn directions_partition_kinds() {
+        let ul = TaskKind::ALL
+            .iter()
+            .filter(|k| k.direction() == SlotDirection::Uplink)
+            .count();
+        assert_eq!(ul, 10);
+        assert_eq!(TaskKind::ALL.len() - ul, 10);
+    }
+
+    #[test]
+    fn only_ldpc_is_offloadable() {
+        for k in TaskKind::ALL {
+            assert_eq!(
+                k.offloadable(),
+                matches!(k, TaskKind::LdpcDecode | TaskKind::LdpcEncode)
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for k in TaskKind::ALL {
+            assert!(seen.insert(k.name()));
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Transport-block sizing, MCS table, and LDPC codeblock segmentation.
+//!
+//! A transport block (TB) is the unit of data handed to the PHY per UE per
+//! slot. Its size follows from the allocated PRBs, the modulation-and-coding
+//! scheme (MCS) and MIMO layers (simplified TS 38.214 §5.1.3), and large TBs
+//! are segmented into LDPC codeblocks of at most 8448 bits (base graph 1) or
+//! 3840 bits (base graph 2) per TS 38.212 — the codeblock counts are the
+//! dominant runtime driver for the encode/decode tasks (Fig. 6).
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum codeblock size in bits for LDPC base graph 1.
+pub const BG1_MAX_CB_BITS: u32 = 8448;
+/// Maximum codeblock size in bits for LDPC base graph 2.
+pub const BG2_MAX_CB_BITS: u32 = 3840;
+/// TB size threshold (bits) above which base graph 1 is used.
+pub const BG1_TBS_THRESHOLD: u32 = 3824;
+/// Maximum Turbo codeblock size in bits (LTE, TS 36.212).
+pub const LTE_MAX_CB_BITS: u32 = 6144;
+
+/// LDPC base graph selection (TS 38.212 §7.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BaseGraph {
+    /// Large blocks / high rates.
+    Bg1,
+    /// Small blocks / low rates.
+    Bg2,
+}
+
+/// One row of the (simplified) MCS table: index 0–27.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mcs {
+    /// MCS index (0–27).
+    pub index: u8,
+    /// Modulation order: bits per symbol (2 = QPSK … 8 = 256QAM).
+    pub modulation_order: u8,
+    /// Target code rate in (0, 1).
+    pub code_rate: f64,
+}
+
+impl Mcs {
+    /// Looks up the (simplified) 256QAM MCS table of TS 38.214.
+    ///
+    /// The exact per-index rates are interpolated; what matters for the cost
+    /// model is the monotone mapping index → (modulation, rate) and the SNR
+    /// ladder in [`Mcs::required_snr_db`].
+    pub fn from_index(index: u8) -> Mcs {
+        let index = index.min(27);
+        let (modulation_order, code_rate) = match index {
+            0..=4 => (2, 0.12 + 0.08 * index as f64),
+            5..=10 => (4, 0.33 + 0.06 * (index - 5) as f64),
+            11..=19 => (6, 0.45 + 0.05 * (index - 11) as f64),
+            _ => (8, 0.67 + 0.03 * (index - 20) as f64),
+        };
+        Mcs {
+            index,
+            modulation_order,
+            code_rate,
+        }
+    }
+
+    /// Spectral efficiency: bits per resource element.
+    pub fn efficiency(&self) -> f64 {
+        self.modulation_order as f64 * self.code_rate
+    }
+
+    /// SNR (dB) at which this MCS operates near its decoding threshold.
+    ///
+    /// Used by the cost model: decoding at SNR close to (or below) the
+    /// requirement needs more LDPC iterations — the piecewise-linear link
+    /// adaptation effect reported in [5, 12, 89] and §4.1.
+    pub fn required_snr_db(&self) -> f64 {
+        -4.0 + self.index as f64 * 1.05
+    }
+}
+
+/// Number of LDPC codeblocks a transport block of `tb_bits` splits into,
+/// and the base graph used.
+pub fn segment_codeblocks(tb_bits: u32) -> (BaseGraph, u32) {
+    if tb_bits == 0 {
+        return (BaseGraph::Bg2, 0);
+    }
+    if tb_bits > BG1_TBS_THRESHOLD {
+        // +24-bit TB CRC, then ceil-divide by the max CB payload
+        // (8448 minus the 24-bit per-CB CRC when segmented).
+        let with_crc = tb_bits + 24;
+        let cbs = with_crc.div_ceil(BG1_MAX_CB_BITS - 24);
+        (BaseGraph::Bg1, cbs.max(1))
+    } else {
+        (BaseGraph::Bg2, 1)
+    }
+}
+
+/// Number of Turbo codeblocks an LTE transport block splits into
+/// (TS 36.212: 6144-bit codeblocks with a 24-bit CRC each when segmented).
+pub fn segment_codeblocks_lte(tb_bits: u32) -> u32 {
+    if tb_bits == 0 {
+        return 0;
+    }
+    if tb_bits <= LTE_MAX_CB_BITS {
+        1
+    } else {
+        (tb_bits + 24).div_ceil(LTE_MAX_CB_BITS - 24)
+    }
+}
+
+/// Transport-block size (bits) for an allocation, simplified TS 38.214:
+/// `REs × efficiency × layers` with a 0.9 overhead factor for DMRS/control.
+pub fn transport_block_bits(prbs: u32, symbols: u32, mcs: Mcs, layers: u32) -> u32 {
+    let res = prbs as f64 * 12.0 * symbols as f64 * 0.9;
+    (res * mcs.efficiency() * layers as f64).floor() as u32
+}
+
+/// Inverse sizing: the PRBs needed to carry `payload_bits` at the given MCS
+/// and layer count within one slot of `symbols` symbols. Returns at least 1.
+pub fn prbs_for_payload(payload_bits: u32, symbols: u32, mcs: Mcs, layers: u32) -> u32 {
+    if payload_bits == 0 {
+        return 0;
+    }
+    let per_prb = 12.0 * symbols as f64 * 0.9 * mcs.efficiency() * layers as f64;
+    (payload_bits as f64 / per_prb).ceil().max(1.0) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mcs_table_monotone_in_efficiency() {
+        let mut prev = 0.0;
+        for i in 0..=27 {
+            let eff = Mcs::from_index(i).efficiency();
+            assert!(
+                eff > prev,
+                "efficiency must increase with MCS index: idx {i} eff {eff} prev {prev}"
+            );
+            prev = eff;
+        }
+    }
+
+    #[test]
+    fn mcs_modulation_orders_progress() {
+        assert_eq!(Mcs::from_index(0).modulation_order, 2);
+        assert_eq!(Mcs::from_index(7).modulation_order, 4);
+        assert_eq!(Mcs::from_index(15).modulation_order, 6);
+        assert_eq!(Mcs::from_index(27).modulation_order, 8);
+    }
+
+    #[test]
+    fn mcs_index_clamped() {
+        assert_eq!(Mcs::from_index(200).index, 27);
+    }
+
+    #[test]
+    fn required_snr_increases_with_index() {
+        assert!(
+            Mcs::from_index(27).required_snr_db() > Mcs::from_index(0).required_snr_db()
+        );
+    }
+
+    #[test]
+    fn segmentation_thresholds() {
+        assert_eq!(segment_codeblocks(0), (BaseGraph::Bg2, 0));
+        assert_eq!(segment_codeblocks(1000), (BaseGraph::Bg2, 1));
+        assert_eq!(segment_codeblocks(3824), (BaseGraph::Bg2, 1));
+        let (bg, cbs) = segment_codeblocks(3825);
+        assert_eq!(bg, BaseGraph::Bg1);
+        assert_eq!(cbs, 1);
+    }
+
+    #[test]
+    fn segmentation_counts_grow_linearly() {
+        // 8424 payload bits per CB after CRC; ~84480 bits -> ~11 CBs.
+        let (_, cbs) = segment_codeblocks(84_480);
+        assert!((10..=11).contains(&cbs), "cbs={cbs}");
+        // 10x the bits -> ~10x the codeblocks.
+        let (_, cbs10) = segment_codeblocks(844_800);
+        assert!(cbs10 >= 9 * cbs && cbs10 <= 11 * cbs, "cbs10={cbs10}");
+    }
+
+    #[test]
+    fn tbs_scales_with_inputs() {
+        let mcs = Mcs::from_index(15);
+        let base = transport_block_bits(50, 14, mcs, 1);
+        assert!(base > 0);
+        assert!(transport_block_bits(100, 14, mcs, 1) > 19 * base / 10);
+        assert!(transport_block_bits(50, 14, mcs, 2) > 19 * base / 10);
+        assert!(
+            transport_block_bits(50, 14, Mcs::from_index(27), 1) > base,
+            "higher MCS must carry more bits"
+        );
+    }
+
+    #[test]
+    fn prbs_for_payload_inverts_tbs() {
+        let mcs = Mcs::from_index(10);
+        for payload in [1_000u32, 10_000, 100_000] {
+            let prbs = prbs_for_payload(payload, 14, mcs, 2);
+            let carried = transport_block_bits(prbs, 14, mcs, 2);
+            assert!(carried >= payload, "payload {payload} carried {carried}");
+            // Not wildly over-provisioned: one PRB less must not suffice.
+            if prbs > 1 {
+                let less = transport_block_bits(prbs - 1, 14, mcs, 2);
+                assert!(less < payload);
+            }
+        }
+    }
+
+    #[test]
+    fn lte_segmentation_thresholds() {
+        assert_eq!(segment_codeblocks_lte(0), 0);
+        assert_eq!(segment_codeblocks_lte(6_144), 1);
+        assert_eq!(segment_codeblocks_lte(6_145), 2);
+        // 60k bits -> ~10 codeblocks of 6120 payload bits.
+        let cbs = segment_codeblocks_lte(60_000);
+        assert!((9..=11).contains(&cbs), "cbs={cbs}");
+    }
+
+    #[test]
+    fn peak_100mhz_ul_slot_codeblock_count_sanity() {
+        // Peak UL slot at 100 MHz TDD carries ~50 KB (see cell tests):
+        // 400k bits -> ~48 CBs of BG1. That is the workload magnitude the
+        // decoder cost model sees at peak.
+        let (bg, cbs) = segment_codeblocks(400_000);
+        assert_eq!(bg, BaseGraph::Bg1);
+        assert!((45..=52).contains(&cbs), "cbs={cbs}");
+    }
+}

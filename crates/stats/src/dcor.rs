@@ -1,0 +1,141 @@
+//! Distance correlation (Székely, Rizzo, Bakirov 2007).
+//!
+//! Algorithm 1 of the paper ranks candidate features by their distance
+//! correlation with the task runtime (via R's `Rfast::dcor` in the original
+//! pipeline). Unlike Pearson correlation, distance correlation detects
+//! *non-linear* dependence — which matters because §4.1 shows task runtimes
+//! depend non-linearly on several inputs (core count, SNR, link adaptation).
+//!
+//! This is the direct O(n²) estimator. Feature selection runs offline on a
+//! subsample, so the quadratic cost is acceptable and keeps the code simple.
+
+/// Distance correlation between two equal-length samples, in `[0, 1]`.
+///
+/// Returns 0 when either sample is constant (no dependence detectable).
+/// Panics if the slices have different lengths or fewer than 2 elements.
+pub fn distance_correlation(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dcor needs paired samples");
+    let n = x.len();
+    assert!(n >= 2, "dcor needs at least 2 observations");
+
+    let a = centered_distance_matrix(x);
+    let b = centered_distance_matrix(y);
+
+    let n2 = (n * n) as f64;
+    let mut dcov2 = 0.0;
+    let mut dvarx = 0.0;
+    let mut dvary = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            let (aij, bij) = (a[i * n + j], b[i * n + j]);
+            dcov2 += aij * bij;
+            dvarx += aij * aij;
+            dvary += bij * bij;
+        }
+    }
+    dcov2 /= n2;
+    dvarx /= n2;
+    dvary /= n2;
+
+    let denom = (dvarx * dvary).sqrt();
+    if denom <= 1e-300 {
+        0.0
+    } else {
+        (dcov2.max(0.0) / denom).sqrt().min(1.0)
+    }
+}
+
+/// Pairwise |xi - xj| matrix, double-centered (row mean, column mean and
+/// grand mean subtracted).
+fn centered_distance_matrix(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    let mut d = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = (x[i] - x[j]).abs();
+            d[i * n + j] = v;
+            d[j * n + i] = v;
+        }
+    }
+    let mut row_means = vec![0.0f64; n];
+    for i in 0..n {
+        row_means[i] = d[i * n..(i + 1) * n].iter().sum::<f64>() / n as f64;
+    }
+    let grand = row_means.iter().sum::<f64>() / n as f64;
+    for i in 0..n {
+        for j in 0..n {
+            // Symmetric matrix: column mean of j == row mean of j.
+            d[i * n + j] -= row_means[i] + row_means[j] - grand;
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn perfect_linear_dependence_is_one() {
+        let x: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 1.0).collect();
+        let d = distance_correlation(&x, &y);
+        assert!(d > 0.999, "dcor={d}");
+    }
+
+    #[test]
+    fn detects_nonlinear_dependence_pearson_misses() {
+        // y = x^2 on symmetric x has ~zero Pearson correlation but strong
+        // distance correlation — exactly why Algorithm 1 uses dcor.
+        let x: Vec<f64> = (-100..=100).map(|i| i as f64 / 10.0).collect();
+        let y: Vec<f64> = x.iter().map(|v| v * v).collect();
+        // Pearson:
+        let mx = x.iter().sum::<f64>() / x.len() as f64;
+        let my = y.iter().sum::<f64>() / y.len() as f64;
+        let cov: f64 = x.iter().zip(&y).map(|(a, b)| (a - mx) * (b - my)).sum();
+        let vx: f64 = x.iter().map(|a| (a - mx) * (a - mx)).sum();
+        let vy: f64 = y.iter().map(|b| (b - my) * (b - my)).sum();
+        let pearson = cov / (vx * vy).sqrt();
+        assert!(pearson.abs() < 0.05, "pearson={pearson}");
+        let d = distance_correlation(&x, &y);
+        assert!(d > 0.4, "dcor={d}");
+    }
+
+    #[test]
+    fn independent_samples_near_zero() {
+        let mut rng = Rng::new(31);
+        let x: Vec<f64> = (0..400).map(|_| rng.normal()).collect();
+        let y: Vec<f64> = (0..400).map(|_| rng.normal()).collect();
+        let d = distance_correlation(&x, &y);
+        assert!(d < 0.2, "dcor={d}");
+    }
+
+    #[test]
+    fn constant_input_is_zero() {
+        let x = vec![5.0; 50];
+        let y: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        assert_eq!(distance_correlation(&x, &y), 0.0);
+    }
+
+    #[test]
+    fn symmetric_in_arguments() {
+        let mut rng = Rng::new(32);
+        let x: Vec<f64> = (0..150).map(|_| rng.f64()).collect();
+        let y: Vec<f64> = x.iter().map(|v| v.sin() + 0.05 * rng.normal()).collect();
+        let d1 = distance_correlation(&x, &y);
+        let d2 = distance_correlation(&y, &x);
+        assert!((d1 - d2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stronger_dependence_scores_higher() {
+        let mut rng = Rng::new(33);
+        let x: Vec<f64> = (0..300).map(|_| rng.f64() * 10.0).collect();
+        let tight: Vec<f64> = x.iter().map(|v| v + 0.1 * rng.normal()).collect();
+        let loose: Vec<f64> = x.iter().map(|v| v + 5.0 * rng.normal()).collect();
+        assert!(
+            distance_correlation(&x, &tight) > distance_correlation(&x, &loose)
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! Histograms.
+//!
+//! [`Log2Histogram`] reproduces the bucket layout of the paper's Fig. 10
+//! (scheduling latency in 0–1, 2–3, 4–7, 8–15, … µs buckets — i.e. powers of
+//! two), and [`Histogram`] is a plain fixed-width histogram used for traffic
+//! and latency distributions.
+
+/// Fixed-width histogram over `[lo, hi)` with values outside clamped into the
+/// first/last bucket.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    width: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` equal-width buckets over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(hi > lo && buckets > 0);
+        Histogram {
+            lo,
+            width: (hi - lo) / buckets as f64,
+            counts: vec![0; buckets],
+            total: 0,
+        }
+    }
+
+    /// Records one observation (clamped into range).
+    pub fn record(&mut self, x: f64) {
+        let idx = ((x - self.lo) / self.width).floor();
+        let idx = idx.clamp(0.0, (self.counts.len() - 1) as f64) as usize;
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Per-bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `[lo, hi)` bounds of bucket `i`.
+    pub fn bucket_bounds(&self, i: usize) -> (f64, f64) {
+        let lo = self.lo + self.width * i as f64;
+        (lo, lo + self.width)
+    }
+}
+
+/// Power-of-two bucketed histogram over non-negative integers, matching the
+/// `runqlat`-style output the paper shows in Fig. 10: bucket `k` covers
+/// `[2^k - ... ]` — concretely bucket 0 is `0–1`, bucket 1 is `2–3`,
+/// bucket 2 is `4–7`, bucket 3 is `8–15`, and so on.
+#[derive(Debug, Clone, Default)]
+pub struct Log2Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for a value: 0 for 0–1, 1 for 2–3, 2 for 4–7, …
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        if value <= 1 {
+            0
+        } else {
+            (63 - value.leading_zeros()) as usize
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        let b = Self::bucket_of(value);
+        if self.counts.len() <= b {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        self.total += 1;
+    }
+
+    /// Per-bucket counts (bucket 0 first). Trailing zero buckets are absent.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Inclusive `(lo, hi)` value range of bucket `i`, e.g. `(4, 7)` for 2.
+    pub fn bucket_range(i: usize) -> (u64, u64) {
+        if i == 0 {
+            (0, 1)
+        } else {
+            (1 << i, (1 << (i + 1)) - 1)
+        }
+    }
+
+    /// Human-readable label like `"4-7"`.
+    pub fn bucket_label(i: usize) -> String {
+        let (lo, hi) = Self::bucket_range(i);
+        format!("{lo}-{hi}")
+    }
+
+    /// Count of values in buckets whose lower bound is `>= threshold`.
+    pub fn count_at_or_above(&self, threshold: u64) -> u64 {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| Self::bucket_range(*i).0 >= threshold)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_histogram_buckets() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.0, 1.9, 2.0, 9.9, 100.0, -5.0] {
+            h.record(x);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.counts(), &[3, 1, 0, 0, 2]);
+        assert_eq!(h.bucket_bounds(1), (2.0, 4.0));
+    }
+
+    #[test]
+    fn log2_bucket_of_matches_runqlat_layout() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 0);
+        assert_eq!(Log2Histogram::bucket_of(2), 1);
+        assert_eq!(Log2Histogram::bucket_of(3), 1);
+        assert_eq!(Log2Histogram::bucket_of(4), 2);
+        assert_eq!(Log2Histogram::bucket_of(7), 2);
+        assert_eq!(Log2Histogram::bucket_of(8), 3);
+        assert_eq!(Log2Histogram::bucket_of(15), 3);
+        assert_eq!(Log2Histogram::bucket_of(63), 5);
+        assert_eq!(Log2Histogram::bucket_of(64), 6);
+    }
+
+    #[test]
+    fn log2_bucket_ranges_and_labels() {
+        assert_eq!(Log2Histogram::bucket_range(0), (0, 1));
+        assert_eq!(Log2Histogram::bucket_range(3), (8, 15));
+        assert_eq!(Log2Histogram::bucket_label(2), "4-7");
+    }
+
+    #[test]
+    fn log2_record_and_tail_count() {
+        let mut h = Log2Histogram::new();
+        for v in [0, 1, 3, 5, 70, 200] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 6);
+        // Values >= 64: 70 (bucket 6) and 200 (bucket 7).
+        assert_eq!(h.count_at_or_above(64), 2);
+        assert_eq!(h.count_at_or_above(0), 6);
+    }
+
+    #[test]
+    fn log2_merge() {
+        let mut a = Log2Histogram::new();
+        a.record(1);
+        a.record(100);
+        let mut b = Log2Histogram::new();
+        b.record(5);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.count_at_or_above(64), 1);
+    }
+}

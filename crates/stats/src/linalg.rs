@@ -1,0 +1,272 @@
+//! Small dense linear algebra: just enough for ordinary least squares.
+//!
+//! The linear-regression WCET baseline of §6.4 solves the normal equations
+//! `(XᵀX) w = Xᵀy`; [`Matrix`] provides the multiply/transpose/solve pieces.
+//! Matrices here are tiny (tens of features), so a straightforward
+//! partial-pivot Gaussian elimination is the right tool.
+
+/// A row-major dense matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds from a row-major slice. Panics if the length mismatches.
+    pub fn from_rows(rows: usize, cols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), rows * cols);
+        Matrix {
+            rows,
+            cols,
+            data: data.to_vec(),
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix product `self * other`. Panics on shape mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "shape mismatch in matmul");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product. Panics on shape mismatch.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len());
+        (0..self.rows)
+            .map(|i| {
+                (0..self.cols)
+                    .map(|j| self[(i, j)] * v[j])
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Solves `self * x = b` by Gaussian elimination with partial pivoting.
+    ///
+    /// Returns `None` when the matrix is (numerically) singular. A tiny ridge
+    /// (`ridge`) can be added to the diagonal by the caller before solving to
+    /// regularize collinear feature sets.
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "solve needs a square matrix");
+        assert_eq!(self.rows, b.len());
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+
+        for col in 0..n {
+            // Partial pivot.
+            let mut pivot = col;
+            let mut best = a[col * n + col].abs();
+            for r in (col + 1)..n {
+                let v = a[r * n + col].abs();
+                if v > best {
+                    best = v;
+                    pivot = r;
+                }
+            }
+            if best < 1e-12 {
+                return None;
+            }
+            if pivot != col {
+                for j in 0..n {
+                    a.swap(col * n + j, pivot * n + j);
+                }
+                x.swap(col, pivot);
+            }
+            // Eliminate below.
+            for r in (col + 1)..n {
+                let f = a[r * n + col] / a[col * n + col];
+                if f == 0.0 {
+                    continue;
+                }
+                for j in col..n {
+                    a[r * n + j] -= f * a[col * n + j];
+                }
+                x[r] -= f * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut s = x[col];
+            for j in (col + 1)..n {
+                s -= a[col * n + j] * x[j];
+            }
+            x[col] = s / a[col * n + col];
+        }
+        Some(x)
+    }
+
+    /// Adds `lambda` to every diagonal element (ridge regularization).
+    pub fn add_ridge(&mut self, lambda: f64) {
+        assert_eq!(self.rows, self.cols);
+        for i in 0..self.rows {
+            self[(i, i)] += lambda;
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Ordinary least squares: returns weights `w` minimizing `||Xw - y||²`,
+/// with a small ridge term for numerical robustness.
+///
+/// `x` is `n × p` (row per observation), `y` has length `n`.
+pub fn least_squares(x: &Matrix, y: &[f64], ridge: f64) -> Option<Vec<f64>> {
+    assert_eq!(x.rows(), y.len());
+    let xt = x.transpose();
+    let mut xtx = xt.matmul(x);
+    xtx.add_ridge(ridge);
+    let xty = xt.matvec(y);
+    xtx.solve(&xty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_rows(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(2, 2, &[58.0, 64.0, 139.0, 154.0]));
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Matrix::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn solve_simple_system() {
+        // 2x + y = 5; x - y = 1  =>  x = 2, y = 1
+        let a = Matrix::from_rows(2, 2, &[2.0, 1.0, 1.0, -1.0]);
+        let x = a.solve(&[5.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let x = a.solve(&[3.0, 4.0]).unwrap();
+        assert!((x[0] - 4.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let a = Matrix::from_rows(2, 2, &[1.0, 2.0, 2.0, 4.0]);
+        assert!(a.solve(&[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn least_squares_recovers_line() {
+        // y = 3x + 2 with intercept column.
+        let n = 50;
+        let mut data = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let xv = i as f64 / 10.0;
+            data.extend_from_slice(&[1.0, xv]);
+            y.push(2.0 + 3.0 * xv);
+        }
+        let x = Matrix::from_rows(n, 2, &data);
+        let w = least_squares(&x, &y, 1e-9).unwrap();
+        assert!((w[0] - 2.0).abs() < 1e-6);
+        assert!((w[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ridge_handles_collinear_features() {
+        // Two identical columns: plain normal equations are singular; ridge
+        // still produces a finite solution.
+        let n = 20;
+        let mut data = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let xv = i as f64;
+            data.extend_from_slice(&[xv, xv]);
+            y.push(4.0 * xv);
+        }
+        let x = Matrix::from_rows(n, 2, &data);
+        let w = least_squares(&x, &y, 1e-6).unwrap();
+        let pred = w[0] * 10.0 + w[1] * 10.0;
+        assert!((pred - 40.0).abs() < 1e-3, "pred={pred}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Two-sample statistical tests and distribution distances.
+//!
+//! §4.1 of the paper runs a Kolmogorov–Smirnov test on LDPC-decoding runtimes
+//! gathered in isolation vs under Redis / SQL interference and obtains
+//! p ≪ 0.001, concluding that interference changes the runtime distribution.
+//! Fig. 7b selects the leaf nodes most distorted by interference using the
+//! Wasserstein distance. Both primitives live here.
+
+/// Result of a two-sample Kolmogorov–Smirnov test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// The KS statistic `D = sup |F1(x) - F2(x)|`.
+    pub statistic: f64,
+    /// Asymptotic two-sided p-value (Kolmogorov distribution approximation).
+    pub p_value: f64,
+}
+
+/// Two-sample Kolmogorov–Smirnov test.
+///
+/// Panics if either sample is empty or contains NaN.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> KsResult {
+    assert!(!a.is_empty() && !b.is_empty(), "KS needs non-empty samples");
+    let mut xs = a.to_vec();
+    let mut ys = b.to_vec();
+    xs.sort_by(|p, q| p.partial_cmp(q).expect("NaN in KS input"));
+    ys.sort_by(|p, q| p.partial_cmp(q).expect("NaN in KS input"));
+
+    let (n, m) = (xs.len(), ys.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < n && j < m {
+        let x = xs[i].min(ys[j]);
+        while i < n && xs[i] <= x {
+            i += 1;
+        }
+        while j < m && ys[j] <= x {
+            j += 1;
+        }
+        let f1 = i as f64 / n as f64;
+        let f2 = j as f64 / m as f64;
+        d = d.max((f1 - f2).abs());
+    }
+
+    // Asymptotic p-value via the Kolmogorov distribution:
+    // p = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2)
+    let en = ((n * m) as f64 / (n + m) as f64).sqrt();
+    let lambda = (en + 0.12 + 0.11 / en) * d;
+    // The alternating series only converges usefully for moderate lambda;
+    // below ~0.3 the distribution mass is effectively 1 (same convention as
+    // Numerical Recipes' probks).
+    if lambda < 0.3 {
+        return KsResult {
+            statistic: d,
+            p_value: 1.0,
+        };
+    }
+    let mut p = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = sign * (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        p += term;
+        sign = -sign;
+        if term.abs() < 1e-12 {
+            break;
+        }
+    }
+    KsResult {
+        statistic: d,
+        p_value: (2.0 * p).clamp(0.0, 1.0),
+    }
+}
+
+/// Wasserstein-1 (earth mover's) distance between two one-dimensional
+/// empirical distributions.
+///
+/// Computed as the integral of `|F1(x) - F2(x)|` over the merged support,
+/// which for samples reduces to a single pass over the merged sorted values.
+pub fn wasserstein1(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "W1 needs non-empty samples");
+    let mut xs = a.to_vec();
+    let mut ys = b.to_vec();
+    xs.sort_by(|p, q| p.partial_cmp(q).expect("NaN in W1 input"));
+    ys.sort_by(|p, q| p.partial_cmp(q).expect("NaN in W1 input"));
+
+    let mut all: Vec<f64> = Vec::with_capacity(xs.len() + ys.len());
+    all.extend_from_slice(&xs);
+    all.extend_from_slice(&ys);
+    all.sort_by(|p, q| p.partial_cmp(q).unwrap());
+
+    let (n, m) = (xs.len() as f64, ys.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut dist = 0.0;
+    for w in all.windows(2) {
+        let (x0, x1) = (w[0], w[1]);
+        while i < xs.len() && xs[i] <= x0 {
+            i += 1;
+        }
+        while j < ys.len() && ys[j] <= x0 {
+            j += 1;
+        }
+        let f1 = i as f64 / n;
+        let f2 = j as f64 / m;
+        dist += (f1 - f2).abs() * (x1 - x0);
+    }
+    dist
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn ks_identical_samples_high_p() {
+        let xs: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        let r = ks_two_sample(&xs, &xs);
+        assert!(r.statistic < 1e-9);
+        assert!(r.p_value > 0.99);
+    }
+
+    #[test]
+    fn ks_same_distribution_not_rejected() {
+        let mut rng = Rng::new(21);
+        let a: Vec<f64> = (0..2000).map(|_| rng.normal()).collect();
+        let b: Vec<f64> = (0..2000).map(|_| rng.normal()).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!(r.p_value > 0.01, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn ks_shifted_distribution_rejected() {
+        // Mirrors the paper's §4.1 finding: interference shifts the runtime
+        // distribution enough for KS to produce p << 0.001.
+        let mut rng = Rng::new(22);
+        let a: Vec<f64> = (0..3000).map(|_| rng.normal()).collect();
+        let b: Vec<f64> = (0..3000).map(|_| rng.normal() + 0.3).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!(r.p_value < 0.001, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn ks_statistic_for_disjoint_supports_is_one() {
+        let a = [0.0, 1.0, 2.0];
+        let b = [10.0, 11.0, 12.0];
+        let r = ks_two_sample(&a, &b);
+        assert!((r.statistic - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wasserstein_of_identical_is_zero() {
+        let xs = [1.0, 2.0, 5.0];
+        assert!(wasserstein1(&xs, &xs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wasserstein_of_shift_is_the_shift() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| x + 3.5).collect();
+        let w = wasserstein1(&a, &b);
+        assert!((w - 3.5).abs() < 1e-9, "w={w}");
+    }
+
+    #[test]
+    fn wasserstein_point_masses() {
+        let w = wasserstein1(&[0.0], &[4.0]);
+        assert!((w - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wasserstein_detects_heavier_tail() {
+        // A mixture with a heavier tail must be farther from the base than a
+        // second draw of the base itself — the Fig. 7b leaf-ranking property.
+        let mut rng = Rng::new(23);
+        let base: Vec<f64> = (0..4000).map(|_| rng.lognormal(0.0, 0.1)).collect();
+        let base2: Vec<f64> = (0..4000).map(|_| rng.lognormal(0.0, 0.1)).collect();
+        let heavy: Vec<f64> = (0..4000)
+            .map(|_| {
+                if rng.chance(0.1) {
+                    rng.lognormal(0.5, 0.3)
+                } else {
+                    rng.lognormal(0.0, 0.1)
+                }
+            })
+            .collect();
+        assert!(wasserstein1(&base, &heavy) > 3.0 * wasserstein1(&base, &base2));
+    }
+}

@@ -1,0 +1,91 @@
+//! The §2.2 analytical pooling model.
+//!
+//! "Consider n cells, each with transfer sizes modeled as a simple Gaussian
+//! N(µ, σ²). The aggregate traffic is then N(nµ, nσ²), with the average
+//! traffic growing linearly and the [standard deviation] growing as a
+//! square root. The peak-to-average ratio diminishes with n, but the actual
+//! wasted CPU cycles are proportional to the standard deviation … and grow
+//! proportionally with √n."
+
+use concordia_stats::rng::Rng;
+
+/// Capacity that must be provisioned for `n` pooled Gaussian cells so that
+/// demand fits `z` standard deviations of headroom: `nµ + z·σ·√n`.
+pub fn provisioned_capacity(n: u32, mu: f64, sigma: f64, z: f64) -> f64 {
+    n as f64 * mu + z * sigma * (n as f64).sqrt()
+}
+
+/// Expected wasted capacity (provisioned minus average): `z·σ·√n`.
+pub fn expected_waste(n: u32, sigma: f64, z: f64) -> f64 {
+    z * sigma * (n as f64).sqrt()
+}
+
+/// Peak-to-average ratio of the provisioned pool: `1 + z·σ/(µ·√n)`.
+pub fn peak_to_average(n: u32, mu: f64, sigma: f64, z: f64) -> f64 {
+    provisioned_capacity(n, mu, sigma, z) / (n as f64 * mu)
+}
+
+/// Monte-Carlo estimate of the wasted capacity for `n` pooled Gaussian
+/// cells provisioned at the empirical `q`-quantile of aggregate demand.
+/// Demand below zero is clamped (traffic can't be negative).
+pub fn monte_carlo_waste(n: u32, mu: f64, sigma: f64, q: f64, trials: usize, seed: u64) -> f64 {
+    let mut rng = Rng::new(seed);
+    let mut demands: Vec<f64> = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let mut agg = 0.0;
+        for _ in 0..n {
+            agg += rng.normal_ms(mu, sigma).max(0.0);
+        }
+        demands.push(agg);
+    }
+    let peak = concordia_stats::summary::quantile(&demands, q).unwrap();
+    let mean = demands.iter().sum::<f64>() / demands.len() as f64;
+    peak - mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waste_grows_as_sqrt_n() {
+        let w1 = expected_waste(1, 2.0, 3.0);
+        let w4 = expected_waste(4, 2.0, 3.0);
+        let w16 = expected_waste(16, 2.0, 3.0);
+        assert!((w4 / w1 - 2.0).abs() < 1e-12);
+        assert!((w16 / w4 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_to_average_diminishes_with_n() {
+        let p1 = peak_to_average(1, 1.0, 1.0, 3.0);
+        let p9 = peak_to_average(9, 1.0, 1.0, 3.0);
+        let p100 = peak_to_average(100, 1.0, 1.0, 3.0);
+        assert!(p1 > p9 && p9 > p100);
+        assert!(p100 > 1.0, "ratio never reaches 1 for finite n");
+    }
+
+    #[test]
+    fn monte_carlo_matches_analytics() {
+        // At the 99.87% quantile (z≈3) the empirical waste should be close
+        // to 3σ√n for a mean large enough that clamping is negligible.
+        let (mu, sigma, n) = (100.0, 10.0, 9u32);
+        let mc = monte_carlo_waste(n, mu, sigma, 0.9987, 200_000, 42);
+        let analytic = expected_waste(n, sigma, 3.0);
+        assert!(
+            (mc - analytic).abs() / analytic < 0.1,
+            "mc {mc} analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn monte_carlo_waste_grows_sublinearly() {
+        let w1 = monte_carlo_waste(1, 100.0, 10.0, 0.99, 100_000, 1);
+        let w16 = monte_carlo_waste(16, 100.0, 10.0, 0.99, 100_000, 2);
+        let ratio = w16 / w1;
+        assert!(
+            (3.0..5.5).contains(&ratio),
+            "16 cells should waste ~4x one cell, got {ratio}"
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! # concordia-traffic
+//!
+//! Bursty vRAN cell-traffic generation for the Concordia reproduction.
+//!
+//! * [`burst`] — Markov-modulated per-cell traffic calibrated to the LTE
+//!   trace statistics of the paper's §2.2 (idle fractions, per-TTI size
+//!   quantiles, ms-scale fluctuation).
+//! * [`trace`] — frozen, replayable traces with Fig. 3-style statistics.
+//! * [`gen5g`] — 5G-scaled per-cell sources with a load knob and expansion
+//!   of byte demands into scheduled UE allocations (§6 methodology).
+//! * [`gauss`] — the analytical √n pooling-waste model of §2.2.
+
+pub mod burst;
+pub mod gauss;
+pub mod gen5g;
+pub mod trace;
+
+pub use burst::{BurstModel, BurstParams};
+pub use gen5g::{CellTraffic, TrafficConfig};
+pub use trace::{Trace, TraceStats};

@@ -1,0 +1,186 @@
+//! Traffic traces: frozen per-TTI demand sequences with summary statistics.
+//!
+//! The evaluation (§6) drives each cell from a trace that is "unique to each
+//! cell" but shares the fluctuation statistics of the measured LTE traces.
+//! [`Trace`] is the frozen artifact: it can be generated once, inspected
+//! (Fig. 3 statistics), serialized, and replayed deterministically.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use concordia_stats::summary::quantile;
+use serde::{Deserialize, Serialize};
+
+/// A frozen sequence of per-TTI transfer sizes (bytes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    sizes: Vec<f64>,
+}
+
+/// Summary statistics of a trace (the Fig. 3a/3b readouts).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of TTIs.
+    pub ttis: usize,
+    /// Fraction of completely idle TTIs.
+    pub idle_fraction: f64,
+    /// Mean bytes per TTI.
+    pub mean: f64,
+    /// Median bytes per TTI.
+    pub median: f64,
+    /// 95th percentile bytes per TTI.
+    pub p95: f64,
+    /// 99th percentile bytes per TTI.
+    pub p99: f64,
+    /// Maximum bytes in any TTI.
+    pub max: f64,
+}
+
+impl Trace {
+    /// Wraps a size sequence.
+    pub fn new(sizes: Vec<f64>) -> Self {
+        Trace { sizes }
+    }
+
+    /// Generates a trace by pulling `ttis` values from a source closure.
+    pub fn generate(ttis: usize, mut source: impl FnMut() -> f64) -> Self {
+        Trace {
+            sizes: (0..ttis).map(|_| source()).collect(),
+        }
+    }
+
+    /// Number of TTIs.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// True for a zero-length trace.
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// Per-TTI sizes.
+    pub fn sizes(&self) -> &[f64] {
+        &self.sizes
+    }
+
+    /// Size at TTI `i`, cycling if `i` exceeds the trace length (replay
+    /// loops the trace, as benchmark drivers commonly do).
+    pub fn at_cyclic(&self, i: usize) -> f64 {
+        assert!(!self.sizes.is_empty());
+        self.sizes[i % self.sizes.len()]
+    }
+
+    /// Element-wise aggregate of several traces (a pooled multi-cell view).
+    pub fn aggregate(traces: &[&Trace]) -> Trace {
+        assert!(!traces.is_empty());
+        let len = traces.iter().map(|t| t.len()).min().unwrap();
+        let sizes = (0..len)
+            .map(|i| traces.iter().map(|t| t.sizes[i]).sum())
+            .collect();
+        Trace { sizes }
+    }
+
+    /// Computes summary statistics.
+    pub fn stats(&self) -> TraceStats {
+        assert!(!self.sizes.is_empty(), "stats of an empty trace");
+        let idle = self.sizes.iter().filter(|&&x| x == 0.0).count();
+        let mean = self.sizes.iter().sum::<f64>() / self.sizes.len() as f64;
+        TraceStats {
+            ttis: self.sizes.len(),
+            idle_fraction: idle as f64 / self.sizes.len() as f64,
+            mean,
+            median: quantile(&self.sizes, 0.5).unwrap(),
+            p95: quantile(&self.sizes, 0.95).unwrap(),
+            p99: quantile(&self.sizes, 0.99).unwrap(),
+            max: self.sizes.iter().cloned().fold(0.0, f64::max),
+        }
+    }
+
+    /// Serializes to a compact binary format (little-endian f32 per TTI,
+    /// with a length header).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(8 + self.sizes.len() * 4);
+        buf.put_u64_le(self.sizes.len() as u64);
+        for &s in &self.sizes {
+            buf.put_f32_le(s as f32);
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes from [`Trace::to_bytes`] output.
+    pub fn from_bytes(mut data: Bytes) -> Result<Trace, String> {
+        if data.remaining() < 8 {
+            return Err("trace header truncated".into());
+        }
+        let n = data.get_u64_le() as usize;
+        if data.remaining() < n * 4 {
+            return Err(format!(
+                "trace body truncated: need {} bytes, have {}",
+                n * 4,
+                data.remaining()
+            ));
+        }
+        let sizes = (0..n).map(|_| data.get_f32_le() as f64).collect();
+        Ok(Trace { sizes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_sequence() {
+        let t = Trace::new(vec![0.0, 0.0, 100.0, 300.0]);
+        let s = t.stats();
+        assert_eq!(s.ttis, 4);
+        assert_eq!(s.idle_fraction, 0.5);
+        assert_eq!(s.mean, 100.0);
+        assert_eq!(s.max, 300.0);
+        assert_eq!(s.median, 50.0);
+    }
+
+    #[test]
+    fn aggregate_sums_elementwise() {
+        let a = Trace::new(vec![1.0, 2.0, 3.0]);
+        let b = Trace::new(vec![10.0, 20.0, 30.0, 40.0]);
+        let agg = Trace::aggregate(&[&a, &b]);
+        assert_eq!(agg.sizes(), &[11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn cyclic_replay_wraps() {
+        let t = Trace::new(vec![1.0, 2.0]);
+        assert_eq!(t.at_cyclic(0), 1.0);
+        assert_eq!(t.at_cyclic(3), 2.0);
+        assert_eq!(t.at_cyclic(4), 1.0);
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let t = Trace::new(vec![0.0, 123.5, 4096.0, 1e6]);
+        let b = t.to_bytes();
+        let back = Trace::from_bytes(b).unwrap();
+        assert_eq!(back.len(), t.len());
+        for (x, y) in t.sizes().iter().zip(back.sizes()) {
+            assert!((x - y).abs() < 0.5, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn truncated_bytes_rejected() {
+        let t = Trace::new(vec![1.0; 10]);
+        let b = t.to_bytes();
+        assert!(Trace::from_bytes(b.slice(0..4)).is_err());
+        assert!(Trace::from_bytes(b.slice(0..20)).is_err());
+    }
+
+    #[test]
+    fn generate_pulls_from_source() {
+        let mut i = 0.0;
+        let t = Trace::generate(5, || {
+            i += 1.0;
+            i
+        });
+        assert_eq!(t.sizes(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+}

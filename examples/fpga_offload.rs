@@ -1,0 +1,47 @@
+//! FPGA offload (§7 extension): how hardware acceleration changes the
+//! sharing opportunity.
+//!
+//! Runs the 100 MHz TDD configuration with and without LDPC offload to an
+//! FPGA and compares CPU demand, utilization and reclaimed cores — the
+//! Table 3/4 observation that even accelerated vRANs leave most of their
+//! cores idle (offload wait times + TDD asymmetry).
+//!
+//! Run with: `cargo run --release --example fpga_offload`
+
+use concordia::core::{run_experiment, SimConfig};
+use concordia::ran::Nanos;
+
+fn main() {
+    println!("1x100MHz TDD cell, Concordia, full load, 3 s online\n");
+    println!(
+        "{:<10} {:>8} {:>14} {:>12} {:>12} {:>12}",
+        "mode", "cores", "busy(core-ms)", "util(pool)%", "reclaimed%", "violations"
+    );
+
+    for (label, fpga, cores) in [("cpu-only", false, 6u32), ("fpga", true, 2)] {
+        let mut cfg = SimConfig::paper_100mhz();
+        cfg.n_cells = 1;
+        cfg.cores = cores;
+        cfg.fpga = fpga;
+        cfg.load = 1.0;
+        cfg.duration = Nanos::from_secs(3);
+        cfg.seed = 17;
+        let r = run_experiment(cfg);
+        println!(
+            "{:<10} {:>8} {:>14.0} {:>12.1} {:>12.1} {:>12}",
+            label,
+            cores,
+            r.metrics.vran_busy_ms,
+            r.metrics.pool_utilization * 100.0,
+            r.metrics.reclaimed_fraction * 100.0,
+            r.metrics.violations,
+        );
+    }
+
+    println!(
+        "\nWith LDPC moved to the FPGA the same cell runs on a fraction of the\n\
+         cores, yet utilization stays below ~60% (Table 3): workers still\n\
+         block on offload completions and the TDD pattern leaves idle gaps —\n\
+         which is why Concordia matters even for accelerated deployments."
+    );
+}

@@ -1,0 +1,47 @@
+//! # concordia
+//!
+//! A from-scratch Rust reproduction of **"Concordia: Teaching the 5G vRAN
+//! to Share Compute"** (Foukas & Radunovic, SIGCOMM 2021): a userspace
+//! microsecond-granularity deadline scheduling framework that lets a
+//! virtualized RAN share its CPU cores with best-effort workloads while
+//! meeting 99.999 % of its sub-millisecond signal-processing deadlines,
+//! driven by a quantile-decision-tree WCET predictor.
+//!
+//! This facade crate re-exports every subsystem:
+//!
+//! * [`stats`] — deterministic statistics toolkit (RNG, KS test,
+//!   Wasserstein, distance correlation, EVT, CART support).
+//! * [`ran`] — 5G NR domain model (cells, slots, task DAGs, calibrated
+//!   cost model, FPGA offload).
+//! * [`traffic`] — bursty cell-traffic generation calibrated to the
+//!   paper's LTE traces.
+//! * [`platform`] — discrete-event compute-platform simulator (EDF
+//!   workers, OS wake latency, cache interference, best-effort workloads).
+//! * [`predictor`] — WCET predictors: quantile decision trees plus the
+//!   linear / gradient-boosting / EVT baselines.
+//! * [`sched`] — the Concordia federated mixed-criticality scheduler and
+//!   the FlexRAN / Shenango / utilization baselines.
+//! * [`core`] — the end-to-end experiment engine.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use concordia::core::{run_experiment, SimConfig};
+//! use concordia::ran::Nanos;
+//!
+//! let mut cfg = SimConfig::paper_20mhz();
+//! cfg.duration = Nanos::from_millis(500); // keep the doctest fast
+//! cfg.profiling_slots = 200;
+//! cfg.load = 0.25;
+//! let report = run_experiment(cfg);
+//! assert!(report.metrics.reliability > 0.999);
+//! println!("{}", report.one_liner());
+//! ```
+
+pub use concordia_core as core;
+pub use concordia_platform as platform;
+pub use concordia_predictor as predictor;
+pub use concordia_ran as ran;
+pub use concordia_sched as sched;
+pub use concordia_stats as stats;
+pub use concordia_traffic as traffic;

@@ -1,0 +1,260 @@
+//! Cross-crate integration tests: the paper's headline behaviours,
+//! exercised through the public facade API end to end.
+
+use concordia::core::{
+    run_experiment, Colocation, PredictorChoice, SchedulerChoice, SimConfig,
+};
+use concordia::platform::workloads::WorkloadKind;
+use concordia::ran::Nanos;
+
+fn base_20mhz() -> SimConfig {
+    let mut cfg = SimConfig::paper_20mhz();
+    cfg.duration = Nanos::from_secs(2);
+    cfg.profiling_slots = 400;
+    cfg.seed = 77;
+    cfg
+}
+
+fn base_100mhz() -> SimConfig {
+    let mut cfg = SimConfig::paper_100mhz();
+    cfg.duration = Nanos::from_secs(2);
+    cfg.profiling_slots = 400;
+    cfg.seed = 77;
+    cfg
+}
+
+#[test]
+fn headline_concordia_shares_and_meets_deadlines_under_every_workload() {
+    // The paper's abstract: 99.999% reliability while reclaiming most of
+    // the idle CPU, for any collocated workload.
+    for kind in WorkloadKind::ALL {
+        let mut cfg = base_20mhz();
+        cfg.load = 0.5;
+        cfg.colocation = Colocation::Single(kind);
+        let r = run_experiment(cfg);
+        assert_eq!(
+            r.metrics.violations, 0,
+            "{}: {} violations",
+            kind.name(),
+            r.metrics.violations
+        );
+        assert!(
+            r.metrics.reclaimed_fraction > 0.3,
+            "{}: reclaimed {}",
+            kind.name(),
+            r.metrics.reclaimed_fraction
+        );
+    }
+}
+
+#[test]
+fn flexran_tail_inflates_under_redis_but_not_isolated() {
+    let mut iso = base_100mhz();
+    iso.cores = 8;
+    iso.scheduler = SchedulerChoice::FlexRan;
+    let iso_r = run_experiment(iso);
+
+    let mut redis = base_100mhz();
+    redis.cores = 8;
+    redis.scheduler = SchedulerChoice::FlexRan;
+    redis.colocation = Colocation::Single(WorkloadKind::Redis);
+    let redis_r = run_experiment(redis);
+
+    assert_eq!(iso_r.metrics.violations, 0);
+    assert!(
+        redis_r.metrics.p99999_latency_us > 1.5 * iso_r.metrics.p99999_latency_us,
+        "colocation must inflate FlexRAN's tail: {} vs {}",
+        iso_r.metrics.p99999_latency_us,
+        redis_r.metrics.p99999_latency_us
+    );
+}
+
+#[test]
+fn concordia_beats_flexran_on_interference_counters() {
+    // Fig. 9: Concordia's stall increase is a small fraction of FlexRAN's.
+    let mk = |sched| {
+        let mut cfg = base_100mhz();
+        cfg.cores = 8;
+        cfg.scheduler = sched;
+        cfg.colocation = Colocation::Single(WorkloadKind::Redis);
+        run_experiment(cfg)
+    };
+    let conc = mk(SchedulerChoice::concordia());
+    let flex = mk(SchedulerChoice::FlexRan);
+    assert!(
+        flex.metrics.stall_cycles_pct > 3.0 * conc.metrics.stall_cycles_pct,
+        "flexran {} vs concordia {}",
+        flex.metrics.stall_cycles_pct,
+        conc.metrics.stall_cycles_pct
+    );
+    // Fig. 10: and far more scheduling events.
+    assert!(flex.metrics.wake_events > 3 * conc.metrics.wake_events);
+}
+
+#[test]
+fn reclaimed_cpu_decreases_with_load() {
+    // Fig. 8a's monotone shape.
+    let mut prev = f64::INFINITY;
+    for load in [0.05, 0.5, 1.0] {
+        let mut cfg = base_20mhz();
+        cfg.load = load;
+        cfg.colocation = Colocation::Single(WorkloadKind::Redis);
+        let r = run_experiment(cfg);
+        assert!(
+            r.metrics.reclaimed_fraction < prev + 0.02,
+            "reclaimed must not grow with load: {} at {load}",
+            r.metrics.reclaimed_fraction
+        );
+        prev = r.metrics.reclaimed_fraction;
+    }
+}
+
+#[test]
+fn pwcet_predictor_reclaims_less_than_qdt() {
+    // Fig. 13's direction at a low load where parameterization matters.
+    let mk = |pred| {
+        let mut cfg = base_20mhz();
+        cfg.load = 0.25;
+        cfg.predictor = pred;
+        cfg.colocation = Colocation::Single(WorkloadKind::Redis);
+        run_experiment(cfg)
+    };
+    let qdt = mk(PredictorChoice::QuantileDt);
+    let pwcet = mk(PredictorChoice::PwcetEvt);
+    assert!(
+        qdt.metrics.reclaimed_fraction > pwcet.metrics.reclaimed_fraction + 0.03,
+        "qdt {} vs pwcet {}",
+        qdt.metrics.reclaimed_fraction,
+        pwcet.metrics.reclaimed_fraction
+    );
+}
+
+#[test]
+fn fpga_offload_cuts_cpu_demand() {
+    // Table 3's direction: with LDPC offloaded, the same traffic needs
+    // far less CPU.
+    let mk = |fpga| {
+        let mut cfg = base_100mhz();
+        cfg.n_cells = 1;
+        cfg.cores = 6;
+        cfg.fpga = fpga;
+        run_experiment(cfg)
+    };
+    let cpu = mk(false);
+    let off = mk(true);
+    assert_eq!(off.metrics.violations, 0);
+    assert!(
+        off.metrics.vran_busy_ms < 0.75 * cpu.metrics.vran_busy_ms,
+        "offload busy {} vs cpu {}",
+        off.metrics.vran_busy_ms,
+        cpu.metrics.vran_busy_ms
+    );
+}
+
+#[test]
+fn experiments_are_reproducible_from_the_seed() {
+    let mk = || {
+        let mut cfg = base_20mhz();
+        cfg.colocation = Colocation::Mix;
+        cfg.seed = 1234;
+        run_experiment(cfg)
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(a.metrics.dags, b.metrics.dags);
+    assert_eq!(a.metrics.mean_latency_us, b.metrics.mean_latency_us);
+    assert_eq!(a.metrics.wake_events, b.metrics.wake_events);
+    assert_eq!(a.metrics.tasks_executed, b.metrics.tasks_executed);
+}
+
+#[test]
+fn different_seeds_give_different_runs() {
+    let mk = |seed| {
+        let mut cfg = base_20mhz();
+        cfg.seed = seed;
+        run_experiment(cfg)
+    };
+    let a = mk(1);
+    let b = mk(2);
+    assert_ne!(a.metrics.mean_latency_us, b.metrics.mean_latency_us);
+}
+
+#[test]
+fn shenango_never_wins_on_both_axes() {
+    // §6.3's dilemma: across its threshold range, the Shenango variant
+    // never simultaneously matches Concordia's reliability AND its
+    // reclaimed CPU.
+    let mut conc_cfg = base_20mhz();
+    conc_cfg.load = 0.75;
+    conc_cfg.colocation = Colocation::Single(WorkloadKind::Redis);
+    let conc = run_experiment(conc_cfg);
+
+    for thr_us in [5u64, 50, 200] {
+        let mut cfg = base_20mhz();
+        cfg.load = 0.75;
+        cfg.scheduler = SchedulerChoice::Shenango(Nanos::from_micros(thr_us));
+        cfg.colocation = Colocation::Single(WorkloadKind::Redis);
+        let r = run_experiment(cfg);
+        let as_reliable = r.metrics.p99999_latency_us <= conc.metrics.p99999_latency_us;
+        let shares_as_much =
+            r.metrics.reclaimed_fraction >= conc.metrics.reclaimed_fraction - 0.02;
+        assert!(
+            !(as_reliable && shares_as_much),
+            "threshold {thr_us}us beat Concordia on both axes: tail {} vs {}, reclaimed {} vs {}",
+            r.metrics.p99999_latency_us,
+            conc.metrics.p99999_latency_us,
+            r.metrics.reclaimed_fraction,
+            conc.metrics.reclaimed_fraction
+        );
+    }
+}
+
+#[test]
+fn report_serializes_to_json() {
+    let mut cfg = base_20mhz();
+    cfg.duration = Nanos::from_millis(500);
+    cfg.profiling_slots = 200;
+    let r = run_experiment(cfg);
+    let json = serde_json::to_string(&r).unwrap();
+    assert!(json.contains("\"scheduler\":\"concordia\""));
+    let back: concordia::core::ExperimentReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.metrics.dags, r.metrics.dags);
+}
+
+#[test]
+fn lte_cells_run_end_to_end_with_turbo_coding() {
+    // The §7/4G side: FlexRAN is a 4G+5G stack, and the reproduction's LTE
+    // cells (Turbo codecs, 1 ms TTIs) go through the same pipeline.
+    let mut cfg = base_20mhz();
+    cfg.cell = concordia::ran::CellConfig::lte_20mhz();
+    cfg.colocation = Colocation::Single(WorkloadKind::Redis);
+    let r = run_experiment(cfg);
+    assert_eq!(r.metrics.violations, 0);
+    assert!(r.metrics.reclaimed_fraction > 0.3);
+    assert!(r.metrics.tasks_executed > 10_000);
+}
+
+#[test]
+fn mac_in_pool_adds_work_without_losing_reliability() {
+    // §7 extension: the MAC schedulers run as pool deadline tasks.
+    let mut base = base_20mhz();
+    base.load = 0.5;
+    let plain = run_experiment(base.clone());
+    let mut with_mac = base;
+    with_mac.mac_in_pool = true;
+    let mac = run_experiment(with_mac);
+    assert_eq!(mac.metrics.violations, 0);
+    assert!(
+        mac.metrics.tasks_executed > plain.metrics.tasks_executed,
+        "MAC DAGs must add executed tasks: {} vs {}",
+        mac.metrics.tasks_executed,
+        plain.metrics.tasks_executed
+    );
+    // Two MAC tasks per cell per slot.
+    let expected_extra = (plain.metrics.dags as u64 / 2) * 2;
+    let extra = mac.metrics.tasks_executed - plain.metrics.tasks_executed;
+    assert!(
+        extra > expected_extra / 2,
+        "extra {extra} vs expected ~{expected_extra}"
+    );
+}

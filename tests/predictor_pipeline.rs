@@ -1,0 +1,202 @@
+//! Cross-crate integration tests of the full prediction pipeline:
+//! profiling → Algorithm 1 feature selection → model training → online
+//! adaptation, for every predictor variant and every task kind.
+
+use concordia::core::profile::{profile, train_bank, train_predictor};
+use concordia::core::PredictorChoice;
+use concordia::predictor::featsel::{dcor_ranking, select_features, FeatSelConfig};
+use concordia::ran::cost::CostModel;
+use concordia::ran::features::{extract, handpicked, Feature};
+use concordia::ran::task::{TaskKind, TaskParams};
+use concordia::ran::transport::Mcs;
+use concordia::ran::CellConfig;
+use concordia::stats::rng::Rng;
+
+fn decode_params(n_cbs: u32, snr_margin: f64, pool_cores: u32) -> TaskParams {
+    let mcs = Mcs::from_index(16);
+    TaskParams {
+        n_cbs,
+        cb_bits: 8448,
+        tb_bits: n_cbs * 8448,
+        mcs_index: 16,
+        modulation_order: mcs.modulation_order,
+        code_rate: mcs.code_rate,
+        snr_db: mcs.required_snr_db() + snr_margin,
+        layers: 2,
+        prbs: 60,
+        pool_cores,
+        ..TaskParams::default()
+    }
+}
+
+#[test]
+fn algorithm1_selects_the_decode_cost_drivers() {
+    let cell = CellConfig::fdd_20mhz();
+    let cost = CostModel::new();
+    let ds = profile(&cell, &cost, 1_500, 8, 3);
+    let decode = ds.samples(TaskKind::LdpcDecode);
+
+    // Distance correlation must rank the codeblock count at/near the top.
+    let ranking = dcor_ranking(decode, 600);
+    let top4: Vec<usize> = ranking.iter().take(4).map(|(f, _)| *f).collect();
+    assert!(
+        top4.contains(&(Feature::NCbs as usize))
+            || top4.contains(&(Feature::TbBits as usize)),
+        "volume feature must rank highly: {ranking:?}"
+    );
+
+    // The full Algorithm 1 output contains the hand-picked features.
+    let feats = select_features(decode, &handpicked(TaskKind::LdpcDecode), &FeatSelConfig::default());
+    assert!(feats.contains(&(Feature::NCbs as usize)));
+    assert!(feats.contains(&(Feature::PoolCores as usize)));
+    assert!(feats.len() <= 10, "selection must stay compact: {feats:?}");
+}
+
+#[test]
+fn every_predictor_choice_trains_for_every_kind() {
+    let cell = CellConfig::tdd_100mhz();
+    let cost = CostModel::new();
+    let ds = profile(&cell, &cost, 800, 8, 4);
+    for choice in [
+        PredictorChoice::QuantileDt,
+        PredictorChoice::LinearRegression,
+        PredictorChoice::GradientBoosting,
+        PredictorChoice::PwcetEvt,
+        PredictorChoice::Oracle,
+    ] {
+        let bank = train_bank(&ds, choice, &cost);
+        assert!(
+            bank.len() >= 15,
+            "{}: only {} kinds trained",
+            choice.name(),
+            bank.len()
+        );
+        // Every trained model emits finite positive predictions.
+        let x = extract(&decode_params(6, 5.0, 4));
+        let p = bank
+            .predict(TaskKind::LdpcDecode, &x)
+            .expect("decode trained");
+        assert!(p.as_micros_f64() > 1.0 && p.as_micros_f64() < 100_000.0);
+    }
+}
+
+#[test]
+fn qdt_is_the_tightest_accurate_model() {
+    // Fig. 14's conclusion as a pipeline-level assertion: on fresh samples,
+    // qdt and gbt both miss rarely, and qdt's mean prediction is no more
+    // pessimistic than gbt's.
+    let cell = CellConfig::fdd_20mhz();
+    let cost = CostModel::new();
+    let ds = profile(&cell, &cost, 2_500, 8, 5);
+    let decode = ds.samples(TaskKind::LdpcDecode);
+
+    let evaluate = |choice: PredictorChoice| {
+        let mut model = train_predictor(TaskKind::LdpcDecode, decode, choice, &cost);
+        let mut rng = Rng::new(6);
+        let n = 40_000;
+        let (mut misses, mut pred_sum) = (0u64, 0.0);
+        for _ in 0..n {
+            let p = decode_params(
+                rng.range_u64(1, 15) as u32,
+                rng.range_f64(-2.0, 10.0),
+                rng.range_u64(1, 8) as u32,
+            );
+            let runtime = cost
+                .sample_runtime(TaskKind::LdpcDecode, &p, 1.0, &mut rng)
+                .as_micros_f64();
+            let x = extract(&p);
+            let pred = model.predict_us(&x);
+            pred_sum += pred;
+            if runtime > pred {
+                misses += 1;
+            }
+            model.observe(&x, runtime);
+        }
+        (misses as f64 / n as f64, pred_sum / n as f64)
+    };
+
+    let (qdt_miss, qdt_pred) = evaluate(PredictorChoice::QuantileDt);
+    let (gbt_miss, gbt_pred) = evaluate(PredictorChoice::GradientBoosting);
+    let (lin_miss, _) = evaluate(PredictorChoice::LinearRegression);
+
+    assert!(qdt_miss < 0.01, "qdt miss rate {qdt_miss}");
+    assert!(gbt_miss < 0.02, "gbt miss rate {gbt_miss}");
+    assert!(
+        lin_miss > 2.0 * qdt_miss.max(1e-4),
+        "linreg must miss more: {lin_miss} vs {qdt_miss}"
+    );
+    assert!(
+        qdt_pred < gbt_pred * 1.15,
+        "qdt must not be much more pessimistic: {qdt_pred} vs {gbt_pred}"
+    );
+}
+
+#[test]
+fn online_phase_restores_coverage_after_regime_change() {
+    // §4.2's claim end to end: after interference shifts runtimes +30%,
+    // the frozen model misses often; feeding observations restores
+    // coverage without retraining the tree.
+    let cell = CellConfig::fdd_20mhz();
+    let cost = CostModel::new();
+    let ds = profile(&cell, &cost, 1_500, 8, 7);
+    let decode = ds.samples(TaskKind::LdpcDecode);
+
+    let run = |observe: bool| {
+        let mut model =
+            train_predictor(TaskKind::LdpcDecode, decode, PredictorChoice::QuantileDt, &cost);
+        let mut rng = Rng::new(8);
+        // Warm-up exposure to the new regime.
+        for _ in 0..30_000 {
+            let p = decode_params(rng.range_u64(1, 15) as u32, 5.0, 4);
+            let r = cost
+                .sample_runtime(TaskKind::LdpcDecode, &p, 1.3, &mut rng)
+                .as_micros_f64();
+            if observe {
+                model.observe(&extract(&p), r);
+            }
+        }
+        // Measurement phase.
+        let n = 20_000;
+        let mut misses = 0;
+        for _ in 0..n {
+            let p = decode_params(rng.range_u64(1, 15) as u32, 5.0, 4);
+            let r = cost
+                .sample_runtime(TaskKind::LdpcDecode, &p, 1.3, &mut rng)
+                .as_micros_f64();
+            if r > model.predict_us(&extract(&p)) {
+                misses += 1;
+            }
+        }
+        misses as f64 / n as f64
+    };
+
+    let frozen = run(false);
+    let online = run(true);
+    assert!(
+        online < frozen / 3.0,
+        "online updates must cut the miss rate: frozen {frozen} online {online}"
+    );
+    assert!(online < 0.01, "online miss rate {online}");
+}
+
+#[test]
+fn oracle_and_pwcet_bracket_the_qdt() {
+    // The oracle (ground truth + margin) is the tightest; pWCET (one value
+    // per task) is the loosest for a small input; QDT sits between.
+    let cell = CellConfig::fdd_20mhz();
+    let cost = CostModel::new();
+    let ds = profile(&cell, &cost, 1_500, 8, 9);
+    let decode = ds.samples(TaskKind::LdpcDecode);
+    let small = extract(&decode_params(1, 8.0, 1));
+
+    let pred = |choice| {
+        train_predictor(TaskKind::LdpcDecode, decode, choice, &cost).predict_us(&small)
+    };
+    let oracle = pred(PredictorChoice::Oracle);
+    let qdt = pred(PredictorChoice::QuantileDt);
+    let pwcet = pred(PredictorChoice::PwcetEvt);
+    assert!(
+        oracle < qdt && qdt < pwcet,
+        "expected oracle {oracle} < qdt {qdt} < pwcet {pwcet}"
+    );
+}
