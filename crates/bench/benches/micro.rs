@@ -172,12 +172,7 @@ fn bench_cost_sample(c: &mut Criterion) {
     };
     c.bench_function("cost_sample", |b| {
         b.iter(|| {
-            black_box(cost.sample_runtime(
-                TaskKind::LdpcDecode,
-                black_box(&p),
-                1.1,
-                &mut rng,
-            ))
+            black_box(cost.sample_runtime(TaskKind::LdpcDecode, black_box(&p), 1.1, &mut rng))
         })
     });
 }

@@ -27,9 +27,9 @@ use serde::Serialize;
 
 #[derive(Serialize, Default)]
 struct AblationResults {
-    leaf_stat: Vec<(String, f64, f64)>,      // (stat, miss%, avg pred us)
-    tick: Vec<(u64, f64, f64)>,              // (tick us, reliability, reclaimed%)
-    online: Vec<(String, f64)>,              // (mode, miss%)
+    leaf_stat: Vec<(String, f64, f64)>, // (stat, miss%, avg pred us)
+    tick: Vec<(u64, f64, f64)>,         // (tick us, reliability, reclaimed%)
+    online: Vec<(String, f64)>,         // (mode, miss%)
     tree_shape: Vec<(u32, usize, f64, f64)>, // (depth, min_leaf, miss%, avg pred us)
 }
 
@@ -99,20 +99,18 @@ fn main() {
 
     // ---- 1. leaf statistic ----
     println!("\n[1] leaf statistic (decode task, isolated):");
-    println!("{:<16} {:>10} {:>14}", "statistic", "miss %", "avg pred (us)");
+    println!(
+        "{:<16} {:>10} {:>14}",
+        "statistic", "miss %", "avg pred (us)"
+    );
     for (name, stat) in [
         ("max".to_string(), LeafStatistic::Max),
         ("q0.999".to_string(), LeafStatistic::Quantile(0.999)),
         ("q0.99".to_string(), LeafStatistic::Quantile(0.99)),
         ("q0.9".to_string(), LeafStatistic::Quantile(0.9)),
     ] {
-        let mut m = QuantileDecisionTree::fit_with(
-            decode,
-            &feats,
-            &TreeConfig::default(),
-            stat,
-            1.0,
-        );
+        let mut m =
+            QuantileDecisionTree::fit_with(decode, &feats, &TreeConfig::default(), stat, 1.0);
         let (miss, avg) = decode_eval(&mut m, &cost, 1.0, true, eval_n, seed ^ 1);
         println!("{name:<16} {miss:>10.4} {avg:>14.1}");
         results.leaf_stat.push((name, miss, avg));
@@ -121,7 +119,10 @@ fn main() {
 
     // ---- 2. scheduler tick ----
     println!("\n[2] scheduler tick (20MHz config + Redis, 75% load):");
-    println!("{:<10} {:>12} {:>12}", "tick(us)", "reliability", "reclaimed");
+    println!(
+        "{:<10} {:>12} {:>12}",
+        "tick(us)", "reliability", "reclaimed"
+    );
     for tick_us in [5u64, 20, 100, 500] {
         let mut cfg = SimConfig::paper_20mhz();
         cfg.duration = Nanos::from_secs(len.online_secs().min(6));
@@ -158,7 +159,10 @@ fn main() {
 
     // ---- 4. tree shape ----
     println!("\n[4] tree shape (depth x min-leaf):");
-    println!("{:>6} {:>9} {:>10} {:>14}", "depth", "min_leaf", "miss %", "avg pred (us)");
+    println!(
+        "{:>6} {:>9} {:>10} {:>14}",
+        "depth", "min_leaf", "miss %", "avg pred (us)"
+    );
     for (depth, min_leaf) in [(2u32, 200usize), (4, 100), (8, 50), (12, 20)] {
         let cfgt = TreeConfig {
             max_depth: depth,

@@ -109,7 +109,10 @@ fn main() {
     println!("  {}", snippet.join(" "));
 
     println!("\n§2.2 Gaussian pooling — provisioned waste grows with sqrt(n):");
-    println!("{:>8} {:>16} {:>14}", "n cells", "waste (z=3)", "waste/sqrt(n)");
+    println!(
+        "{:>8} {:>16} {:>14}",
+        "n cells", "waste (z=3)", "waste/sqrt(n)"
+    );
     let mut pooling = Vec::new();
     for n in [1u32, 2, 4, 8, 16, 32] {
         let w = gauss::expected_waste(n, 1.0, 3.0);

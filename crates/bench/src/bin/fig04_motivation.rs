@@ -50,6 +50,7 @@ fn motivation_configs() -> Vec<(String, SimConfig)> {
         mac_in_pool: false,
         // Fig. 4a sizes pools for peak traffic.
         peak_provisioning: true,
+        faults: concordia_platform::faults::FaultPlan::none(),
     };
     vec![
         (
@@ -140,5 +141,8 @@ fn main() {
         }
     }
 
-    write_json("fig04_motivation", &serde_json::json!({"fig4a": fig4a, "fig4b": fig4b}));
+    write_json(
+        "fig04_motivation",
+        &serde_json::json!({"fig4a": fig4a, "fig4b": fig4b}),
+    );
 }

@@ -109,9 +109,7 @@ fn main() {
     };
     let per_cb_3 = mean_of(3, 1) / 3.0;
     let per_cb_15 = mean_of(15, 1) / 15.0;
-    println!(
-        "linearity: per-CB cost at 3 CBs {per_cb_3:.2}us vs at 15 CBs {per_cb_15:.2}us"
-    );
+    println!("linearity: per-CB cost at 3 CBs {per_cb_3:.2}us vs at 15 CBs {per_cb_15:.2}us");
     let inflation4 = mean_of(15, 4) / mean_of(15, 1) - 1.0;
     let inflation6 = mean_of(15, 6) / mean_of(15, 1) - 1.0;
     println!(

@@ -79,7 +79,11 @@ fn main() {
             n_thresholds: 16,
         },
     );
-    println!("\ntrained decode tree: {} leaves ({} samples)", tree.n_leaves(), decode.len());
+    println!(
+        "\ntrained decode tree: {} leaves ({} samples)",
+        tree.n_leaves(),
+        decode.len()
+    );
     let _ = PredictorChoice::QuantileDt; // the trained variant under study
 
     // Collect fresh isolated + interfered samples per leaf (TPCC-like
@@ -91,7 +95,8 @@ fn main() {
     let runs = slots * 2;
     for _ in 0..runs {
         let wl = random_workload(&cell, SlotDirection::Uplink, &mut rng);
-        let dag = concordia_ran::dag::build_uplink_dag(&cell, 0, 0, concordia_ran::Nanos::ZERO, &wl);
+        let dag =
+            concordia_ran::dag::build_uplink_dag(&cell, 0, 0, concordia_ran::Nanos::ZERO, &wl);
         for node in &dag.nodes {
             if node.task.kind != TaskKind::LdpcDecode {
                 continue;
@@ -131,10 +136,7 @@ fn main() {
         let mt = intf[l].iter().sum::<f64>() / intf[l].len() as f64;
         within += iso[l].iter().map(|x| (x - mi).powi(2)).sum::<f64>();
         let w = wasserstein1(&iso[l], &intf[l]);
-        println!(
-            "{l:>5} {:>8} {mi:>12.1} {mt:>12.1} {w:>12.2}",
-            iso[l].len()
-        );
+        println!("{l:>5} {:>8} {mi:>12.1} {mt:>12.1} {w:>12.2}", iso[l].len());
         leaves.push(LeafStat {
             leaf: l,
             samples_isolated: iso[l].len(),

@@ -17,9 +17,9 @@
 //! Scenarios: {1, 2} FDD cells × {isolated, +redis, +tpcc} on 4 cores.
 
 use concordia_bench::{banner, write_json, RunLength};
+use concordia_core::profile::random_workload;
 use concordia_core::profile::{profile, train_predictor};
 use concordia_core::{run_experiment, Colocation, PredictorChoice, SimConfig};
-use concordia_core::profile::random_workload;
 use concordia_platform::workloads::WorkloadKind;
 use concordia_ran::cost::CostModel;
 use concordia_ran::features::extract;
@@ -65,8 +65,7 @@ fn evaluate(
     let warmup = samples / 5;
     while produced < samples {
         let wl = random_workload(cell, SlotDirection::Uplink, &mut rng);
-        let dag =
-            concordia_ran::dag::build_uplink_dag(cell, 0, 0, concordia_ran::Nanos::ZERO, &wl);
+        let dag = concordia_ran::dag::build_uplink_dag(cell, 0, 0, concordia_ran::Nanos::ZERO, &wl);
         for node in &dag.nodes {
             if node.task.kind != TaskKind::LdpcDecode {
                 continue;
@@ -124,8 +123,14 @@ fn main() {
 
     let scenarios: Vec<(String, f64)> = vec![
         ("FD isolated".into(), 0.0),
-        ("FD + redis".into(), WorkloadKind::Redis.profile().cache_intensity),
-        ("FD + tpcc".into(), WorkloadKind::Tpcc.profile().cache_intensity),
+        (
+            "FD + redis".into(),
+            WorkloadKind::Redis.profile().cache_intensity,
+        ),
+        (
+            "FD + tpcc".into(),
+            WorkloadKind::Tpcc.profile().cache_intensity,
+        ),
     ];
     let models = [
         PredictorChoice::LinearRegression,
@@ -166,10 +171,26 @@ fn main() {
     for (n_cells, colo, scen) in [
         (1u32, Colocation::Isolated, "1 cell - FD"),
         (2, Colocation::Isolated, "2 cells - FD"),
-        (1, Colocation::Single(WorkloadKind::Redis), "1 cell - FD & redis"),
-        (2, Colocation::Single(WorkloadKind::Redis), "2 cells - FD & redis"),
-        (1, Colocation::Single(WorkloadKind::Tpcc), "1 cell - FD & tpcc"),
-        (2, Colocation::Single(WorkloadKind::Tpcc), "2 cells - FD & tpcc"),
+        (
+            1,
+            Colocation::Single(WorkloadKind::Redis),
+            "1 cell - FD & redis",
+        ),
+        (
+            2,
+            Colocation::Single(WorkloadKind::Redis),
+            "2 cells - FD & redis",
+        ),
+        (
+            1,
+            Colocation::Single(WorkloadKind::Tpcc),
+            "1 cell - FD & tpcc",
+        ),
+        (
+            2,
+            Colocation::Single(WorkloadKind::Tpcc),
+            "2 cells - FD & tpcc",
+        ),
     ] {
         let mut cfg = SimConfig::paper_20mhz();
         cfg.n_cells = n_cells;

@@ -56,8 +56,14 @@ fn main() {
     ];
     let scenarios: Vec<(String, f64)> = vec![
         ("FD".into(), 0.0),
-        ("FD & redis".into(), WorkloadKind::Redis.profile().cache_intensity),
-        ("FD & tpcc".into(), WorkloadKind::Tpcc.profile().cache_intensity),
+        (
+            "FD & redis".into(),
+            WorkloadKind::Redis.profile().cache_intensity,
+        ),
+        (
+            "FD & tpcc".into(),
+            WorkloadKind::Tpcc.profile().cache_intensity,
+        ),
     ];
     let eval_samples = match len {
         concordia_bench::RunLength::Quick => 10_000,
@@ -92,13 +98,8 @@ fn main() {
                         SlotDirection::Uplink
                     };
                     let wl = random_workload(&cell, dir, &mut rng);
-                    let dag = concordia_ran::dag::build_dag(
-                        &cell,
-                        0,
-                        0,
-                        concordia_ran::Nanos::ZERO,
-                        &wl,
-                    );
+                    let dag =
+                        concordia_ran::dag::build_dag(&cell, 0, 0, concordia_ran::Nanos::ZERO, &wl);
                     for node in &dag.nodes {
                         if node.task.kind != task {
                             continue;
@@ -110,8 +111,7 @@ fn main() {
                         } else {
                             1.0
                         };
-                        let runtime =
-                            cost.sample_runtime(task, &p, f, &mut rng).as_micros_f64();
+                        let runtime = cost.sample_runtime(task, &p, f, &mut rng).as_micros_f64();
                         let x = extract(&p);
                         let pred = model.predict_us(&x);
                         if produced >= warmup {

@@ -81,12 +81,16 @@ fn main() {
     // The §6.3 finding, checked mechanically: no alternative row may both
     // reach five nines and reclaim within 10pp of Concordia.
     let conc = rows.last().unwrap();
-    let dominated = rows[..rows.len() - 1].iter().all(|r| {
-        r.reliability < 0.99999 || r.reclaimed_pct < conc.reclaimed_pct - 10.0
-    });
+    let dominated = rows[..rows.len() - 1]
+        .iter()
+        .all(|r| r.reliability < 0.99999 || r.reclaimed_pct < conc.reclaimed_pct - 10.0);
     println!(
         "\nno WCET-blind scheduler matches Concordia on both axes: {}",
-        if dominated { "confirmed" } else { "NOT confirmed (see rows)" }
+        if dominated {
+            "confirmed"
+        } else {
+            "NOT confirmed (see rows)"
+        }
     );
 
     write_json("sec63_alt_schedulers", &rows);

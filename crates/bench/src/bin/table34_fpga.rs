@@ -144,5 +144,8 @@ fn main() {
     }
     println!("\n(under-utilization persists with acceleration: TDD idle gaps +\n offload wait times — the §7 argument for extending Concordia)");
 
-    write_json("table34_fpga", &serde_json::json!({"table3": t3, "table4": t4}));
+    write_json(
+        "table34_fpga",
+        &serde_json::json!({"table3": t3, "table4": t4}),
+    );
 }

@@ -1,6 +1,7 @@
 //! Minimal dependency-free argument parsing for the `concordia` CLI.
 
 use concordia_core::{Colocation, PredictorChoice, SchedulerChoice, SimConfig};
+use concordia_platform::faults::{FaultKind, FaultPlan};
 use concordia_platform::workloads::WorkloadKind;
 use concordia_ran::{CellConfig, Nanos};
 use concordia_sched::concordia::ConcordiaConfig;
@@ -28,6 +29,10 @@ OPTIONS:
   --fpga                      enable the FPGA LDPC offload (sec. 7)
   --mac                       run MAC schedulers in the pool (sec. 7)
   --peak                      peak-provisioning traffic (Table 2 sizing)
+  --faults LIST               inject chaos faults: comma-separated classes
+                              from core_offline, core_stall, accel_outage,
+                              accel_timeout, predictor_bias,
+                              storm_amplification, traffic_surge
   --json PATH                 write the full JSON report to PATH
   -h, --help                  this text
 ";
@@ -51,6 +56,7 @@ pub fn parse(argv: &[String]) -> Result<(SimConfig, Option<String>), CliError> {
     cfg.colocation = Colocation::Single(WorkloadKind::Redis);
     let mut cells_override: Option<u32> = None;
     let mut cores_override: Option<u32> = None;
+    let mut fault_kinds: Option<Vec<FaultKind>> = None;
     let mut json_path = None;
 
     let mut it = argv.iter();
@@ -140,6 +146,25 @@ pub fn parse(argv: &[String]) -> Result<(SimConfig, Option<String>), CliError> {
                     .map_err(|_| CliError("--deadline-us must be an integer".into()))?;
                 cfg.deadline_override = Some(Nanos::from_micros(us));
             }
+            "--faults" => {
+                let v = value("--faults")?;
+                let mut kinds = Vec::new();
+                for name in v.split(',').filter(|n| !n.is_empty()) {
+                    match FaultKind::from_name(name) {
+                        Some(k) => kinds.push(k),
+                        None => {
+                            return err(format!(
+                                "unknown fault class '{name}' (valid: {})",
+                                FaultKind::ALL.map(|k| k.name()).join(", ")
+                            ))
+                        }
+                    }
+                }
+                if kinds.is_empty() {
+                    return err("--faults needs at least one fault class");
+                }
+                fault_kinds = Some(kinds);
+            }
             "--fpga" => cfg.fpga = true,
             "--mac" => cfg.mac_in_pool = true,
             "--peak" => cfg.peak_provisioning = true,
@@ -158,6 +183,11 @@ pub fn parse(argv: &[String]) -> Result<(SimConfig, Option<String>), CliError> {
             return err("--cores must be positive");
         }
         cfg.cores = c;
+    }
+    // Applied after the loop so the plan scales to the final --secs value
+    // regardless of flag order.
+    if let Some(kinds) = fault_kinds {
+        cfg.faults = FaultPlan::chaos(&kinds, cfg.duration);
     }
     Ok((cfg, json_path))
 }
@@ -219,7 +249,10 @@ mod tests {
         assert_eq!(cfg.cell.bandwidth_mhz, 100);
         assert_eq!(cfg.n_cells, 3);
         assert_eq!(cfg.cores, 10);
-        assert_eq!(cfg.scheduler, SchedulerChoice::Shenango(Nanos::from_micros(50)));
+        assert_eq!(
+            cfg.scheduler,
+            SchedulerChoice::Shenango(Nanos::from_micros(50))
+        );
         assert_eq!(cfg.predictor, PredictorChoice::GradientBoosting);
         assert_eq!(cfg.colocation.name(), "mix");
         assert_eq!(cfg.load, 0.75);
@@ -253,6 +286,30 @@ mod tests {
         assert!(parse(&args("--config 5ghz")).is_err());
         assert!(parse(&args("--nonsense")).is_err());
         assert!(parse(&args("--seed")).is_err(), "missing value");
+        assert!(parse(&args("--faults meteor_strike")).is_err());
+        assert!(parse(&args("--faults ,,")).is_err(), "empty list");
+    }
+
+    #[test]
+    fn faults_flag_builds_a_chaos_plan() {
+        let (cfg, _) = parse(&args("--faults core_offline,accel_outage")).unwrap();
+        assert_eq!(cfg.faults.specs.len(), 2);
+        assert_eq!(cfg.faults.specs[0].kind, FaultKind::CoreOffline);
+        assert_eq!(cfg.faults.specs[1].kind, FaultKind::AccelOutage);
+        // Default is fault-free.
+        let (cfg, _) = parse(&[]).unwrap();
+        assert!(cfg.faults.specs.is_empty());
+    }
+
+    #[test]
+    fn faults_plan_scales_to_final_duration() {
+        // --secs after --faults must still size the windows: the plan is
+        // built after the flag loop.
+        let (cfg, _) = parse(&args("--faults traffic_surge --secs 10")).unwrap();
+        assert_eq!(
+            cfg.faults.specs[0].latest_start,
+            Nanos::from_secs(10).scale(0.45)
+        );
     }
 
     #[test]

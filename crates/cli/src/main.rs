@@ -11,12 +11,10 @@
 //!           [--colocate isolated|redis|nginx|tpcc|mlperf|mix]
 //!           [--load 0.0-1.0] [--secs N] [--seed N]
 //!           [--deadline-us N] [--fpga] [--mac] [--peak]
-//!           [--json <path>]
+//!           [--faults core_offline,accel_outage,...] [--json <path>]
 //! ```
 
-use concordia_core::{
-    run_experiment, Colocation, PredictorChoice, SchedulerChoice, SimConfig,
-};
+use concordia_core::{run_experiment, Colocation, PredictorChoice, SchedulerChoice, SimConfig};
 use concordia_platform::workloads::WorkloadKind;
 use concordia_ran::{CellConfig, Nanos};
 use std::process::ExitCode;
@@ -77,6 +75,27 @@ fn main() -> ExitCode {
             w.unit,
             w.fraction_of_ideal * 100.0
         );
+    }
+    if let Some(fault) = &report.fault {
+        for w in &fault.windows {
+            println!(
+                "  fault {} {:.0}-{:.0}us sev {:.2} | rel pre/during/post \
+                 {:.6}/{:.6}/{:.6} | recovery {:.0}us ({})",
+                w.kind,
+                w.start_us,
+                w.end_us,
+                w.severity,
+                w.reliability_before,
+                w.reliability_during,
+                w.reliability_after,
+                w.recovery_us,
+                if w.recovered() {
+                    "recovered"
+                } else {
+                    "NOT recovered"
+                }
+            );
+        }
     }
     if !report.five_nines() {
         println!("  WARNING: below 99.999% reliability");

@@ -1,5 +1,6 @@
 //! Experiment configuration.
 
+use concordia_platform::faults::FaultPlan;
 use concordia_platform::workloads::WorkloadKind;
 use concordia_ran::cell::CellConfig;
 use concordia_ran::time::Nanos;
@@ -129,6 +130,10 @@ pub struct SimConfig {
     /// cell's peak volume (Table 2/3's "minimum # CPU cores required to
     /// process the peak traffic"), instead of the bursty average-load trace.
     pub peak_provisioning: bool,
+    /// Faults injected during the online phase (empty = fault-free). The
+    /// plan resolves to concrete windows from the root seed, so fault
+    /// experiments stay bit-reproducible.
+    pub faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -151,6 +156,7 @@ impl SimConfig {
             online_updates: true,
             mac_in_pool: false,
             peak_provisioning: false,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -200,10 +206,7 @@ mod tests {
         assert_eq!(SchedulerChoice::FlexRan.name(), "flexran");
         assert_eq!(PredictorChoice::QuantileDt.name(), "quantile_dt");
         assert_eq!(Colocation::Isolated.name(), "isolated");
-        assert_eq!(
-            Colocation::Single(WorkloadKind::Redis).name(),
-            "redis"
-        );
+        assert_eq!(Colocation::Single(WorkloadKind::Redis).name(), "redis");
     }
 
     #[test]

@@ -44,10 +44,7 @@ pub fn load_sweep(template: &SimConfig, loads: &[f64]) -> Vec<(f64, ExperimentRe
 }
 
 /// Runs the Fig. 15b-style deadline sweep.
-pub fn deadline_sweep(
-    template: &SimConfig,
-    deadlines: &[Nanos],
-) -> Vec<(Nanos, ExperimentReport)> {
+pub fn deadline_sweep(template: &SimConfig, deadlines: &[Nanos]) -> Vec<(Nanos, ExperimentReport)> {
     deadlines
         .iter()
         .map(|&d| {
@@ -94,8 +91,7 @@ mod tests {
     #[test]
     fn find_min_cores_returns_a_sufficient_pool() {
         let template = tiny_template();
-        let (cores, report) =
-            find_min_cores(&template, 1, 8, 0.999).expect("some pool size works");
+        let (cores, report) = find_min_cores(&template, 1, 8, 0.999).expect("some pool size works");
         assert!(cores >= 1 && cores <= 8);
         assert!(report.metrics.reliability >= 0.999);
     }

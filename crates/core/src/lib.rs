@@ -24,6 +24,6 @@ pub mod runner;
 pub mod sim;
 
 pub use config::{Colocation, PredictorChoice, SchedulerChoice, SimConfig};
-pub use report::{ExperimentReport, WorkloadReport};
+pub use report::{ExperimentReport, FaultReport, FaultWindowReport, WorkloadReport};
 pub use runner::run_parallel;
 pub use sim::{run_experiment, Simulation};

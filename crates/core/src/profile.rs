@@ -47,11 +47,7 @@ impl ProfilingDataset {
 
 /// Generates one randomized profiling workload (0–16 UEs, random sizes,
 /// MCS, SNR, layers — maximum coverage of the input space).
-pub fn random_workload(
-    cell: &CellConfig,
-    direction: SlotDirection,
-    rng: &mut Rng,
-) -> SlotWorkload {
+pub fn random_workload(cell: &CellConfig, direction: SlotDirection, rng: &mut Rng) -> SlotWorkload {
     let n_ues = rng.range_u64(0, cell.max_ues as u64) as usize;
     let peak = match direction {
         SlotDirection::Uplink => cell.peak_ul_bytes_per_slot(),
@@ -107,9 +103,7 @@ pub fn profile(
         for direction in [SlotDirection::Uplink, SlotDirection::Downlink] {
             let wl = random_workload(cell, direction, &mut rng);
             let dag = match direction {
-                SlotDirection::Uplink => {
-                    build_uplink_dag(cell, 0, slot as u64, Nanos::ZERO, &wl)
-                }
+                SlotDirection::Uplink => build_uplink_dag(cell, 0, slot as u64, Nanos::ZERO, &wl),
                 _ => build_downlink_dag(cell, 0, slot as u64, Nanos::ZERO, &wl),
             };
             let pool_cores = rng.range_u64(1, max_cores.max(1) as u64) as u32;

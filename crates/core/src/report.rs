@@ -18,6 +18,55 @@ pub struct WorkloadReport {
     pub fraction_of_ideal: f64,
 }
 
+/// Reliability accounting around one resolved fault window.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultWindowReport {
+    /// Fault class name (`FaultKind::name`).
+    pub kind: String,
+    /// Window start (µs into the online phase).
+    pub start_us: f64,
+    /// Window end (µs).
+    pub end_us: f64,
+    /// Resolved severity.
+    pub severity: f64,
+    /// DAGs completed before the window opened.
+    pub dags_before: u64,
+    /// Deadline violations before the window.
+    pub violations_before: u64,
+    /// Reliability before the window (1.0 when nothing completed yet).
+    pub reliability_before: f64,
+    /// DAGs completed while the fault was active.
+    pub dags_during: u64,
+    /// Violations while the fault was active.
+    pub violations_during: u64,
+    /// Reliability during the fault.
+    pub reliability_during: f64,
+    /// DAGs completed after the fault cleared.
+    pub dags_after: u64,
+    /// Violations after the fault cleared.
+    pub violations_after: u64,
+    /// Reliability after the fault cleared.
+    pub reliability_after: f64,
+    /// Time from the fault clearing to the *last* post-window violation
+    /// (µs); 0 when the pool recovers instantly.
+    pub recovery_us: f64,
+}
+
+impl FaultWindowReport {
+    /// `true` when post-fault reliability returned to (at least) the
+    /// pre-fault level.
+    pub fn recovered(&self) -> bool {
+        self.reliability_after >= self.reliability_before - 1e-12
+    }
+}
+
+/// Fault-injection outcome of one experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Per-window reliability accounting, in timeline order.
+    pub windows: Vec<FaultWindowReport>,
+}
+
 /// Outcome of one end-to-end experiment.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExperimentReport {
@@ -43,6 +92,8 @@ pub struct ExperimentReport {
     pub metrics: MetricsSummary,
     /// Best-effort workload outcome, when a single workload was collocated.
     pub workload: Option<WorkloadReport>,
+    /// Fault-injection outcome, when the experiment injected faults.
+    pub fault: Option<FaultReport>,
 }
 
 impl ExperimentReport {
@@ -96,10 +147,14 @@ mod tests {
                 evictions: 5000,
                 stall_cycles_pct: 1.5,
                 tasks_executed: 2_000_000,
+                cores_failed: 0,
+                offload_fallbacks: 0,
+                tasks_requeued: 0,
                 vran_busy_ms: 24_000.0,
                 wake_hist_counts: vec![10, 5, 1],
             },
             workload: None,
+            fault: None,
         }
     }
 
@@ -127,5 +182,56 @@ mod tests {
         let s = dummy().one_liner();
         assert!(s.contains("concordia"));
         assert!(s.contains("reclaimed"));
+    }
+
+    #[test]
+    fn fault_window_recovery_predicate() {
+        let mut w = FaultWindowReport {
+            kind: "core_offline".into(),
+            start_us: 1_000.0,
+            end_us: 2_000.0,
+            severity: 0.5,
+            dags_before: 1_000,
+            violations_before: 0,
+            reliability_before: 1.0,
+            dags_during: 500,
+            violations_during: 40,
+            reliability_during: 0.92,
+            dags_after: 1_000,
+            violations_after: 0,
+            reliability_after: 1.0,
+            recovery_us: 150.0,
+        };
+        assert!(w.recovered());
+        w.reliability_after = 0.99;
+        assert!(!w.recovered());
+    }
+
+    #[test]
+    fn fault_report_serializes() {
+        let mut r = dummy();
+        r.fault = Some(FaultReport {
+            windows: vec![FaultWindowReport {
+                kind: "accel_outage".into(),
+                start_us: 10.0,
+                end_us: 20.0,
+                severity: 1.0,
+                dags_before: 1,
+                violations_before: 0,
+                reliability_before: 1.0,
+                dags_during: 1,
+                violations_during: 1,
+                reliability_during: 0.0,
+                dags_after: 1,
+                violations_after: 0,
+                reliability_after: 1.0,
+                recovery_us: 0.0,
+            }],
+        });
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ExperimentReport = serde_json::from_str(&json).unwrap();
+        let f = back.fault.expect("fault report survives the round trip");
+        assert_eq!(f.windows.len(), 1);
+        assert_eq!(f.windows[0].kind, "accel_outage");
     }
 }

@@ -2,28 +2,127 @@
 //!
 //! The per-figure harnesses sweep dozens of independent experiment
 //! configurations; each simulation is single-threaded and deterministic, so
-//! they parallelize perfectly across cores. The runner fans configurations
-//! out to a worker pool over crossbeam channels and collects reports in
-//! input order, with a shared progress counter behind a `parking_lot`
-//! mutex.
+//! they parallelize perfectly across cores. Workers claim configurations
+//! from a shared atomic cursor and store outcomes by input index, so the
+//! results come back in input order.
+//!
+//! Every experiment runs under [`std::panic::catch_unwind`]: one faulty
+//! configuration (or a bug tripped by a fault-injection scenario) yields an
+//! [`ExperimentFailure`] for that slot instead of aborting the whole sweep.
+//! [`run_parallel_results`] surfaces the per-experiment outcomes;
+//! [`run_parallel`] keeps the infallible signature and panics with the full
+//! failure list only if at least one experiment failed.
 
 use crate::config::SimConfig;
 use crate::report::ExperimentReport;
 use crate::sim::run_experiment;
-use crossbeam::channel;
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Progress observer: called with (completed, total) after each experiment.
 pub type ProgressFn = Box<dyn Fn(usize, usize) + Send + Sync>;
 
+/// One experiment that panicked instead of producing a report.
+#[derive(Debug, Clone)]
+pub struct ExperimentFailure {
+    /// Position of the configuration in the input vector.
+    pub index: usize,
+    /// Seed of the failed configuration (for reproducing it alone).
+    pub seed: u64,
+    /// The panic message.
+    pub message: String,
+}
+
+impl fmt::Display for ExperimentFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "experiment #{} (seed {}) panicked: {}",
+            self.index, self.seed, self.message
+        )
+    }
+}
+
 /// Runs every configuration, in parallel across up to `workers` threads,
-/// returning the reports in the same order as the inputs.
+/// returning per-experiment outcomes in the same order as the inputs.
 ///
 /// Each experiment is still internally deterministic (seeded), so the
-/// result is identical to running them sequentially.
+/// result is identical to running them sequentially. A panicking
+/// experiment produces `Err(ExperimentFailure)` in its slot; the others
+/// are unaffected.
+pub fn run_parallel_results(
+    configs: Vec<SimConfig>,
+    workers: usize,
+) -> Vec<Result<ExperimentReport, ExperimentFailure>> {
+    run_parallel_results_with_progress(configs, workers, None)
+}
+
+/// [`run_parallel_results`] with an optional progress callback.
+pub fn run_parallel_results_with_progress(
+    configs: Vec<SimConfig>,
+    workers: usize,
+    progress: Option<ProgressFn>,
+) -> Vec<Result<ExperimentReport, ExperimentFailure>> {
+    let total = configs.len();
+    if total == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, total);
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<Result<ExperimentReport, ExperimentFailure>>>> =
+        (0..total).map(|_| Mutex::new(None)).collect();
+    let configs = &configs;
+    let results_ref = &results;
+    let progress_ref = &progress;
+    let next_ref = &next;
+    let done_ref = &done;
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(move || loop {
+                let idx = next_ref.fetch_add(1, Ordering::Relaxed);
+                if idx >= total {
+                    break;
+                }
+                let cfg = configs[idx].clone();
+                let seed = cfg.seed;
+                let outcome =
+                    catch_unwind(AssertUnwindSafe(|| run_experiment(cfg))).map_err(|payload| {
+                        ExperimentFailure {
+                            index: idx,
+                            seed,
+                            message: panic_message(payload),
+                        }
+                    });
+                *results_ref[idx].lock().expect("result slot poisoned") = Some(outcome);
+                let completed = done_ref.fetch_add(1, Ordering::SeqCst) + 1;
+                if let Some(p) = progress_ref {
+                    p(completed, total);
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("runner invariant: every claimed index stores an outcome")
+        })
+        .collect()
+}
+
+/// Runs every configuration in parallel, returning the reports in input
+/// order.
+///
+/// Panics with the aggregated failure list if any experiment panicked; use
+/// [`run_parallel_results`] to handle failures per slot instead.
 pub fn run_parallel(configs: Vec<SimConfig>, workers: usize) -> Vec<ExperimentReport> {
-    run_parallel_with_progress(configs, workers, None)
+    collect_or_panic(run_parallel_results(configs, workers))
 }
 
 /// [`run_parallel`] with an optional progress callback.
@@ -32,49 +131,42 @@ pub fn run_parallel_with_progress(
     workers: usize,
     progress: Option<ProgressFn>,
 ) -> Vec<ExperimentReport> {
-    let total = configs.len();
-    if total == 0 {
-        return Vec::new();
-    }
-    let workers = workers.clamp(1, total);
-    let (task_tx, task_rx) = channel::unbounded::<(usize, SimConfig)>();
-    let (result_tx, result_rx) = channel::unbounded::<(usize, ExperimentReport)>();
-    for item in configs.into_iter().enumerate() {
-        task_tx.send(item).expect("queue open");
-    }
-    drop(task_tx);
+    collect_or_panic(run_parallel_results_with_progress(
+        configs, workers, progress,
+    ))
+}
 
-    let done = Arc::new(Mutex::new(0usize));
-    let progress = progress.map(Arc::new);
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let task_rx = task_rx.clone();
-            let result_tx = result_tx.clone();
-            let done = Arc::clone(&done);
-            let progress = progress.clone();
-            scope.spawn(move || {
-                while let Ok((idx, cfg)) = task_rx.recv() {
-                    let report = run_experiment(cfg);
-                    result_tx.send((idx, report)).expect("collector open");
-                    let mut d = done.lock();
-                    *d += 1;
-                    if let Some(p) = &progress {
-                        p(*d, total);
-                    }
-                }
-            });
+fn collect_or_panic(
+    results: Vec<Result<ExperimentReport, ExperimentFailure>>,
+) -> Vec<ExperimentReport> {
+    let total = results.len();
+    let mut reports = Vec::with_capacity(total);
+    let mut failures = Vec::new();
+    for outcome in results {
+        match outcome {
+            Ok(report) => reports.push(report),
+            Err(failure) => failures.push(failure),
         }
-        drop(result_tx);
+    }
+    if !failures.is_empty() {
+        let list = failures
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        panic!("{} of {total} experiments failed:\n{list}", failures.len());
+    }
+    reports
+}
 
-        let mut out: Vec<Option<ExperimentReport>> = (0..total).map(|_| None).collect();
-        for (idx, report) in result_rx {
-            out[idx] = Some(report);
-        }
-        out.into_iter()
-            .map(|r| r.expect("every experiment reports"))
-            .collect()
-    })
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -83,6 +175,7 @@ mod tests {
     use crate::config::Colocation;
     use concordia_ran::time::Nanos;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
 
     fn tiny(seed: u64, load: f64) -> SimConfig {
         let mut cfg = SimConfig::paper_20mhz();
@@ -92,6 +185,14 @@ mod tests {
         cfg.load = load;
         cfg.seed = seed;
         cfg.colocation = Colocation::Isolated;
+        cfg
+    }
+
+    /// A configuration that trips the pool's `cores > 0` assertion: the
+    /// runner must surface the panic, not abort the sweep.
+    fn broken(seed: u64) -> SimConfig {
+        let mut cfg = tiny(seed, 0.5);
+        cfg.cores = 0;
         cfg
     }
 
@@ -136,5 +237,29 @@ mod tests {
     #[test]
     fn empty_input_is_fine() {
         assert!(run_parallel(Vec::new(), 4).is_empty());
+    }
+
+    #[test]
+    fn one_panicking_config_does_not_sink_the_sweep() {
+        let configs = vec![tiny(7, 0.4), broken(8), tiny(9, 0.4)];
+        let results = run_parallel_results(configs, 3);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        assert!(results[2].is_ok());
+        let failure = results[1].as_ref().expect_err("cores=0 must fail");
+        assert_eq!(failure.index, 1);
+        assert_eq!(failure.seed, 8);
+        assert!(!failure.message.is_empty());
+    }
+
+    #[test]
+    fn infallible_entry_point_reports_the_failure_list() {
+        let err = std::panic::catch_unwind(|| run_parallel(vec![broken(1), tiny(2, 0.4)], 2))
+            .expect_err("must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("aggregated panic is a String");
+        assert!(msg.contains("1 of 2 experiments failed"), "got: {msg}");
+        assert!(msg.contains("seed 1"), "got: {msg}");
     }
 }

@@ -4,7 +4,8 @@
 
 use crate::config::{Colocation, SchedulerChoice, SimConfig};
 use crate::profile::{profile, train_bank};
-use crate::report::{ExperimentReport, WorkloadReport};
+use crate::report::{ExperimentReport, FaultReport, FaultWindowReport, WorkloadReport};
+use concordia_platform::faults::{FaultKind, FaultTimeline};
 use concordia_platform::pool::{PoolConfig, ScheduledDag, VranPool};
 use concordia_platform::sched_api::{DedicatedScheduler, PoolScheduler};
 use concordia_platform::workloads::{MixSchedule, WorkloadKind};
@@ -16,6 +17,7 @@ use concordia_ran::numerology::SlotDirection;
 use concordia_ran::time::Nanos;
 use concordia_sched::baselines::{FlexRanScheduler, ShenangoScheduler, UtilizationScheduler};
 use concordia_sched::concordia::ConcordiaScheduler;
+use concordia_sched::guard::MispredictionGuard;
 use concordia_stats::rng::Rng;
 use concordia_traffic::gen5g::{CellTraffic, TrafficConfig};
 
@@ -28,6 +30,8 @@ pub struct Simulation {
     traffic: Vec<CellTraffic>,
     mix: Option<MixSchedule>,
     static_pressure: (f64, f64),
+    faults: FaultTimeline,
+    guard: MispredictionGuard,
     slot: u64,
 }
 
@@ -104,6 +108,11 @@ impl Simulation {
             }
         };
 
+        // Resolve the fault plan on its own seed stream: the same (seed,
+        // plan) always yields the same windows, and a fault-free plan
+        // leaves every other stream untouched.
+        let faults = cfg.faults.resolve(cfg.seed ^ 0xFA17);
+
         let mut sim = Simulation {
             cfg,
             cost,
@@ -112,10 +121,16 @@ impl Simulation {
             traffic,
             mix,
             static_pressure,
+            faults,
+            guard: MispredictionGuard::default(),
             slot: 0,
         };
         if sim.cfg.fpga {
-            sim.pool.enable_fpga(concordia_ran::accel::FpgaModel::default());
+            sim.pool
+                .enable_fpga(concordia_ran::accel::FpgaModel::default());
+        }
+        if !sim.faults.is_empty() {
+            sim.pool.set_fault_timeline(sim.faults.clone());
         }
         let (c0, k0) = sim.pressure_at(Nanos::ZERO);
         sim.pool.set_pressure(c0, k0);
@@ -150,13 +165,23 @@ impl Simulation {
 
             self.inject_slot(t, slot);
 
-            // Online adaptation (§4.2): feed observed runtimes back.
-            if self.cfg.online_updates {
-                for obs in self.pool.drain_observations() {
+            // Online adaptation (§4.2): feed observed runtimes back. The
+            // misprediction guard watches the same error stream the
+            // scheduler acted on — including any injected predictor bias —
+            // and arms its inflation after a run of underestimates.
+            let bias = 1.0
+                + self
+                    .faults
+                    .severity_at(FaultKind::PredictorBias, t)
+                    .unwrap_or(0.0);
+            for obs in self.pool.drain_observations() {
+                if let Some(pred) = self.bank.predict(obs.kind, &obs.features) {
+                    self.guard
+                        .observe(pred.as_micros_f64() / bias, obs.runtime_us);
+                }
+                if self.cfg.online_updates {
                     self.bank.observe(obs.kind, &obs.features, obs.runtime_us);
                 }
-            } else {
-                self.pool.drain_observations();
             }
         }
         // Drain the tail of the last slots.
@@ -169,18 +194,29 @@ impl Simulation {
     /// Injects the DAGs of one slot boundary for every cell.
     fn inject_slot(&mut self, t: Nanos, slot: u64) {
         let granted = self.pool.granted_cores().max(1);
+        // Workload-level faults land here: a predictor-bias window divides
+        // every prediction (a corrupted model systematically
+        // underestimates), a traffic-surge window inflates every slot's
+        // volume beyond the calibrated load. The guard's inflation pushes
+        // back against the bias once it has seen enough underestimates.
+        let bias = 1.0
+            + self
+                .faults
+                .severity_at(FaultKind::PredictorBias, t)
+                .unwrap_or(0.0);
+        let wcet_factor = self.guard.inflation() / bias;
+        let surge = 1.0
+            + self
+                .faults
+                .severity_at(FaultKind::TrafficSurge, t)
+                .unwrap_or(0.0);
         for c in 0..self.cfg.n_cells as usize {
             // §7 extension: MAC scheduling for the *next* slot runs in the
             // pool, with a one-slot deadline.
             if self.cfg.mac_in_pool {
                 let n_ues = (self.cfg.cell.max_ues / 2).max(1);
-                let mac = concordia_ran::dag::build_mac_dag(
-                    &self.cfg.cell,
-                    c as u32,
-                    slot,
-                    t,
-                    n_ues,
-                );
+                let mac =
+                    concordia_ran::dag::build_mac_dag(&self.cfg.cell, c as u32, slot, t, n_ues);
                 let node_wcet = mac
                     .nodes
                     .iter()
@@ -194,6 +230,7 @@ impl Simulation {
                                     .expected_cost_on_pool(n.task.kind, &params)
                                     .scale(1.5)
                             })
+                            .scale(wcet_factor)
                     })
                     .collect();
                 self.pool.inject_dag(ScheduledDag {
@@ -208,7 +245,7 @@ impl Simulation {
                     SlotDirection::Downlink => self.traffic[c].next_dl_bytes(),
                     // The special slot carries a reduced DL volume.
                     SlotDirection::Special => self.traffic[c].next_dl_bytes() * 0.6,
-                };
+                } * surge;
                 let wl = self.traffic[c].workload_for(dir, bytes);
                 let dag = build_dag(&self.cfg.cell, c as u32, slot, t, &wl);
                 if dag.is_empty() {
@@ -223,8 +260,11 @@ impl Simulation {
                         self.bank
                             .predict(n.task.kind, &extract(&params))
                             .unwrap_or_else(|| {
-                                self.cost.expected_cost_on_pool(n.task.kind, &params).scale(1.5)
+                                self.cost
+                                    .expected_cost_on_pool(n.task.kind, &params)
+                                    .scale(1.5)
                             })
+                            .scale(wcet_factor)
                     })
                     .collect();
                 self.pool.inject_dag(ScheduledDag { dag, node_wcet });
@@ -253,7 +293,69 @@ impl Simulation {
             seed: self.cfg.seed,
             metrics: summary,
             workload,
+            fault: self.fault_report(),
         }
+    }
+
+    /// Per-fault-window reliability accounting: violations before, during
+    /// and after each window, plus the time it took the pool to stop
+    /// violating once the fault cleared.
+    fn fault_report(&self) -> Option<FaultReport> {
+        if self.faults.is_empty() {
+            return None;
+        }
+        let outcomes = self.pool.metrics().slots.outcomes();
+        let rel = |dags: u64, viols: u64| {
+            if dags == 0 {
+                1.0
+            } else {
+                1.0 - viols as f64 / dags as f64
+            }
+        };
+        let windows = self
+            .faults
+            .windows
+            .iter()
+            .map(|w| {
+                // phase 0 = before, 1 = during, 2 = after; [dags, violations]
+                let mut counts = [[0u64; 2]; 3];
+                let mut last_bad_after = None;
+                for o in outcomes {
+                    let phase = if o.completed_at < w.start {
+                        0
+                    } else if o.completed_at < w.end {
+                        1
+                    } else {
+                        2
+                    };
+                    counts[phase][0] += 1;
+                    if o.violated {
+                        counts[phase][1] += 1;
+                        if phase == 2 {
+                            last_bad_after = Some(o.completed_at);
+                        }
+                    }
+                }
+                FaultWindowReport {
+                    kind: w.kind.name().to_string(),
+                    start_us: w.start.as_micros_f64(),
+                    end_us: w.end.as_micros_f64(),
+                    severity: w.severity,
+                    dags_before: counts[0][0],
+                    violations_before: counts[0][1],
+                    reliability_before: rel(counts[0][0], counts[0][1]),
+                    dags_during: counts[1][0],
+                    violations_during: counts[1][1],
+                    reliability_during: rel(counts[1][0], counts[1][1]),
+                    dags_after: counts[2][0],
+                    violations_after: counts[2][1],
+                    reliability_after: rel(counts[2][0], counts[2][1]),
+                    recovery_us: last_bad_after
+                        .map_or(0.0, |t| t.saturating_sub(w.end).as_micros_f64()),
+                }
+            })
+            .collect();
+        Some(FaultReport { windows })
     }
 
     fn workload_report(&self, kind: WorkloadKind) -> WorkloadReport {
@@ -298,7 +400,11 @@ mod tests {
     fn concordia_isolated_meets_deadlines() {
         let r = quick(|_| {});
         assert!(r.metrics.dags > 10_000, "dags {}", r.metrics.dags);
-        assert_eq!(r.metrics.violations, 0, "violations {}", r.metrics.violations);
+        assert_eq!(
+            r.metrics.violations, 0,
+            "violations {}",
+            r.metrics.violations
+        );
         assert!(
             r.metrics.reclaimed_fraction > 0.3,
             "reclaimed {}",
@@ -311,10 +417,18 @@ mod tests {
         let r = quick(|c| {
             c.colocation = Colocation::Single(WorkloadKind::Redis);
         });
-        assert_eq!(r.metrics.violations, 0, "violations {}", r.metrics.violations);
+        assert_eq!(
+            r.metrics.violations, 0,
+            "violations {}",
+            r.metrics.violations
+        );
         assert!(r.metrics.reclaimed_fraction > 0.2);
         let w = r.workload.as_ref().unwrap();
-        assert!(w.fraction_of_ideal > 0.1, "workload got {}", w.fraction_of_ideal);
+        assert!(
+            w.fraction_of_ideal > 0.1,
+            "workload got {}",
+            w.fraction_of_ideal
+        );
     }
 
     #[test]

@@ -31,6 +31,14 @@ impl FpgaState {
         self.queue.enqueue(now, service)
     }
 
+    /// Completion time a request submitted at `now` *would* get, without
+    /// enqueueing it. The fault layer's per-offload timeout check peeks
+    /// before committing so a timed-out request never occupies the engine.
+    pub fn projected_completion(&self, now: Nanos, kind: TaskKind, n_cbs: u32) -> Nanos {
+        let service = self.model.service_latency(kind, n_cbs.max(1));
+        self.queue.busy_until().max(now) + service
+    }
+
     /// Requests served so far.
     pub fn served(&self) -> u64 {
         self.queue.served()
@@ -54,6 +62,16 @@ mod tests {
         assert!(c2 > c1);
         assert_eq!(f.served(), 2);
         assert!(f.busy_time() > Nanos::ZERO);
+    }
+
+    #[test]
+    fn projection_matches_submit_and_does_not_mutate() {
+        let mut f = FpgaState::new(FpgaModel::default());
+        f.submit(Nanos::ZERO, TaskKind::LdpcDecode, 6);
+        let p1 = f.projected_completion(Nanos::ZERO, TaskKind::LdpcDecode, 6);
+        let p2 = f.projected_completion(Nanos::ZERO, TaskKind::LdpcDecode, 6);
+        assert_eq!(p1, p2, "peeking must not occupy the engine");
+        assert_eq!(f.submit(Nanos::ZERO, TaskKind::LdpcDecode, 6), p1);
     }
 
     #[test]

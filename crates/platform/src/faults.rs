@@ -1,0 +1,408 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] describes *classes* of faults to inject into an
+//! experiment — cores going offline or stalling, the FPGA offload engine
+//! failing or timing out, the WCET predictor developing a systematic
+//! underestimate, kernel-storm amplification, and traffic surging beyond
+//! what the predictor was calibrated for. Each spec gives ranges for the
+//! fault's start time, duration and severity; [`FaultPlan::resolve`] draws
+//! the concrete [`FaultWindow`]s from a seeded [`Rng`] using the same fork
+//! discipline as the rest of the simulator, so a given `(seed, plan)` pair
+//! always produces the same timeline — fault experiments are as
+//! bit-reproducible as fault-free ones.
+//!
+//! The resolved [`FaultTimeline`] is consumed in two places: the pool
+//! simulator schedules start/end events for the platform-level faults
+//! (cores, accelerator, storms), and the slot loop applies the
+//! workload-level faults (predictor bias, traffic surge) when building each
+//! slot's DAGs.
+
+use concordia_ran::time::Nanos;
+use concordia_stats::rng::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The classes of faults the injector can schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// One or more cores disappear from the pool (hot-unplug, kernel
+    /// isolation, hardware fault). Severity = fraction of the pool taken
+    /// offline (at least one core, never the whole pool).
+    CoreOffline,
+    /// The pool's cores slow down (thermal throttling, SMI storms).
+    /// Severity = fractional runtime inflation on every CPU task.
+    CoreStall,
+    /// The FPGA offload engine drops off the bus: in-flight submissions
+    /// and new offloads must fall back to the CPU decode path. Severity is
+    /// unused.
+    AccelOutage,
+    /// The FPGA stays up but its completion latency exceeds budget:
+    /// offloads whose projected completion is later than the timeout fall
+    /// back to CPU. Severity = timeout budget in microseconds.
+    AccelTimeout,
+    /// The WCET predictor develops a systematic underestimate. Severity =
+    /// fractional underestimate (predictions divided by `1 + severity`).
+    PredictorBias,
+    /// Correlated kernel activity beyond what the colocated workloads
+    /// explain. Severity = additive kernel-pressure boost.
+    StormAmplification,
+    /// Traffic surges beyond the calibrated load. Severity = fractional
+    /// volume increase on every slot.
+    TrafficSurge,
+}
+
+impl FaultKind {
+    /// Display name (stable, used in reports and the CLI).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::CoreOffline => "core_offline",
+            FaultKind::CoreStall => "core_stall",
+            FaultKind::AccelOutage => "accel_outage",
+            FaultKind::AccelTimeout => "accel_timeout",
+            FaultKind::PredictorBias => "predictor_bias",
+            FaultKind::StormAmplification => "storm_amplification",
+            FaultKind::TrafficSurge => "traffic_surge",
+        }
+    }
+
+    /// Every fault class, in a stable order (the chaos-soak sweep order).
+    pub const ALL: [FaultKind; 7] = [
+        FaultKind::CoreOffline,
+        FaultKind::CoreStall,
+        FaultKind::AccelOutage,
+        FaultKind::AccelTimeout,
+        FaultKind::PredictorBias,
+        FaultKind::StormAmplification,
+        FaultKind::TrafficSurge,
+    ];
+
+    /// Inverse of [`FaultKind::name`]: parses a CLI/report string back to
+    /// the kind. Returns `None` for unknown names.
+    pub fn from_name(s: &str) -> Option<FaultKind> {
+        FaultKind::ALL.iter().copied().find(|k| k.name() == s)
+    }
+
+    /// `true` for faults the pool simulator handles via timeline events
+    /// (the rest are applied by the slot loop when building DAGs).
+    pub fn is_platform_fault(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::CoreOffline
+                | FaultKind::CoreStall
+                | FaultKind::AccelOutage
+                | FaultKind::AccelTimeout
+                | FaultKind::StormAmplification
+        )
+    }
+}
+
+/// One fault class with ranges for when it strikes, how long it lasts and
+/// how hard it hits. `resolve` draws the concrete values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Fault class.
+    pub kind: FaultKind,
+    /// Earliest possible start.
+    pub earliest_start: Nanos,
+    /// Latest possible start.
+    pub latest_start: Nanos,
+    /// Minimum duration.
+    pub min_duration: Nanos,
+    /// Maximum duration.
+    pub max_duration: Nanos,
+    /// Minimum severity (interpretation depends on the kind).
+    pub min_severity: f64,
+    /// Maximum severity.
+    pub max_severity: f64,
+}
+
+impl FaultSpec {
+    /// A spec with a fixed start/duration/severity (no randomness left).
+    pub fn fixed(kind: FaultKind, start: Nanos, duration: Nanos, severity: f64) -> Self {
+        FaultSpec {
+            kind,
+            earliest_start: start,
+            latest_start: start,
+            min_duration: duration,
+            max_duration: duration,
+            min_severity: severity,
+            max_severity: severity,
+        }
+    }
+
+    /// The default chaos spec for a fault class, scaled to an experiment of
+    /// the given duration: strikes somewhere in the middle third and lasts
+    /// 10–20 % of the run, with a kind-appropriate severity range.
+    pub fn chaos(kind: FaultKind, experiment: Nanos) -> Self {
+        let (lo, hi) = match kind {
+            FaultKind::CoreOffline => (0.25, 0.5),
+            FaultKind::CoreStall => (0.3, 0.6),
+            FaultKind::AccelOutage => (1.0, 1.0),
+            // Timeout budget in µs: tighter than a loaded engine's queue.
+            FaultKind::AccelTimeout => (25.0, 60.0),
+            FaultKind::PredictorBias => (0.4, 0.8),
+            FaultKind::StormAmplification => (1.5, 3.0),
+            FaultKind::TrafficSurge => (0.5, 1.0),
+        };
+        FaultSpec {
+            kind,
+            earliest_start: experiment.scale(1.0 / 3.0),
+            latest_start: experiment.scale(0.45),
+            min_duration: experiment.scale(0.10),
+            max_duration: experiment.scale(0.20),
+            min_severity: lo,
+            max_severity: hi,
+        }
+    }
+}
+
+/// A resolved fault occurrence on the simulation timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultWindow {
+    /// Fault class.
+    pub kind: FaultKind,
+    /// When the fault strikes.
+    pub start: Nanos,
+    /// When it clears.
+    pub end: Nanos,
+    /// Resolved severity.
+    pub severity: f64,
+}
+
+impl FaultWindow {
+    /// `true` while the fault is in effect at `now` (start inclusive, end
+    /// exclusive: the end event restores healthy behaviour).
+    pub fn active_at(&self, now: Nanos) -> bool {
+        self.start <= now && now < self.end
+    }
+}
+
+/// The fault classes an experiment injects (empty = fault-free).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Fault specs; each resolves to exactly one window.
+    pub specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// The fault-free plan.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Plan with one spec per given kind, using the chaos defaults.
+    pub fn chaos(kinds: &[FaultKind], experiment: Nanos) -> Self {
+        FaultPlan {
+            specs: kinds
+                .iter()
+                .map(|&k| FaultSpec::chaos(k, experiment))
+                .collect(),
+        }
+    }
+
+    /// `true` when nothing is injected.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Draws concrete windows from the specs. Each spec forks its own RNG
+    /// stream keyed by its index, so adding a spec never perturbs the draws
+    /// of the others — the same discipline the simulator uses for cells
+    /// and workers.
+    pub fn resolve(&self, seed: u64) -> FaultTimeline {
+        let root = Rng::new(seed);
+        let mut windows: Vec<FaultWindow> = self
+            .specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let mut rng = root.fork(0xFA01 + i as u64);
+                let start = Nanos(
+                    rng.range_u64(
+                        spec.earliest_start.as_nanos(),
+                        spec.latest_start
+                            .as_nanos()
+                            .max(spec.earliest_start.as_nanos()),
+                    ),
+                );
+                let duration = Nanos(
+                    rng.range_u64(
+                        spec.min_duration.as_nanos(),
+                        spec.max_duration
+                            .as_nanos()
+                            .max(spec.min_duration.as_nanos()),
+                    ),
+                );
+                let severity = if spec.max_severity > spec.min_severity {
+                    rng.range_f64(spec.min_severity, spec.max_severity)
+                } else {
+                    spec.min_severity
+                };
+                FaultWindow {
+                    kind: spec.kind,
+                    start,
+                    end: start + duration,
+                    severity,
+                }
+            })
+            .collect();
+        windows.sort_by_key(|w| (w.start, w.end));
+        FaultTimeline { windows }
+    }
+}
+
+/// The resolved set of fault windows of one experiment.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultTimeline {
+    /// Windows sorted by start time.
+    pub windows: Vec<FaultWindow>,
+}
+
+impl FaultTimeline {
+    /// An empty timeline (fault-free run).
+    pub fn empty() -> Self {
+        FaultTimeline::default()
+    }
+
+    /// `true` when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Severity of the given fault class at `now`, if a window is active.
+    /// With overlapping windows of the same class, the largest severity
+    /// wins.
+    pub fn severity_at(&self, kind: FaultKind, now: Nanos) -> Option<f64> {
+        self.windows
+            .iter()
+            .filter(|w| w.kind == kind && w.active_at(now))
+            .map(|w| w.severity)
+            .fold(None, |acc, s| Some(acc.map_or(s, |a: f64| a.max(s))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> FaultPlan {
+        FaultPlan::chaos(
+            &[
+                FaultKind::CoreOffline,
+                FaultKind::AccelTimeout,
+                FaultKind::TrafficSurge,
+            ],
+            Nanos::from_secs(2),
+        )
+    }
+
+    #[test]
+    fn resolve_is_deterministic() {
+        assert_eq!(plan().resolve(77), plan().resolve(77));
+    }
+
+    #[test]
+    fn different_seeds_move_the_windows() {
+        let a = plan().resolve(1);
+        let b = plan().resolve(2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn adding_a_spec_does_not_perturb_earlier_ones() {
+        let mut extended = plan();
+        extended
+            .specs
+            .push(FaultSpec::chaos(FaultKind::CoreStall, Nanos::from_secs(2)));
+        let base = plan().resolve(9);
+        let ext = extended.resolve(9);
+        // Same (kind, window) for the shared specs regardless of the extra
+        // one: each spec has its own forked stream.
+        for w in &base.windows {
+            assert!(ext.windows.contains(w), "missing {w:?}");
+        }
+    }
+
+    #[test]
+    fn windows_respect_spec_ranges() {
+        let tl = plan().resolve(42);
+        assert_eq!(tl.windows.len(), 3);
+        let exp = Nanos::from_secs(2);
+        for w in &tl.windows {
+            assert!(w.start >= exp.scale(1.0 / 3.0));
+            assert!(w.start <= exp.scale(0.45));
+            let dur = w.end.saturating_sub(w.start);
+            assert!(dur >= exp.scale(0.10) && dur <= exp.scale(0.20));
+        }
+    }
+
+    #[test]
+    fn severity_at_respects_windows() {
+        let tl = FaultTimeline {
+            windows: vec![
+                FaultWindow {
+                    kind: FaultKind::TrafficSurge,
+                    start: Nanos::from_millis(10),
+                    end: Nanos::from_millis(20),
+                    severity: 0.5,
+                },
+                FaultWindow {
+                    kind: FaultKind::TrafficSurge,
+                    start: Nanos::from_millis(15),
+                    end: Nanos::from_millis(30),
+                    severity: 0.9,
+                },
+            ],
+        };
+        assert_eq!(
+            tl.severity_at(FaultKind::TrafficSurge, Nanos::from_millis(5)),
+            None
+        );
+        assert_eq!(
+            tl.severity_at(FaultKind::TrafficSurge, Nanos::from_millis(12)),
+            Some(0.5)
+        );
+        // Overlap: the larger severity wins.
+        assert_eq!(
+            tl.severity_at(FaultKind::TrafficSurge, Nanos::from_millis(17)),
+            Some(0.9)
+        );
+        // End is exclusive.
+        assert_eq!(
+            tl.severity_at(FaultKind::TrafficSurge, Nanos::from_millis(30)),
+            None
+        );
+        assert_eq!(
+            tl.severity_at(FaultKind::CoreOffline, Nanos::from_millis(12)),
+            None
+        );
+    }
+
+    #[test]
+    fn plan_serializes() {
+        let p = plan();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+        let tl = p.resolve(5);
+        let json = serde_json::to_string(&tl).unwrap();
+        let back: FaultTimeline = serde_json::from_str(&json).unwrap();
+        assert_eq!(tl, back);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(FaultKind::CoreOffline.name(), "core_offline");
+        assert_eq!(FaultKind::AccelTimeout.name(), "accel_timeout");
+        assert!(FaultKind::CoreOffline.is_platform_fault());
+        assert!(!FaultKind::TrafficSurge.is_platform_fault());
+    }
+
+    #[test]
+    fn from_name_round_trips() {
+        for kind in FaultKind::ALL {
+            assert_eq!(FaultKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(FaultKind::from_name("meteor_strike"), None);
+        assert_eq!(FaultKind::from_name(""), None);
+    }
+}

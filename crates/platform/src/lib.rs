@@ -5,6 +5,8 @@
 //! workloads under a non-real-time OS.
 //!
 //! * [`events`] — deterministic event queue.
+//! * [`faults`] — seed-deterministic fault injection (core loss/stall,
+//!   accelerator outage/timeout, predictor bias, storms, traffic surges).
 //! * [`oslat`] — Linux wake-latency model (Fig. 10 shapes).
 //! * [`cache`] — LLC interference model + modeled perf counters (Fig. 9).
 //! * [`workloads`] — Redis/Nginx/TPCC/MLPerf/Mix best-effort models
@@ -18,6 +20,7 @@
 pub mod accel_state;
 pub mod cache;
 pub mod events;
+pub mod faults;
 pub mod metrics;
 pub mod oslat;
 pub mod pool;
@@ -25,7 +28,8 @@ pub mod sched_api;
 pub mod workloads;
 
 pub use cache::{CacheModel, CounterAccumulator, CounterDeltas};
-pub use metrics::{MetricsSummary, PoolMetrics, SlotLatencyRecorder};
+pub use faults::{FaultKind, FaultPlan, FaultSpec, FaultTimeline, FaultWindow};
+pub use metrics::{MetricsSummary, PoolMetrics, SlotLatencyRecorder, SlotOutcome};
 pub use oslat::OsLatencyModel;
 pub use pool::{Observation, PoolConfig, ScheduledDag, VranPool};
 pub use sched_api::{DagProgress, DedicatedScheduler, PoolScheduler, PoolView};

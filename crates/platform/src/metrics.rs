@@ -11,6 +11,19 @@ use serde::{Deserialize, Serialize};
 pub struct SlotLatencyRecorder {
     latencies_us: Vec<f64>,
     violations: u64,
+    /// Completion time and deadline outcome of every DAG, in completion
+    /// order — the raw material for per-fault-window reliability
+    /// accounting (violations before/during/after each window).
+    outcomes: Vec<SlotOutcome>,
+}
+
+/// One completed DAG's timing outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotOutcome {
+    /// When the DAG completed.
+    pub completed_at: Nanos,
+    /// Whether it missed its deadline.
+    pub violated: bool,
 }
 
 impl SlotLatencyRecorder {
@@ -19,12 +32,23 @@ impl SlotLatencyRecorder {
         Self::default()
     }
 
-    /// Records one completed DAG.
+    /// Records one completed DAG (completion time unknown / irrelevant).
     pub fn record(&mut self, latency: Nanos, deadline_budget: Nanos) {
+        self.record_at(Nanos::ZERO, latency, deadline_budget);
+    }
+
+    /// Records one completed DAG together with its completion time, so
+    /// fault-window accounting can attribute it to a timeline phase.
+    pub fn record_at(&mut self, completed_at: Nanos, latency: Nanos, deadline_budget: Nanos) {
         self.latencies_us.push(latency.as_micros_f64());
-        if latency > deadline_budget {
+        let violated = latency > deadline_budget;
+        if violated {
             self.violations += 1;
         }
+        self.outcomes.push(SlotOutcome {
+            completed_at,
+            violated,
+        });
     }
 
     /// Number of completed DAGs.
@@ -57,13 +81,20 @@ impl SlotLatencyRecorder {
     }
 
     /// Latency quantile in µs (e.g. 0.9999 and 0.99999 for Fig. 11).
-    pub fn quantile_us(&self, q: f64) -> f64 {
-        quantile(&self.latencies_us, q).unwrap_or(0.0)
+    /// `None` when no DAG has completed — an empty tail is *unknown*, not
+    /// zero, and reporting 0 µs silently passed for perfect.
+    pub fn quantile_us(&self, q: f64) -> Option<f64> {
+        quantile(&self.latencies_us, q)
     }
 
     /// Raw latencies (µs) for downstream analysis.
     pub fn latencies_us(&self) -> &[f64] {
         &self.latencies_us
+    }
+
+    /// Per-DAG completion outcomes in completion order.
+    pub fn outcomes(&self) -> &[SlotOutcome] {
+        &self.outcomes
     }
 }
 
@@ -90,6 +121,16 @@ pub struct PoolMetrics {
     pub counters: crate::cache::CounterAccumulator,
     /// Tasks executed.
     pub tasks_executed: u64,
+    /// Core-time spent offline due to injected core faults (counted toward
+    /// neither the vRAN nor best-effort work).
+    pub offline_core_time: Nanos,
+    /// Cores taken offline by fault injection (cumulative events).
+    pub cores_failed: u64,
+    /// Offloaded tasks re-routed to the CPU path (accelerator absent,
+    /// failed, or past its timeout budget).
+    pub offload_fallbacks: u64,
+    /// Tasks requeued after their core went offline mid-execution.
+    pub tasks_requeued: u64,
 }
 
 impl PoolMetrics {
@@ -143,9 +184,9 @@ pub struct MetricsSummary {
     pub reliability: f64,
     /// Mean slot latency (µs).
     pub mean_latency_us: f64,
-    /// 99.99th-percentile slot latency (µs).
+    /// 99.99th-percentile slot latency (µs; NaN when no DAG completed).
     pub p9999_latency_us: f64,
-    /// 99.999th-percentile slot latency (µs).
+    /// 99.999th-percentile slot latency (µs; NaN when no DAG completed).
     pub p99999_latency_us: f64,
     /// Reclaimed CPU fraction.
     pub reclaimed_fraction: f64,
@@ -161,6 +202,12 @@ pub struct MetricsSummary {
     pub stall_cycles_pct: f64,
     /// Tasks executed.
     pub tasks_executed: u64,
+    /// Cores taken offline by fault injection.
+    pub cores_failed: u64,
+    /// Offloads re-routed to the CPU path (accelerator absent/failed/slow).
+    pub offload_fallbacks: u64,
+    /// Tasks requeued after losing their core mid-execution.
+    pub tasks_requeued: u64,
     /// Total vRAN busy core-time in milliseconds.
     pub vran_busy_ms: f64,
     /// Wake-latency log2 histogram counts (bucket 0 = 0-1 µs, 1 = 2-3 µs,
@@ -176,8 +223,8 @@ impl PoolMetrics {
             violations: self.slots.violations(),
             reliability: self.slots.reliability(),
             mean_latency_us: self.slots.mean_us(),
-            p9999_latency_us: self.slots.quantile_us(0.9999),
-            p99999_latency_us: self.slots.quantile_us(0.99999),
+            p9999_latency_us: self.slots.quantile_us(0.9999).unwrap_or(f64::NAN),
+            p99999_latency_us: self.slots.quantile_us(0.99999).unwrap_or(f64::NAN),
             reclaimed_fraction: self.reclaimed_fraction(cores, duration),
             pool_utilization: self.utilization_of_pool(cores, duration),
             wake_events: self.wake_events,
@@ -185,6 +232,9 @@ impl PoolMetrics {
             evictions: self.evictions,
             stall_cycles_pct: self.counters.deltas().stall_cycles_pct,
             tasks_executed: self.tasks_executed,
+            cores_failed: self.cores_failed,
+            offload_fallbacks: self.offload_fallbacks,
+            tasks_requeued: self.tasks_requeued,
             vran_busy_ms: self.vran_busy_time.as_millis_f64(),
             wake_hist_counts: self.wake_hist.counts().to_vec(),
         }
@@ -216,7 +266,16 @@ mod tests {
         let r = SlotLatencyRecorder::new();
         assert_eq!(r.reliability(), 1.0);
         assert_eq!(r.mean_us(), 0.0);
-        assert_eq!(r.quantile_us(0.9999), 0.0);
+        // The tail of zero samples is unknown, not zero.
+        assert_eq!(r.quantile_us(0.9999), None);
+    }
+
+    #[test]
+    fn empty_quantile_surfaces_as_nan_in_summary() {
+        let m = PoolMetrics::new();
+        let s = m.summary(4, Nanos::from_secs(1));
+        assert!(s.p9999_latency_us.is_nan());
+        assert!(s.p99999_latency_us.is_nan());
     }
 
     #[test]
@@ -227,9 +286,22 @@ mod tests {
             r.record(Nanos::from_micros(100), budget);
         }
         r.record(Nanos::from_micros(5_000), budget);
-        assert!(r.quantile_us(0.5) < 150.0);
-        assert!(r.quantile_us(0.99999) > 1_000.0);
-        assert!(r.quantile_us(1.0) == 5_000.0);
+        assert!(r.quantile_us(0.5).unwrap() < 150.0);
+        assert!(r.quantile_us(0.99999).unwrap() > 1_000.0);
+        assert!(r.quantile_us(1.0).unwrap() == 5_000.0);
+    }
+
+    #[test]
+    fn outcomes_carry_completion_times() {
+        let mut r = SlotLatencyRecorder::new();
+        let budget = Nanos::from_millis(1);
+        r.record_at(Nanos::from_millis(3), Nanos::from_micros(500), budget);
+        r.record_at(Nanos::from_millis(5), Nanos::from_millis(2), budget);
+        let o = r.outcomes();
+        assert_eq!(o.len(), 2);
+        assert_eq!(o[0].completed_at, Nanos::from_millis(3));
+        assert!(!o[0].violated);
+        assert!(o[1].violated);
     }
 
     #[test]

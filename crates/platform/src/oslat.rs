@@ -18,6 +18,7 @@ use serde::{Deserialize, Serialize};
 
 /// Parameters of the wake-latency mixture.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct OsLatencyModel {
     /// Probability of a fast wake (scheduler IPI, idle core): 1–4 µs.
     pub fast_prob: f64,
@@ -37,8 +38,6 @@ pub struct OsLatencyModel {
     /// (syscall-heavy collocated workloads drive the kernel into long
     /// non-preemptible sections far more often).
     pub extreme_prob_per_pressure: f64,
-    /// The remainder of the mass is a slow-path wake: 16–64 µs.
-    _private: (),
 }
 
 impl Default for OsLatencyModel {
@@ -50,7 +49,6 @@ impl Default for OsLatencyModel {
             stall_prob_per_pressure: 0.004,
             extreme_prob_isolated: 0.000_002,
             extreme_prob_per_pressure: 0.000_25,
-            _private: (),
         }
     }
 }
@@ -61,8 +59,7 @@ impl OsLatencyModel {
     /// (0 = isolated vRAN).
     pub fn sample_wake(&self, pressure: f64, rng: &mut Rng) -> Nanos {
         let stall_p = self.stall_prob_isolated + self.stall_prob_per_pressure * pressure;
-        let extreme_p =
-            self.extreme_prob_isolated + self.extreme_prob_per_pressure * pressure;
+        let extreme_p = self.extreme_prob_isolated + self.extreme_prob_per_pressure * pressure;
         let u = rng.f64();
         let us = if u < extreme_p {
             // Long non-preemptible kernel path: 0.3-6 ms.
@@ -119,7 +116,10 @@ mod tests {
             loaded_tail > 4.0 * iso_tail,
             "iso {iso_tail} loaded {loaded_tail}"
         );
-        assert!(loaded_tail > 0.003 && loaded_tail < 0.05, "loaded {loaded_tail}");
+        assert!(
+            loaded_tail > 0.003 && loaded_tail < 0.05,
+            "loaded {loaded_tail}"
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@
 use crate::accel_state::FpgaState;
 use crate::cache::{CacheModel, WARMUP};
 use crate::events::EventQueue;
+use crate::faults::{FaultKind, FaultTimeline};
 use crate::metrics::PoolMetrics;
 use crate::oslat::OsLatencyModel;
 use crate::sched_api::{DagProgress, PoolScheduler, PoolView};
@@ -104,6 +105,9 @@ struct Core {
     acct_since: Nanos,
     /// Release as soon as the current task finishes.
     release_pending: bool,
+    /// Taken offline by fault injection: cannot be granted until the fault
+    /// window clears.
+    faulted: bool,
 }
 
 #[derive(Debug)]
@@ -123,6 +127,10 @@ enum Event {
     },
     /// FPGA completed an offloaded node.
     FpgaDone { dag: u32, node: u32 },
+    /// Fault window `idx` of the timeline begins.
+    FaultStart { idx: usize },
+    /// Fault window `idx` of the timeline clears.
+    FaultEnd { idx: usize },
 }
 
 /// Ready-queue entry: EDF order (deadline, then FIFO).
@@ -153,6 +161,9 @@ struct ActiveDag {
     /// Longest predicted path from each node to a sink, including the node.
     tail: Vec<Nanos>,
     remaining_work: Nanos,
+    /// Nodes pinned to the CPU path after an offload fell back (engine
+    /// absent, failed, or past its timeout budget).
+    cpu_only: Vec<bool>,
 }
 
 /// The vRAN pool simulator.
@@ -197,6 +208,23 @@ pub struct VranPool {
     rng_os: Rng,
     metrics: PoolMetrics,
     observations: Vec<Observation>,
+
+    /// Resolved fault windows (empty for a fault-free run).
+    faults: FaultTimeline,
+    /// Which timeline windows are currently in effect.
+    fault_active: Vec<bool>,
+    /// Cores each CoreOffline window took down, for restoration at its end.
+    offline_by_window: Vec<Vec<u32>>,
+    /// Runtime multiplier on CPU tasks (≥ 1.0; raised by CoreStall).
+    stall_factor: f64,
+    /// Per-offload completion budget while an AccelTimeout window is
+    /// active: projected completions beyond `now + budget` fall back to
+    /// the CPU path.
+    accel_timeout: Option<Nanos>,
+    /// Additive kernel-pressure boost from StormAmplification windows.
+    kernel_boost: f64,
+    /// FPGA parked during an AccelOutage window (restored when it clears).
+    parked_fpga: Option<(FpgaModel, Vec<FpgaState>)>,
 }
 
 impl VranPool {
@@ -221,6 +249,7 @@ impl VranPool {
                 held_since: Nanos::ZERO,
                 acct_since: Nanos::ZERO,
                 release_pending: false,
+                faulted: false,
             })
             .collect();
         VranPool {
@@ -249,12 +278,47 @@ impl VranPool {
             rng_os: root.fork(2),
             metrics: PoolMetrics::new(),
             observations: Vec::new(),
+            faults: FaultTimeline::empty(),
+            fault_active: Vec::new(),
+            offline_by_window: Vec::new(),
+            stall_factor: 1.0,
+            accel_timeout: None,
+            kernel_boost: 0.0,
+            parked_fpga: None,
         }
     }
 
     /// Enables the §7 FPGA LDPC offload.
     pub fn enable_fpga(&mut self, model: FpgaModel) {
         self.fpga = Some((model, Vec::new()));
+    }
+
+    /// Removes the FPGA (models a hot accelerator failure). In-flight
+    /// offload submissions fall back to the CPU path when they complete.
+    pub fn disable_fpga(&mut self) {
+        self.fpga = None;
+        self.parked_fpga = None;
+    }
+
+    /// Installs the resolved fault timeline and schedules start/end events
+    /// for every platform-level window. Call once, before running.
+    pub fn set_fault_timeline(&mut self, timeline: FaultTimeline) {
+        self.fault_active = vec![false; timeline.windows.len()];
+        self.offline_by_window = vec![Vec::new(); timeline.windows.len()];
+        for (idx, w) in timeline.windows.iter().enumerate() {
+            if !w.kind.is_platform_fault() || w.end <= w.start {
+                continue;
+            }
+            let start = w.start.max(self.now);
+            self.events.push(start, Event::FaultStart { idx });
+            self.events.push(w.end.max(start), Event::FaultEnd { idx });
+        }
+        self.faults = timeline;
+    }
+
+    /// Cores currently offline due to fault injection.
+    pub fn offline_cores(&self) -> u32 {
+        self.cores.iter().filter(|c| c.faulted).count() as u32
     }
 
     /// Sets the aggregate cache and kernel pressures of the active
@@ -316,10 +380,7 @@ impl VranPool {
                 .fold(Nanos::ZERO, Nanos::max);
             tail[i] = sched.node_wcet[i] + succ_max;
         }
-        let remaining_work = sched
-            .node_wcet
-            .iter()
-            .fold(Nanos::ZERO, |a, &b| a + b);
+        let remaining_work = sched.node_wcet.iter().fold(Nanos::ZERO, |a, &b| a + b);
         let pred_left: Vec<u16> = sched
             .dag
             .nodes
@@ -334,6 +395,7 @@ impl VranPool {
             remaining: n,
             tail,
             remaining_work,
+            cpu_only: vec![false; n],
         };
         let slot = match self.free_dags.pop() {
             Some(s) => {
@@ -349,7 +411,9 @@ impl VranPool {
         // Queue the source nodes.
         let sources: Vec<u32> = {
             let d = self.dags[slot as usize].as_ref().unwrap();
-            (0..n as u32).filter(|&i| d.pred_left[i as usize] == 0).collect()
+            (0..n as u32)
+                .filter(|&i| d.pred_left[i as usize] == 0)
+                .collect()
         };
         for node in sources {
             self.enqueue_ready(slot, node, deadline);
@@ -420,7 +484,12 @@ impl VranPool {
                 offload_submit,
             } => {
                 let c = &self.cores[core as usize];
-                debug_assert_eq!(c.epoch, epoch, "running tasks are never abandoned");
+                if c.epoch != epoch {
+                    // The core was reset mid-task (taken offline by a
+                    // fault); the task was requeued then, so this finish
+                    // belongs to an abandoned incarnation.
+                    return;
+                }
                 let (dag, node) = match c.state {
                     CoreState::Busy { dag, node } => (dag, node),
                     _ => unreachable!("TaskFinish on a non-busy core"),
@@ -429,19 +498,10 @@ impl VranPool {
                 self.running_tasks -= 1;
                 if offload_submit {
                     // The CPU part (submission) is done; the node itself
-                    // completes when the cell's FPGA engine finishes.
-                    let d = self.dags[dag as usize].as_ref().unwrap();
-                    let cell = d.sched.dag.cell_id as usize;
-                    let tnode = &d.sched.dag.nodes[node as usize];
-                    let (kind, n_cbs) = (tnode.task.kind, tnode.task.params.n_cbs);
-                    let (model, engines) =
-                        self.fpga.as_mut().expect("offload without FPGA");
-                    while engines.len() <= cell {
-                        engines.push(FpgaState::new(*model));
-                    }
-                    let done_at = engines[cell].submit(self.now, kind, n_cbs);
-                    self.events.push(done_at, Event::FpgaDone { dag, node });
-                    self.after_worker_free(core, None);
+                    // completes when the cell's FPGA engine finishes — or
+                    // falls back to the CPU path when the engine is gone
+                    // or cannot meet the timeout budget.
+                    self.finish_offload_submit(core, dag, node);
                 } else {
                     let local = self.complete_node(dag, node);
                     self.after_worker_free(core, local);
@@ -452,17 +512,169 @@ impl VranPool {
                 // No worker context here: a locally-kept successor would
                 // have no core to run on, so queue it like the others.
                 if let Some((ldag, lnode)) = self.complete_node(dag, node) {
-                    let deadline = self.dags[ldag as usize]
-                        .as_ref()
-                        .expect("live dag")
-                        .sched
-                        .dag
-                        .deadline;
-                    self.enqueue_ready(ldag, lnode, deadline);
+                    if let Some(d) = self.dags[ldag as usize].as_ref() {
+                        let deadline = d.sched.dag.deadline;
+                        self.enqueue_ready(ldag, lnode, deadline);
+                    }
                 }
                 self.dispatch();
             }
+            Event::FaultStart { idx } => {
+                self.fault_active[idx] = true;
+                let w = self.faults.windows[idx];
+                if w.kind == FaultKind::CoreOffline {
+                    self.take_cores_offline(idx, w.severity);
+                }
+                self.refresh_fault_state();
+                self.reallocate();
+                self.dispatch();
+            }
+            Event::FaultEnd { idx } => {
+                self.fault_active[idx] = false;
+                let restored = std::mem::take(&mut self.offline_by_window[idx]);
+                for core in restored {
+                    self.restore_core(core);
+                }
+                self.refresh_fault_state();
+                self.reallocate();
+                self.dispatch();
+            }
         }
+    }
+
+    /// A worker finished the CPU submission of an offloaded node: hand it
+    /// to the cell's FPGA engine, or fall back to the CPU path when the
+    /// engine is absent (outage / never configured) or its projected
+    /// completion exceeds the active timeout budget.
+    fn finish_offload_submit(&mut self, core: u32, dag: u32, node: u32) {
+        let info = self.dags[dag as usize].as_ref().map(|d| {
+            let tnode = &d.sched.dag.nodes[node as usize];
+            (
+                d.sched.dag.cell_id as usize,
+                tnode.task.kind,
+                tnode.task.params.n_cbs,
+            )
+        });
+        let Some((cell, kind, n_cbs)) = info else {
+            // The DAG slot is gone — nothing left to complete.
+            self.after_worker_free(core, None);
+            return;
+        };
+        if let Some((model, engines)) = self.fpga.as_mut() {
+            while engines.len() <= cell {
+                engines.push(FpgaState::new(*model));
+            }
+            let projected = engines[cell].projected_completion(self.now, kind, n_cbs);
+            let timed_out = self
+                .accel_timeout
+                .is_some_and(|budget| projected > self.now + budget);
+            if !timed_out {
+                let done_at = engines[cell].submit(self.now, kind, n_cbs);
+                debug_assert_eq!(done_at, projected);
+                self.events.push(done_at, Event::FpgaDone { dag, node });
+                self.after_worker_free(core, None);
+                return;
+            }
+        }
+        // Graceful degradation: no engine (or too slow) — pin the node to
+        // the CPU path and requeue it. The submission cost is sunk; the
+        // node re-executes as ordinary CPU work.
+        self.metrics.offload_fallbacks += 1;
+        if let Some(d) = self.dags[dag as usize].as_mut() {
+            d.cpu_only[node as usize] = true;
+            let deadline = d.sched.dag.deadline;
+            self.enqueue_ready(dag, node, deadline);
+        }
+        self.after_worker_free(core, None);
+    }
+
+    /// Recomputes the derived fault state (stall factor, accel timeout,
+    /// kernel boost, accelerator outage) from the active windows.
+    fn refresh_fault_state(&mut self) {
+        let mut stall = 1.0f64;
+        let mut timeout: Option<Nanos> = None;
+        let mut boost = 0.0f64;
+        let mut outage = false;
+        for (i, w) in self.faults.windows.iter().enumerate() {
+            if !self.fault_active[i] {
+                continue;
+            }
+            match w.kind {
+                FaultKind::CoreStall => stall = stall.max(1.0 + w.severity),
+                FaultKind::AccelTimeout => {
+                    let budget = Nanos::from_micros_f64(w.severity);
+                    timeout = Some(timeout.map_or(budget, |t| t.min(budget)));
+                }
+                FaultKind::StormAmplification => boost = boost.max(w.severity),
+                FaultKind::AccelOutage => outage = true,
+                _ => {}
+            }
+        }
+        self.stall_factor = stall;
+        self.accel_timeout = timeout;
+        self.kernel_boost = boost;
+        if outage && self.fpga.is_some() {
+            self.parked_fpga = self.fpga.take();
+        } else if !outage && self.parked_fpga.is_some() {
+            self.fpga = self.parked_fpga.take();
+        }
+    }
+
+    /// Takes `ceil(severity × pool)` cores offline (at least one, never
+    /// the whole pool). Highest indices go first: every index scan in the
+    /// pool prefers low indices, so the survivors keep serving.
+    fn take_cores_offline(&mut self, window: usize, severity: f64) {
+        let total = self.cores.len();
+        let online: Vec<u32> = (0..total)
+            .filter(|&i| !self.cores[i].faulted)
+            .map(|i| i as u32)
+            .collect();
+        let want = ((severity * total as f64).ceil() as usize).max(1);
+        let take = want.min(online.len().saturating_sub(1));
+        for &core in online.iter().rev().take(take) {
+            self.fail_core(core, window);
+        }
+    }
+
+    /// One core disappears: its in-flight task (if any) is requeued — the
+    /// pool never loses work — and the core becomes ungrantable until the
+    /// window clears.
+    fn fail_core(&mut self, core: u32, window: usize) {
+        let now = self.now;
+        if let CoreState::Busy { dag, node } = self.cores[core as usize].state {
+            self.running_tasks -= 1;
+            self.metrics.tasks_requeued += 1;
+            if let Some(d) = self.dags[dag as usize].as_ref() {
+                let deadline = d.sched.dag.deadline;
+                self.enqueue_ready(dag, node, deadline);
+            }
+        }
+        let c = &mut self.cores[core as usize];
+        let span = now.saturating_sub(c.acct_since);
+        let was_released = c.state == CoreState::Released;
+        c.acct_since = now;
+        c.epoch += 1; // invalidates in-flight Wake / TaskFinish events
+        c.state = CoreState::Released;
+        c.release_pending = false;
+        c.faulted = true;
+        if was_released {
+            self.metrics.besteffort_core_time += span;
+        } else {
+            self.metrics.vran_core_time += span;
+        }
+        self.metrics.cores_failed += 1;
+        self.offline_by_window[window].push(core);
+    }
+
+    /// A faulted core comes back: its offline span is accounted and it
+    /// rejoins the pool as released (the scheduler wakes it on demand).
+    fn restore_core(&mut self, core: u32) {
+        let now = self.now;
+        let c = &mut self.cores[core as usize];
+        let span = now.saturating_sub(c.acct_since);
+        c.acct_since = now;
+        c.faulted = false;
+        self.metrics.offline_core_time += span;
     }
 
     /// Marks a node complete; queues newly-ready successors except an
@@ -472,7 +684,10 @@ impl VranPool {
         let mut newly_ready: Vec<u32> = Vec::new();
         let finished;
         {
-            let d = self.dags[dag as usize].as_mut().expect("live dag");
+            let Some(d) = self.dags[dag as usize].as_mut() else {
+                debug_assert!(false, "completion for a freed dag slot");
+                return None;
+            };
             debug_assert!(!d.done[node as usize]);
             d.done[node as usize] = true;
             d.remaining -= 1;
@@ -492,28 +707,31 @@ impl VranPool {
         }
 
         let mut local: Option<(u32, u32)> = None;
-        if self.cfg.keep_local_successor && !newly_ready.is_empty() {
-            // Keep the successor with the longest tail (most critical).
-            let d = self.dags[dag as usize].as_ref().unwrap();
-            let best = newly_ready
-                .iter()
-                .copied()
-                .max_by_key(|&s| d.tail[s as usize])
-                .unwrap();
-            newly_ready.retain(|&s| s != best);
-            local = Some((dag, best));
+        if self.cfg.keep_local_successor {
+            if let Some(d) = self.dags[dag as usize].as_ref() {
+                // Keep the successor with the longest tail (most critical).
+                if let Some(best) = newly_ready
+                    .iter()
+                    .copied()
+                    .max_by_key(|&s| d.tail[s as usize])
+                {
+                    newly_ready.retain(|&s| s != best);
+                    local = Some((dag, best));
+                }
+            }
         }
         for s in newly_ready {
             self.enqueue_ready(dag, s, deadline);
         }
 
         if finished {
-            let d = self.dags[dag as usize].take().unwrap();
-            self.free_dags.push(dag);
-            self.active_dag_count -= 1;
-            let latency = self.now.saturating_sub(d.sched.dag.arrival);
-            let budget = d.sched.dag.deadline.saturating_sub(d.sched.dag.arrival);
-            self.metrics.slots.record(latency, budget);
+            if let Some(d) = self.dags[dag as usize].take() {
+                self.free_dags.push(dag);
+                self.active_dag_count -= 1;
+                let latency = self.now.saturating_sub(d.sched.dag.arrival);
+                let budget = d.sched.dag.deadline.saturating_sub(d.sched.dag.arrival);
+                self.metrics.slots.record_at(self.now, latency, budget);
+            }
             debug_assert!(local.is_none());
         }
         local
@@ -528,39 +746,60 @@ impl VranPool {
                 return;
             }
             // Release was requested: don't keep work locally.
-            let deadline = self.dags[dag as usize].as_ref().unwrap().sched.dag.deadline;
-            self.enqueue_ready(dag, node, deadline);
+            if let Some(d) = self.dags[dag as usize].as_ref() {
+                let deadline = d.sched.dag.deadline;
+                self.enqueue_ready(dag, node, deadline);
+            }
         }
+        // The worker is done with its task either way; leave `Busy` before
+        // a deferred release so `release_core`'s invariant holds.
+        self.cores[core as usize].state = CoreState::Spinning;
         if self.cores[core as usize].release_pending {
             self.release_core(core);
-        } else {
-            self.cores[core as usize].state = CoreState::Spinning;
         }
     }
 
     fn start_task(&mut self, core: u32, dag: u32, node: u32) {
         let pool_cores = self.effective_granted();
-        let (kind, mut params) = {
-            let d = self.dags[dag as usize].as_ref().expect("live dag");
+        let Some((kind, mut params, cpu_only)) = self.dags[dag as usize].as_ref().map(|d| {
             let t = &d.sched.dag.nodes[node as usize].task;
-            (t.kind, t.params)
+            (t.kind, t.params, d.cpu_only[node as usize])
+        }) else {
+            debug_assert!(false, "ready task for a freed dag slot");
+            self.cores[core as usize].state = CoreState::Spinning;
+            return;
         };
         params.pool_cores = pool_cores.max(1);
 
-        let offload = self.fpga.is_some() && kind.offloadable();
-        let c = &mut self.cores[core as usize];
-        let warm = self.now.saturating_sub(c.held_since) >= WARMUP;
-        let (runtime, interference) = if offload {
-            (self.fpga.as_ref().unwrap().0.submit_cost(), 1.0)
-        } else {
-            let f = self
-                .cache
-                .interference_factor(self.cache_pressure, warm, &mut self.rng_cost);
-            (
-                self.cost
-                    .sample_runtime(kind, &params, f, &mut self.rng_cost),
-                f,
-            )
+        let warm = self
+            .now
+            .saturating_sub(self.cores[core as usize].held_since)
+            >= WARMUP;
+        // Nodes that fell back after an offload failure stay on the CPU
+        // path; everything else offloads when an engine is present.
+        let offload_cost = match self.fpga.as_ref() {
+            Some((model, _)) if !cpu_only && kind.offloadable() => Some(model.submit_cost()),
+            _ => None,
+        };
+        let offload = offload_cost.is_some();
+        if !offload && !cpu_only && kind.offloadable() && self.parked_fpga.is_some() {
+            // An engine is configured but currently lost to an outage:
+            // this node would have offloaded, so the CPU run is a fallback.
+            self.metrics.offload_fallbacks += 1;
+        }
+        let (runtime, interference) = match offload_cost {
+            Some(cost) => (cost, 1.0),
+            None => {
+                let f =
+                    self.cache
+                        .interference_factor(self.cache_pressure, warm, &mut self.rng_cost);
+                (
+                    self.cost
+                        .sample_runtime(kind, &params, f, &mut self.rng_cost)
+                        .scale(self.stall_factor),
+                    f,
+                )
+            }
         };
         self.metrics.counters.record_task(interference);
         self.metrics.tasks_executed += 1;
@@ -649,9 +888,12 @@ impl VranPool {
     /// Consults the scheduler and applies the target core count.
     fn reallocate(&mut self) {
         let dags = self.build_progress();
+        // Degraded mode: advertise only surviving cores so the scheduler
+        // recomputes its federated allocation over what actually exists.
+        let surviving = self.cfg.cores.saturating_sub(self.offline_cores());
         let view = PoolView {
             now: self.now,
-            total_cores: self.cfg.cores,
+            total_cores: surviving,
             granted_cores: self.granted_cores(),
             dags: &dags,
             ready_tasks: self.ready.len(),
@@ -662,7 +904,7 @@ impl VranPool {
                 .unwrap_or(Nanos::ZERO),
             recent_utilization: self.utilization_ema,
         };
-        let target = self.scheduler.target_cores(&view).min(self.cfg.cores);
+        let target = self.scheduler.target_cores(&view).min(surviving);
         self.apply_target(target);
     }
 
@@ -680,7 +922,11 @@ impl VranPool {
                 effective += 1;
                 continue;
             }
-            match self.cores.iter().position(|c| c.state == CoreState::Released) {
+            match self
+                .cores
+                .iter()
+                .position(|c| c.state == CoreState::Released && !c.faulted)
+            {
                 Some(i) => {
                     self.wake_core(i as u32);
                     effective += 1;
@@ -692,9 +938,11 @@ impl VranPool {
         // Shrink: spinning first (instant), then waking (cancel), then busy
         // (deferred until task completion).
         while effective > target {
-            if let Some(i) = self.cores.iter().position(|c| {
-                c.state == CoreState::Spinning && !c.release_pending
-            }) {
+            if let Some(i) = self
+                .cores
+                .iter()
+                .position(|c| c.state == CoreState::Spinning && !c.release_pending)
+            {
                 self.release_core(i as u32);
                 effective -= 1;
                 continue;
@@ -708,9 +956,11 @@ impl VranPool {
                 effective -= 1;
                 continue;
             }
-            match self.cores.iter().position(|c| {
-                matches!(c.state, CoreState::Busy { .. }) && !c.release_pending
-            }) {
+            match self
+                .cores
+                .iter()
+                .position(|c| matches!(c.state, CoreState::Busy { .. }) && !c.release_pending)
+            {
                 Some(i) => {
                     self.cores[i].release_pending = true;
                     effective -= 1;
@@ -725,14 +975,15 @@ impl VranPool {
     /// a Poisson process whose rate grows with best-effort pressure;
     /// durations are 0.8-3 ms.
     fn storm_end_at(&mut self, now: Nanos) -> Option<Nanos> {
-        if self.kernel_pressure <= 0.0 {
+        let pressure = self.kernel_pressure + self.kernel_boost;
+        if pressure <= 0.0 {
             return None;
         }
         if self.next_storm == Nanos(u64::MAX) {
             // First call under pressure: draw the initial arrival from the
             // same exponential as subsequent gaps, so a kernel-light
             // workload (MLPerf) storms proportionally rarely.
-            let mean_gap_ms = 2_000.0 / self.kernel_pressure;
+            let mean_gap_ms = 2_000.0 / pressure;
             self.next_storm =
                 now + Nanos::from_micros_f64(self.rng_os.exponential(mean_gap_ms) * 1_000.0);
         }
@@ -742,7 +993,7 @@ impl VranPool {
             if now < end {
                 self.storm_until = end;
             }
-            let mean_gap_ms = 2_000.0 / self.kernel_pressure;
+            let mean_gap_ms = 2_000.0 / pressure;
             let gap = Nanos::from_micros_f64(self.rng_os.exponential(mean_gap_ms) * 1_000.0);
             self.next_storm = end + gap;
         }
@@ -754,7 +1005,8 @@ impl VranPool {
     }
 
     fn wake_core(&mut self, core: u32) {
-        let mut latency = self.oslat.sample_wake(self.kernel_pressure, &mut self.rng_os);
+        let pressure = self.kernel_pressure + self.kernel_boost;
+        let mut latency = self.oslat.sample_wake(pressure, &mut self.rng_os);
         if let Some(storm_end) = self.storm_end_at(self.now) {
             // The wake cannot complete while the kernel storm holds the
             // yielded cores; it lands shortly after the storm passes.
@@ -770,6 +1022,7 @@ impl VranPool {
         let now = self.now;
         let c = &mut self.cores[core as usize];
         debug_assert_eq!(c.state, CoreState::Released);
+        debug_assert!(!c.faulted, "faulted cores are never woken");
         self.metrics.besteffort_core_time += now.saturating_sub(c.acct_since);
         c.acct_since = now;
         c.epoch += 1;
@@ -801,7 +1054,9 @@ impl VranPool {
         for c in &mut self.cores {
             let span = now.saturating_sub(c.acct_since);
             c.acct_since = now;
-            if c.state == CoreState::Released {
+            if c.faulted {
+                self.metrics.offline_core_time += span;
+            } else if c.state == CoreState::Released {
                 self.metrics.besteffort_core_time += span;
             } else {
                 self.metrics.vran_core_time += span;
@@ -817,7 +1072,10 @@ impl VranPool {
             .cores
             .iter()
             .position(|c| c.state == CoreState::Spinning && !c.release_pending);
-        let released = self.cores.iter().position(|c| c.state == CoreState::Released);
+        let released = self
+            .cores
+            .iter()
+            .position(|c| c.state == CoreState::Released && !c.faulted);
         if let (Some(s), Some(r)) = (spinning, released) {
             self.release_core(s as u32);
             self.wake_core(r as u32);
@@ -978,7 +1236,10 @@ mod tests {
         pool.run_until(Nanos::from_millis(11));
         let m = pool.metrics();
         let be_ms = m.besteffort_core_time.as_millis_f64();
-        assert!((55.0..=62.0).contains(&be_ms), "best-effort core-ms {be_ms}");
+        assert!(
+            (55.0..=62.0).contains(&be_ms),
+            "best-effort core-ms {be_ms}"
+        );
         assert!(m.wake_events >= 6);
     }
 
@@ -1120,5 +1381,129 @@ mod tests {
         pool.run_until(Nanos::from_millis(1));
         assert_eq!(pool.metrics().slots.count(), 0);
         assert_eq!(pool.active_dags(), 0);
+    }
+
+    use crate::faults::{FaultKind, FaultPlan, FaultSpec, FaultTimeline};
+
+    fn fixed_timeline(kind: FaultKind, start_us: u64, end_us: u64, severity: f64) -> FaultTimeline {
+        FaultPlan {
+            specs: vec![FaultSpec::fixed(
+                kind,
+                Nanos::from_micros(start_us),
+                Nanos::from_micros(end_us - start_us),
+                severity,
+            )],
+        }
+        .resolve(0)
+    }
+
+    #[test]
+    fn core_offline_requeues_without_losing_work() {
+        let mut pool = pool_with(4);
+        pool.set_fault_timeline(fixed_timeline(FaultKind::CoreOffline, 200, 4_000, 0.5));
+        for k in 0..10 {
+            let t = Nanos::from_micros(500 * k);
+            pool.run_until(t);
+            pool.inject_dag(test_dag(t, 8_000, 3));
+        }
+        pool.run_until(Nanos::from_millis(40));
+        assert_eq!(pool.active_dags(), 0, "work lost across core failure");
+        assert_eq!(pool.metrics().slots.count(), 10);
+        assert!(pool.metrics().cores_failed >= 1);
+        assert!(pool.metrics().offline_core_time > Nanos::ZERO);
+    }
+
+    #[test]
+    fn core_offline_never_takes_the_whole_pool() {
+        let mut pool = pool_with(2);
+        // Severity 1.0 asks for everything; the injector must leave one.
+        pool.set_fault_timeline(fixed_timeline(FaultKind::CoreOffline, 0, 20_000, 1.0));
+        pool.inject_dag(test_dag(Nanos::ZERO, 6_000, 2));
+        pool.run_until(Nanos::from_millis(10));
+        assert!(pool.offline_cores() <= 1, "whole pool taken offline");
+        pool.run_until(Nanos::from_millis(40));
+        assert_eq!(pool.active_dags(), 0);
+    }
+
+    #[test]
+    fn accel_timeout_falls_back_to_cpu() {
+        let mut pool = pool_with(4);
+        pool.enable_fpga(concordia_ran::accel::FpgaModel::default());
+        // Zero-microsecond budget: every projected completion misses it.
+        pool.set_fault_timeline(fixed_timeline(FaultKind::AccelTimeout, 0, 50_000, 0.0));
+        pool.inject_dag(test_dag(Nanos::ZERO, 20_000, 4));
+        pool.run_until(Nanos::from_millis(30));
+        assert_eq!(pool.active_dags(), 0);
+        assert!(
+            pool.metrics().offload_fallbacks > 0,
+            "timeouts must reroute"
+        );
+    }
+
+    #[test]
+    fn accel_outage_mid_run_survives_on_cpu() {
+        let mut pool = pool_with(4);
+        pool.enable_fpga(concordia_ran::accel::FpgaModel::default());
+        pool.set_fault_timeline(fixed_timeline(FaultKind::AccelOutage, 100, 20_000, 1.0));
+        for k in 0..8 {
+            let t = Nanos::from_micros(300 * k);
+            pool.run_until(t);
+            pool.inject_dag(test_dag(t, 10_000, 3));
+        }
+        pool.run_until(Nanos::from_millis(40));
+        assert_eq!(pool.active_dags(), 0, "outage must not wedge the pool");
+        assert_eq!(pool.metrics().slots.count(), 8);
+    }
+
+    #[test]
+    fn core_stall_inflates_runtimes() {
+        let run = |stall: Option<FaultTimeline>| {
+            let mut pool = pool_with(2);
+            if let Some(tl) = stall {
+                pool.set_fault_timeline(tl);
+            }
+            pool.inject_dag(test_dag(Nanos::ZERO, 10_000, 2));
+            pool.run_until(Nanos::from_millis(20));
+            pool.metrics().slots.mean_us()
+        };
+        let healthy = run(None);
+        let stalled = run(Some(fixed_timeline(FaultKind::CoreStall, 0, 20_000, 1.0)));
+        assert!(
+            stalled > healthy * 1.5,
+            "severity-1.0 stall must roughly double latency: {healthy} vs {stalled}"
+        );
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let run = || {
+            let mut pool = pool_with(4);
+            pool.enable_fpga(concordia_ran::accel::FpgaModel::default());
+            pool.set_fault_timeline(
+                FaultPlan::chaos(
+                    &[
+                        FaultKind::CoreOffline,
+                        FaultKind::CoreStall,
+                        FaultKind::AccelOutage,
+                    ],
+                    Nanos::from_millis(10),
+                )
+                .resolve(3),
+            );
+            for k in 0..12 {
+                let t = Nanos::from_micros(400 * k);
+                pool.run_until(t);
+                pool.inject_dag(test_dag(t, 6_000, 2));
+            }
+            pool.run_until(Nanos::from_millis(30));
+            (
+                pool.metrics().slots.mean_us(),
+                pool.metrics().tasks_executed,
+                pool.metrics().tasks_requeued,
+                pool.metrics().cores_failed,
+                pool.metrics().vran_busy_time,
+            )
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -94,7 +94,10 @@ impl WorkloadKind {
 }
 
 /// Static characterization of one best-effort workload.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Serialize-only: the `&'static str` unit label cannot be deserialized
+/// from owned data, and nothing reconstructs profiles from reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct WorkloadProfile {
     /// Which workload this profiles.
     pub kind: WorkloadKind,
@@ -305,7 +308,13 @@ mod tests {
         let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = samples.iter().cloned().fold(0.0, f64::max);
         assert!(max > min, "pressure must vary: {min}..{max}");
-        assert!(max <= WorkloadKind::ALL.iter().map(|k| k.profile().cache_intensity).sum::<f64>() + 1e-9);
+        assert!(
+            max <= WorkloadKind::ALL
+                .iter()
+                .map(|k| k.profile().cache_intensity)
+                .sum::<f64>()
+                + 1e-9
+        );
         // Toggle times sorted and within duration window + one interval.
         let ts = mix.toggle_times();
         assert!(ts.windows(2).all(|w| w[0] <= w[1]));
@@ -320,7 +329,10 @@ mod tests {
             )],
         };
         assert!(mix.active_at(Nanos::from_secs(5)).is_empty());
-        assert_eq!(mix.active_at(Nanos::from_secs(15)), vec![WorkloadKind::Redis]);
+        assert_eq!(
+            mix.active_at(Nanos::from_secs(15)),
+            vec![WorkloadKind::Redis]
+        );
         assert!(mix.active_at(Nanos::from_secs(25)).is_empty());
     }
 }

@@ -185,7 +185,10 @@ mod tests {
     #[test]
     fn bank_observe_reaches_the_model() {
         let mut bank = ModelBank::new();
-        bank.insert(TaskKind::LdpcDecode, Box::new(MaxObservedPredictor::default()));
+        bank.insert(
+            TaskKind::LdpcDecode,
+            Box::new(MaxObservedPredictor::default()),
+        );
         bank.observe(TaskKind::LdpcDecode, &X, 33.0);
         bank.observe(TaskKind::Ifft, &X, 99.0); // unmodeled: ignored
         assert_eq!(

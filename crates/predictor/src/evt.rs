@@ -146,7 +146,11 @@ mod tests {
             let cbs = rng.range_u64(1, 16) as f64;
             p.observe(&X, (10.0 + 30.0 * cbs) * 1.4 * rng.lognormal(0.0, 0.05));
         }
-        assert!(p.wcet_us() > before * 1.1, "before {before} after {}", p.wcet_us());
+        assert!(
+            p.wcet_us() > before * 1.1,
+            "before {before} after {}",
+            p.wcet_us()
+        );
     }
 
     #[test]

@@ -103,7 +103,7 @@ pub fn backwards_elimination(
             let mut reduced = feats.clone();
             reduced.remove(pos);
             let mae = validation_mae(&train_x, &train_y, &val_x, &val_y, &reduced);
-            if best.map_or(true, |(_, b)| mae < b) {
+            if best.is_none_or(|(_, b)| mae < b) {
                 best = Some((pos, mae));
             }
         }

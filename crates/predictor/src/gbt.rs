@@ -83,9 +83,7 @@ impl GradientBoosting {
             }
             let leaf_values: Vec<f64> = leaf_samples
                 .iter()
-                .map(|idxs| {
-                    idxs.iter().map(|&i| resid[i]).sum::<f64>() / idxs.len().max(1) as f64
-                })
+                .map(|idxs| idxs.iter().map(|&i| resid[i]).sum::<f64>() / idxs.len().max(1) as f64)
                 .collect();
             for (i, x) in xs.iter().enumerate() {
                 pred[i] += cfg.learning_rate * leaf_values[tree.leaf_of(x)];

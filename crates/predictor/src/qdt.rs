@@ -198,10 +198,7 @@ mod tests {
         // Fig. 13: the parameterized prediction is far tighter than one
         // global WCET for small inputs.
         let samples = synthetic(20_000, 4);
-        let global_max = samples
-            .iter()
-            .map(|s| s.runtime_us)
-            .fold(0.0, f64::max);
+        let global_max = samples.iter().map(|s| s.runtime_us).fold(0.0, f64::max);
         let qdt = QuantileDecisionTree::fit(&samples, &[0, 1], &TreeConfig::default());
         let small_pred = qdt.predict_us(&fv(2.0, 0.5));
         assert!(

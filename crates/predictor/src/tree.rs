@@ -95,9 +95,8 @@ impl Tree {
             };
             match split {
                 Some((feature, threshold)) => {
-                    let (l, r): (Vec<usize>, Vec<usize>) = samples
-                        .iter()
-                        .partition(|&&i| xs[i][feature] <= threshold);
+                    let (l, r): (Vec<usize>, Vec<usize>) =
+                        samples.iter().partition(|&&i| xs[i][feature] <= threshold);
                     debug_assert!(l.len() >= cfg.min_leaf && r.len() >= cfg.min_leaf);
                     let left = nodes.len() as u32;
                     let right = left + 1;
@@ -225,7 +224,7 @@ fn best_split(
                 let qr = sum_sq - ql;
                 let sse_r = qr - sr * sr / nr as f64;
                 let sse = sse_l + sse_r;
-                if best.map_or(true, |(_, _, b)| sse < b) {
+                if best.is_none_or(|(_, _, b)| sse < b) {
                     let thr = (v + pairs[k].0) / 2.0;
                     best = Some((f, thr, sse));
                 }
@@ -283,7 +282,10 @@ mod tests {
             assert!(vals.iter().all(|&v| v == first), "impure leaf {vals:?}");
         }
         // Routing agrees with training assignment.
-        assert_ne!(tree.leaf_of(&fv(&[(0, 1.0)])), tree.leaf_of(&fv(&[(0, 9.0)])));
+        assert_ne!(
+            tree.leaf_of(&fv(&[(0, 1.0)])),
+            tree.leaf_of(&fv(&[(0, 9.0)]))
+        );
     }
 
     #[test]
@@ -313,7 +315,11 @@ mod tests {
             n_thresholds: 16,
         };
         let (tree, _) = Tree::fit(&xs, &ys, &[0], &cfg);
-        assert!(tree.n_leaves() <= 8, "2^3 leaves max, got {}", tree.n_leaves());
+        assert!(
+            tree.n_leaves() <= 8,
+            "2^3 leaves max, got {}",
+            tree.n_leaves()
+        );
     }
 
     #[test]
@@ -343,8 +349,9 @@ mod tests {
     #[test]
     fn leaf_partition_covers_all_samples_once() {
         let mut rng = Rng::new(4);
-        let xs: Vec<FeatureVec> =
-            (0..800).map(|_| fv(&[(0, rng.f64()), (1, rng.f64())])).collect();
+        let xs: Vec<FeatureVec> = (0..800)
+            .map(|_| fv(&[(0, rng.f64()), (1, rng.f64())]))
+            .collect();
         let ys: Vec<f64> = xs.iter().map(|x| x[0] * 10.0 + x[1]).collect();
         let (tree, leaves) = Tree::fit(&xs, &ys, &[0, 1], &TreeConfig::default());
         let total: usize = leaves.iter().map(|l| l.len()).sum();

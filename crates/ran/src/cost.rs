@@ -127,18 +127,10 @@ impl Default for CostCalibration {
 
 /// The task cost model: deterministic expected costs plus stochastic
 /// sampling with interference.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct CostModel {
     /// Calibration constants.
     pub cal: CostCalibration,
-}
-
-impl Default for CostModel {
-    fn default() -> Self {
-        CostModel {
-            cal: CostCalibration::default(),
-        }
-    }
 }
 
 impl CostModel {
@@ -266,15 +258,13 @@ impl CostModel {
                     let jitter = rng.normal() * 0.9 + rng.exponential(0.5);
                     iters = (iters + jitter).clamp(MIN_DECODE_ITERS, MAX_DECODE_ITERS);
                 }
-                let bits_scale =
-                    p.cb_bits as f64 / crate::transport::LTE_MAX_CB_BITS as f64;
+                let bits_scale = p.cb_bits as f64 / crate::transport::LTE_MAX_CB_BITS as f64;
                 p.n_cbs as f64
                     * (c.turbo_cb_base_us + c.turbo_per_cb_iter_us * iters)
                     * bits_scale.max(0.1)
             }
             TaskKind::TurboEncode => {
-                let bits_scale =
-                    p.cb_bits as f64 / crate::transport::LTE_MAX_CB_BITS as f64;
+                let bits_scale = p.cb_bits as f64 / crate::transport::LTE_MAX_CB_BITS as f64;
                 p.n_cbs as f64 * c.turbo_encode_per_cb_us * bits_scale.max(0.1)
             }
             TaskKind::MacScheduling => {
@@ -541,10 +531,16 @@ mod tests {
         let p = decode_params(6, 4, 18.0, 16);
         let mut rng = Rng::new(79);
         let iso: Vec<f64> = (0..3000)
-            .map(|_| m.sample_runtime(TaskKind::LdpcDecode, &p, 1.0, &mut rng).as_micros_f64())
+            .map(|_| {
+                m.sample_runtime(TaskKind::LdpcDecode, &p, 1.0, &mut rng)
+                    .as_micros_f64()
+            })
             .collect();
         let interfered: Vec<f64> = (0..3000)
-            .map(|_| m.sample_runtime(TaskKind::LdpcDecode, &p, 1.25, &mut rng).as_micros_f64())
+            .map(|_| {
+                m.sample_runtime(TaskKind::LdpcDecode, &p, 1.25, &mut rng)
+                    .as_micros_f64()
+            })
             .collect();
         let ks = concordia_stats::ks_two_sample(&iso, &interfered);
         assert!(ks.p_value < 0.001, "p={}", ks.p_value);

@@ -220,7 +220,7 @@ fn ue_params(cell: &CellConfig, wl: &SlotWorkload, ue: &UeAlloc) -> TaskParams {
         RanGeneration::Nr => segment_codeblocks(ue.tb_bits()).1,
         RanGeneration::Lte => segment_codeblocks_lte(ue.tb_bits()),
     };
-    let cb_bits = if n_cbs > 0 { ue.tb_bits() / n_cbs } else { 0 };
+    let cb_bits = ue.tb_bits().checked_div(n_cbs).unwrap_or(0);
     TaskParams {
         n_cbs,
         cb_bits,
@@ -679,8 +679,8 @@ mod tests {
         let cost = CostModel::new();
         let ues: Vec<UeAlloc> = (0..8).map(|_| ue(6_250)).collect();
         let dag = build_uplink_dag(&cell, 0, 0, Nanos::ZERO, &ul_workload(ues));
-        let ratio = dag.total_work(&cost).as_nanos() as f64
-            / dag.critical_path(&cost).as_nanos() as f64;
+        let ratio =
+            dag.total_work(&cost).as_nanos() as f64 / dag.critical_path(&cost).as_nanos() as f64;
         assert!(ratio > 2.5, "parallelism ratio {ratio}");
     }
 
@@ -705,14 +705,23 @@ mod tests {
         let cell = CellConfig::lte_20mhz();
         let wl = ul_workload(vec![ue(10_000)]);
         let dag = build_uplink_dag(&cell, 0, 0, Nanos::ZERO, &wl);
-        assert!(dag.nodes.iter().any(|n| n.task.kind == TaskKind::TurboDecode));
-        assert!(!dag.nodes.iter().any(|n| n.task.kind == TaskKind::LdpcDecode));
+        assert!(dag
+            .nodes
+            .iter()
+            .any(|n| n.task.kind == TaskKind::TurboDecode));
+        assert!(!dag
+            .nodes
+            .iter()
+            .any(|n| n.task.kind == TaskKind::LdpcDecode));
         let dl = SlotWorkload {
             direction: SlotDirection::Downlink,
             ues: vec![ue(10_000)],
         };
         let dag = build_downlink_dag(&cell, 0, 0, Nanos::ZERO, &dl);
-        assert!(dag.nodes.iter().any(|n| n.task.kind == TaskKind::TurboEncode));
+        assert!(dag
+            .nodes
+            .iter()
+            .any(|n| n.task.kind == TaskKind::TurboEncode));
     }
 
     #[test]
@@ -722,7 +731,10 @@ mod tests {
         assert_eq!(dag.len(), 2);
         assert!(dag.validate().is_ok());
         assert_eq!(dag.deadline, Nanos::from_millis(3) + cell.slot_duration());
-        assert!(dag.nodes.iter().all(|n| n.task.kind == TaskKind::MacScheduling));
+        assert!(dag
+            .nodes
+            .iter()
+            .all(|n| n.task.kind == TaskKind::MacScheduling));
         // Strictly sequential: second depends on first.
         assert_eq!(dag.nodes[1].preds, vec![0]);
     }
@@ -736,6 +748,9 @@ mod tests {
         };
         let dag = build_dag(&cell, 0, 3, Nanos::ZERO, &wl);
         assert_eq!(dag.direction, SlotDirection::Special);
-        assert!(dag.nodes.iter().any(|n| n.task.kind == TaskKind::LdpcEncode));
+        assert!(dag
+            .nodes
+            .iter()
+            .any(|n| n.task.kind == TaskKind::LdpcEncode));
     }
 }

@@ -200,7 +200,10 @@ mod tests {
         assert_eq!(x[Feature::PoolCores as usize], 4.0);
         assert_eq!(x[Feature::BitsTimesLayers as usize], 59_136.0 * 3.0);
         let margin = x[Feature::SnrMargin as usize];
-        assert!((margin - (22.0 - crate::transport::Mcs::from_index(16).required_snr_db())).abs() < 1e-12);
+        assert!(
+            (margin - (22.0 - crate::transport::Mcs::from_index(16).required_snr_db())).abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -80,7 +80,7 @@ impl Duplex {
             Duplex::Fdd => &[SlotDirection::Downlink, SlotDirection::Uplink],
             Duplex::UplinkOnly => &[SlotDirection::Uplink],
             Duplex::TddDddsu => match slot_idx % 5 {
-                0 | 1 | 2 => &[SlotDirection::Downlink],
+                0..=2 => &[SlotDirection::Downlink],
                 3 => &[SlotDirection::Special],
                 _ => &[SlotDirection::Uplink],
             },

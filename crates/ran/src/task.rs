@@ -116,7 +116,10 @@ impl TaskKind {
 
     /// Dense index for array-based per-kind tables.
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|&k| k == self).expect("kind in ALL")
+        Self::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("kind in ALL")
     }
 
     /// Short display name.

@@ -67,11 +67,6 @@ impl Nanos {
         self.0.checked_sub(other.0).map(Nanos)
     }
 
-    /// Integer multiplication by a count.
-    pub fn mul(self, k: u64) -> Nanos {
-        Nanos(self.0 * k)
-    }
-
     /// Scales by a float factor (rounds; clamps negatives to zero).
     pub fn scale(self, factor: f64) -> Nanos {
         Nanos((self.0 as f64 * factor).max(0.0).round() as u64)
@@ -113,6 +108,15 @@ impl std::ops::Sub for Nanos {
     }
 }
 
+impl std::ops::Mul<u64> for Nanos {
+    type Output = Nanos;
+    /// Integer multiplication by a count.
+    #[inline]
+    fn mul(self, k: u64) -> Nanos {
+        Nanos(self.0 * k)
+    }
+}
+
 impl std::fmt::Display for Nanos {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         if self.0 >= 1_000_000_000 {
@@ -149,7 +153,7 @@ mod tests {
         assert_eq!(b.saturating_sub(a), Nanos::ZERO);
         assert_eq!(a.checked_sub(b), Some(Nanos::from_micros(7)));
         assert_eq!(b.checked_sub(a), None);
-        assert_eq!(a.mul(3), Nanos::from_micros(30));
+        assert_eq!(a * 3, Nanos::from_micros(30));
         assert_eq!(a.scale(1.25), Nanos::from_micros_f64(12.5));
     }
 

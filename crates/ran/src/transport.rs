@@ -153,9 +153,7 @@ mod tests {
 
     #[test]
     fn required_snr_increases_with_index() {
-        assert!(
-            Mcs::from_index(27).required_snr_db() > Mcs::from_index(0).required_snr_db()
-        );
+        assert!(Mcs::from_index(27).required_snr_db() > Mcs::from_index(0).required_snr_db());
     }
 
     #[test]

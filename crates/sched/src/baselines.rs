@@ -75,7 +75,9 @@ impl PoolScheduler for ShenangoScheduler {
         // Never hold more cores than there is runnable work; add one when
         // the oldest ready task has waited past the threshold.
         let runnable = (view.running_tasks + view.ready_tasks.min(1)) as u32;
-        let mut target = view.granted_cores.min(runnable.max(view.running_tasks as u32));
+        let mut target = view
+            .granted_cores
+            .min(runnable.max(view.running_tasks as u32));
         if view.ready_tasks > 0 && view.oldest_ready_wait > self.queue_threshold {
             target = (view.granted_cores + 1).min(view.total_cores);
         }

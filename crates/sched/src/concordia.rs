@@ -42,6 +42,15 @@ pub struct ConcordiaConfig {
     /// tasks are expected during a TTI slot"). Keeps scheduling-event
     /// counts low (Fig. 10) and caches warm (Fig. 9).
     pub shrink_hysteresis: Nanos,
+    /// Degraded-mode overload detector: when ready tasks have been queuing
+    /// continuously for at least this long the pool is visibly overloaded
+    /// (a fault took cores away, runtimes are stalled, or the predictions
+    /// are off) and the scheduler enters the critical stage regardless of
+    /// what the per-DAG demands claim. `ZERO` (the default) disables the
+    /// detector: the federated allocation *intends* short queues, so a
+    /// threshold that never misfires must be chosen per deployment —
+    /// fault-tolerant configurations use a few hundred µs.
+    pub overload_wait: Nanos,
 }
 
 impl Default for ConcordiaConfig {
@@ -52,6 +61,7 @@ impl Default for ConcordiaConfig {
             critical_factor: 2.0,
             core_margin: 1.6,
             shrink_hysteresis: Nanos::from_micros(1_100),
+            overload_wait: Nanos::ZERO,
         }
     }
 }
@@ -94,9 +104,10 @@ impl ConcordiaScheduler {
         remaining_work: Nanos,
         remaining_cp: Nanos,
     ) -> Option<f64> {
-        let d = deadline.saturating_sub(now).saturating_sub(self.cfg.wake_margin);
-        let critical_bar =
-            remaining_cp.scale(self.cfg.critical_factor) + self.cfg.wake_margin;
+        let d = deadline
+            .saturating_sub(now)
+            .saturating_sub(self.cfg.wake_margin);
+        let critical_bar = remaining_cp.scale(self.cfg.critical_factor) + self.cfg.wake_margin;
         if d <= critical_bar {
             return None; // critical stage
         }
@@ -122,7 +133,13 @@ impl ConcordiaScheduler {
 impl PoolScheduler for ConcordiaScheduler {
     fn target_cores(&mut self, view: &PoolView<'_>) -> u32 {
         let mut total: f64 = 0.0;
-        let mut critical = false;
+        // Detected overload (ready tasks stuck in queue) is treated exactly
+        // like computed criticality: take everything. This is what makes
+        // degraded mode (cores lost to faults, stalled runtimes) converge —
+        // demands computed from stale WCETs under-allocate, but the queue
+        // wait is ground truth.
+        let mut critical = self.cfg.overload_wait > Nanos::ZERO
+            && view.oldest_ready_wait >= self.cfg.overload_wait;
         for d in view.dags {
             match self.demand_for_dag(
                 view.now,
@@ -309,6 +326,31 @@ mod tests {
             assert!(n >= prev, "work {work}: {n} < {prev}");
             prev = n;
         }
+    }
+
+    #[test]
+    fn queue_overload_forces_critical_stage() {
+        let mut s = ConcordiaScheduler::new(ConcordiaConfig {
+            overload_wait: Nanos::from_micros(150),
+            ..ConcordiaConfig::default()
+        });
+        // One light DAG with ample slack: normally one core suffices…
+        let d = [dag(2000, 100, 60)];
+        assert!(s.target_cores(&view(0, &d, 8)) <= 2);
+        // …but ready tasks stuck past the overload threshold mean the
+        // allocation is wrong on the ground: take the whole pool.
+        let mut v = view(0, &d, 8);
+        v.oldest_ready_wait = Nanos::from_micros(200);
+        assert_eq!(s.target_cores(&v), 8);
+    }
+
+    #[test]
+    fn overload_detector_is_disabled_by_default() {
+        let mut s = ConcordiaScheduler::default_paper();
+        let d = [dag(2000, 100, 60)];
+        let mut v = view(0, &d, 8);
+        v.oldest_ready_wait = Nanos::from_millis(5);
+        assert!(s.target_cores(&v) <= 2, "disabled detector must not trip");
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Misprediction guardrail.
+//!
+//! The federated allocation (§3) is only as good as its WCET predictions.
+//! A predictor that develops a *systematic* underestimate — a quantile
+//! model fed by a corrupted profiling bank, or traffic drifting beyond the
+//! calibrated range — starves every DAG a little, and the critical stage
+//! ends up doing the predictor's job at full-pool cost. The guard watches
+//! the prediction error stream and, after `threshold` *consecutive*
+//! underestimates, starts inflating subsequent predictions. The inflation
+//! grows geometrically while the streak continues and decays back toward
+//! 1.0 once the predictor recovers, so a healthy predictor pays nothing.
+
+use concordia_ran::time::Nanos;
+
+/// Watches prediction errors; inflates predictions after a run of
+/// consecutive underestimates.
+#[derive(Debug, Clone)]
+pub struct MispredictionGuard {
+    /// Consecutive underestimates before inflation engages.
+    threshold: u32,
+    /// Multiplicative step applied per underestimate once engaged.
+    growth: f64,
+    /// Hard cap on the inflation factor.
+    cap: f64,
+    /// Per-overestimate decay of the excess inflation toward 1.0.
+    decay: f64,
+    streak: u32,
+    inflation: f64,
+}
+
+impl Default for MispredictionGuard {
+    fn default() -> Self {
+        MispredictionGuard::new(8)
+    }
+}
+
+impl MispredictionGuard {
+    /// Guard tripping after `threshold` consecutive underestimates, with
+    /// default growth/cap/decay.
+    pub fn new(threshold: u32) -> Self {
+        MispredictionGuard {
+            threshold: threshold.max(1),
+            growth: 1.2,
+            cap: 4.0,
+            decay: 0.9,
+            streak: 0,
+            inflation: 1.0,
+        }
+    }
+
+    /// Feeds one (predicted, actual) runtime pair, in any common unit.
+    pub fn observe(&mut self, predicted_us: f64, actual_us: f64) {
+        if actual_us > predicted_us {
+            self.streak += 1;
+            if self.streak >= self.threshold {
+                self.inflation = (self.inflation * self.growth).min(self.cap);
+            }
+        } else {
+            self.streak = 0;
+            // Excess inflation decays geometrically; snap once negligible.
+            self.inflation = 1.0 + (self.inflation - 1.0) * self.decay;
+            if self.inflation < 1.001 {
+                self.inflation = 1.0;
+            }
+        }
+    }
+
+    /// Current inflation factor (1.0 = guard disengaged).
+    pub fn inflation(&self) -> f64 {
+        self.inflation
+    }
+
+    /// Consecutive underestimates seen so far.
+    pub fn streak(&self) -> u32 {
+        self.streak
+    }
+
+    /// Applies the current inflation to a prediction.
+    pub fn apply(&self, wcet: Nanos) -> Nanos {
+        if self.inflation > 1.0 {
+            wcet.scale(self.inflation)
+        } else {
+            wcet
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_predictor_pays_nothing() {
+        let mut g = MispredictionGuard::new(4);
+        for _ in 0..100 {
+            g.observe(120.0, 100.0);
+        }
+        assert_eq!(g.inflation(), 1.0);
+        assert_eq!(g.apply(Nanos::from_micros(50)), Nanos::from_micros(50));
+    }
+
+    #[test]
+    fn isolated_underestimates_do_not_trip() {
+        let mut g = MispredictionGuard::new(4);
+        for _ in 0..50 {
+            g.observe(100.0, 110.0); // under
+            g.observe(100.0, 90.0); // over resets the streak
+        }
+        assert_eq!(g.inflation(), 1.0);
+    }
+
+    #[test]
+    fn consecutive_underestimates_engage_inflation() {
+        let mut g = MispredictionGuard::new(4);
+        for _ in 0..3 {
+            g.observe(100.0, 150.0);
+        }
+        assert_eq!(g.inflation(), 1.0, "below threshold");
+        g.observe(100.0, 150.0);
+        assert!(g.inflation() > 1.0, "threshold reached");
+        let engaged = g.inflation();
+        g.observe(100.0, 150.0);
+        assert!(g.inflation() > engaged, "keeps growing while streak lasts");
+    }
+
+    #[test]
+    fn inflation_is_capped() {
+        let mut g = MispredictionGuard::new(1);
+        for _ in 0..200 {
+            g.observe(100.0, 150.0);
+        }
+        assert!(g.inflation() <= 4.0);
+        assert!(g.inflation() > 3.9);
+    }
+
+    #[test]
+    fn recovery_decays_back_to_one() {
+        let mut g = MispredictionGuard::new(2);
+        for _ in 0..10 {
+            g.observe(100.0, 150.0);
+        }
+        assert!(g.inflation() > 1.0);
+        for _ in 0..200 {
+            g.observe(150.0, 100.0);
+        }
+        assert_eq!(g.inflation(), 1.0);
+        assert_eq!(g.streak(), 0);
+    }
+
+    #[test]
+    fn apply_scales_predictions() {
+        let mut g = MispredictionGuard::new(1);
+        for _ in 0..30 {
+            g.observe(100.0, 200.0);
+        }
+        let raw = Nanos::from_micros(100);
+        let inflated = g.apply(raw);
+        assert!(inflated > raw);
+        let expect = raw.scale(g.inflation());
+        assert_eq!(inflated, expect);
+    }
+}

@@ -8,9 +8,14 @@
 //!   when slack runs out (§3, [61]).
 //! * [`baselines`] — vanilla FlexRAN (queue-driven), the Shenango variant
 //!   (queue-delay threshold) and the utilization-based scheduler (§6.3).
+//! * [`guard`] — misprediction guardrail: inflates WCET predictions after
+//!   a run of consecutive underestimates (fault-tolerance for a corrupted
+//!   or mis-calibrated predictor).
 
 pub mod baselines;
 pub mod concordia;
+pub mod guard;
 
 pub use baselines::{FlexRanScheduler, ShenangoScheduler, UtilizationScheduler};
 pub use concordia::{ConcordiaConfig, ConcordiaScheduler};
+pub use guard::MispredictionGuard;

@@ -134,8 +134,6 @@ mod tests {
         let x: Vec<f64> = (0..300).map(|_| rng.f64() * 10.0).collect();
         let tight: Vec<f64> = x.iter().map(|v| v + 0.1 * rng.normal()).collect();
         let loose: Vec<f64> = x.iter().map(|v| v + 5.0 * rng.normal()).collect();
-        assert!(
-            distance_correlation(&x, &tight) > distance_correlation(&x, &loose)
-        );
+        assert!(distance_correlation(&x, &tight) > distance_correlation(&x, &loose));
     }
 }

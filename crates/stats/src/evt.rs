@@ -30,8 +30,7 @@ impl GumbelFit {
         }
         let n = samples.len() as f64;
         let mean = samples.iter().sum::<f64>() / n;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / (n - 1.0);
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
         if var <= 0.0 {
             return None;
         }
@@ -90,7 +89,10 @@ mod tests {
 
     #[test]
     fn quantile_inverts_cdf() {
-        let fit = GumbelFit { mu: 50.0, beta: 5.0 };
+        let fit = GumbelFit {
+            mu: 50.0,
+            beta: 5.0,
+        };
         for p in [0.5, 0.9, 0.99, 0.99999] {
             let x = fit.quantile(p);
             assert!((fit.cdf(x) - p).abs() < 1e-9);
@@ -100,9 +102,7 @@ mod tests {
     #[test]
     fn five_nines_quantile_bounds_almost_all_samples() {
         let mut rng = Rng::new(42);
-        let xs: Vec<f64> = (0..100_000)
-            .map(|_| rng.lognormal(4.0, 0.2))
-            .collect();
+        let xs: Vec<f64> = (0..100_000).map(|_| rng.lognormal(4.0, 0.2)).collect();
         let fit = GumbelFit::from_block_maxima(&xs, 50).unwrap();
         let wcet = fit.quantile(0.99999);
         let exceed = xs.iter().filter(|&&x| x > wcet).count();

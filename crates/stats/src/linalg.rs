@@ -85,11 +85,7 @@ impl Matrix {
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, v.len());
         (0..self.rows)
-            .map(|i| {
-                (0..self.cols)
-                    .map(|j| self[(i, j)] * v[j])
-                    .sum()
-            })
+            .map(|i| (0..self.cols).map(|j| self[(i, j)] * v[j]).sum())
             .collect()
     }
 

@@ -44,8 +44,7 @@ impl Rng {
     pub fn fork(&self, stream: u64) -> Self {
         // Mix the current state with the stream id through SplitMix64 to
         // decorrelate the child from both the parent and sibling streams.
-        let mut sm = self
-            .s[0]
+        let mut sm = self.s[0]
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(stream ^ 0xD1B5_4A32_D192_ED03);
         let s = [
@@ -61,10 +60,7 @@ impl Rng {
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -128,8 +124,7 @@ impl Rng {
             let u = self.f64();
             if u > 0.0 {
                 let v = self.f64();
-                return (-2.0 * u.ln()).sqrt()
-                    * (std::f64::consts::TAU * v).cos();
+                return (-2.0 * u.ln()).sqrt() * (std::f64::consts::TAU * v).cos();
             }
         }
     }

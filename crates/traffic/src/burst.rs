@@ -54,8 +54,8 @@ impl BurstParams {
             active_exit: 0.25,
             active_to_burst: 0.10,
             burst_exit: 0.55,
-            active_size: (5.0, 0.7),  // median ~150 B
-            burst_size: (7.3, 0.55),  // median ~1.5 KB
+            active_size: (5.0, 0.7), // median ~150 B
+            burst_size: (7.3, 0.55), // median ~1.5 KB
             max_bytes: 5_000.0,
         }
     }
@@ -183,7 +183,10 @@ mod tests {
         let mut m2 = m.clone();
         let xs = collect(std::slice::from_mut(&mut m2), 200_000);
         let idle = xs.iter().filter(|&&x| x == 0.0).count() as f64 / xs.len() as f64;
-        assert!((idle - analytic).abs() < 0.03, "analytic {analytic} empirical {idle}");
+        assert!(
+            (idle - analytic).abs() < 0.03,
+            "analytic {analytic} empirical {idle}"
+        );
     }
 
     #[test]

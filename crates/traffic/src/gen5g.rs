@@ -8,11 +8,11 @@
 //! (Fig. 8 sweeps 5–100 % of the max designated capacity).
 
 use crate::burst::{BurstModel, BurstParams};
-use concordia_stats::rng::Rng;
 use concordia_ran::cell::CellConfig;
 use concordia_ran::dag::{SlotWorkload, UeAlloc};
 use concordia_ran::numerology::SlotDirection;
 use concordia_ran::transport::{prbs_for_payload, Mcs};
+use concordia_stats::rng::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a 5G cell traffic source.
@@ -182,9 +182,8 @@ impl CellTraffic {
             prb_budget -= prbs;
             // If the PRB budget truncated the allocation, the carried bytes
             // shrink accordingly.
-            let carried_bits = concordia_ran::transport::transport_block_bits(
-                prbs, symbols, mcs, layers,
-            );
+            let carried_bits =
+                concordia_ran::transport::transport_block_bits(prbs, symbols, mcs, layers);
             let tb_bytes = ue_bytes.min(carried_bits / 8).max(1);
             ues.push(UeAlloc {
                 tb_bytes,

@@ -63,7 +63,10 @@ fn main() {
         ("tiny   (1 CB, good SNR, 1 core)", decode_params(1, 8.0, 1)),
         ("small  (3 CB, good SNR, 2 cores)", decode_params(3, 8.0, 2)),
         ("medium (6 CB, good SNR, 4 cores)", decode_params(6, 8.0, 4)),
-        ("hard   (6 CB, poor SNR, 6 cores)", decode_params(6, -1.0, 6)),
+        (
+            "hard   (6 CB, poor SNR, 6 cores)",
+            decode_params(6, -1.0, 6),
+        ),
     ];
 
     println!(

@@ -25,7 +25,10 @@ fn main() {
 
     println!("slots processed          : {}", report.metrics.dags);
     println!("deadline violations      : {}", report.metrics.violations);
-    println!("reliability              : {:.6}", report.metrics.reliability);
+    println!(
+        "reliability              : {:.6}",
+        report.metrics.reliability
+    );
     println!(
         "slot latency mean/p99.99 : {:.0} / {:.0} us (deadline {:.0} us)",
         report.metrics.mean_latency_us, report.metrics.p9999_latency_us, report.deadline_us

@@ -18,7 +18,9 @@ fn main() {
 
     println!("== LTE (the paper's Cambridge measurement, §2.2) ==");
     let mut trio = BurstModel::lte_trio(2021);
-    let mut per_cell: Vec<Vec<f64>> = vec![Vec::with_capacity(ttis); 3];
+    let mut per_cell: Vec<Vec<f64>> = std::iter::repeat_with(|| Vec::with_capacity(ttis))
+        .take(3)
+        .collect();
     for _ in 0..ttis {
         for (i, m) in trio.iter_mut().enumerate() {
             per_cell[i].push(m.next_tti());

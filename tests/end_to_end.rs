@@ -1,9 +1,7 @@
 //! Cross-crate integration tests: the paper's headline behaviours,
 //! exercised through the public facade API end to end.
 
-use concordia::core::{
-    run_experiment, Colocation, PredictorChoice, SchedulerChoice, SimConfig,
-};
+use concordia::core::{run_experiment, Colocation, PredictorChoice, SchedulerChoice, SimConfig};
 use concordia::platform::workloads::WorkloadKind;
 use concordia::ran::Nanos;
 
@@ -33,7 +31,8 @@ fn headline_concordia_shares_and_meets_deadlines_under_every_workload() {
         cfg.colocation = Colocation::Single(kind);
         let r = run_experiment(cfg);
         assert_eq!(
-            r.metrics.violations, 0,
+            r.metrics.violations,
+            0,
             "{}: {} violations",
             kind.name(),
             r.metrics.violations
@@ -196,8 +195,7 @@ fn shenango_never_wins_on_both_axes() {
         cfg.colocation = Colocation::Single(WorkloadKind::Redis);
         let r = run_experiment(cfg);
         let as_reliable = r.metrics.p99999_latency_us <= conc.metrics.p99999_latency_us;
-        let shares_as_much =
-            r.metrics.reclaimed_fraction >= conc.metrics.reclaimed_fraction - 0.02;
+        let shares_as_much = r.metrics.reclaimed_fraction >= conc.metrics.reclaimed_fraction - 0.02;
         assert!(
             !(as_reliable && shares_as_much),
             "threshold {thr_us}us beat Concordia on both axes: tail {} vs {}, reclaimed {} vs {}",

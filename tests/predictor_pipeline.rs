@@ -40,13 +40,16 @@ fn algorithm1_selects_the_decode_cost_drivers() {
     let ranking = dcor_ranking(decode, 600);
     let top4: Vec<usize> = ranking.iter().take(4).map(|(f, _)| *f).collect();
     assert!(
-        top4.contains(&(Feature::NCbs as usize))
-            || top4.contains(&(Feature::TbBits as usize)),
+        top4.contains(&(Feature::NCbs as usize)) || top4.contains(&(Feature::TbBits as usize)),
         "volume feature must rank highly: {ranking:?}"
     );
 
     // The full Algorithm 1 output contains the hand-picked features.
-    let feats = select_features(decode, &handpicked(TaskKind::LdpcDecode), &FeatSelConfig::default());
+    let feats = select_features(
+        decode,
+        &handpicked(TaskKind::LdpcDecode),
+        &FeatSelConfig::default(),
+    );
     assert!(feats.contains(&(Feature::NCbs as usize)));
     assert!(feats.contains(&(Feature::PoolCores as usize)));
     assert!(feats.len() <= 10, "selection must stay compact: {feats:?}");
@@ -142,8 +145,12 @@ fn online_phase_restores_coverage_after_regime_change() {
     let decode = ds.samples(TaskKind::LdpcDecode);
 
     let run = |observe: bool| {
-        let mut model =
-            train_predictor(TaskKind::LdpcDecode, decode, PredictorChoice::QuantileDt, &cost);
+        let mut model = train_predictor(
+            TaskKind::LdpcDecode,
+            decode,
+            PredictorChoice::QuantileDt,
+            &cost,
+        );
         let mut rng = Rng::new(8);
         // Warm-up exposure to the new regime.
         for _ in 0..30_000 {
@@ -189,9 +196,8 @@ fn oracle_and_pwcet_bracket_the_qdt() {
     let decode = ds.samples(TaskKind::LdpcDecode);
     let small = extract(&decode_params(1, 8.0, 1));
 
-    let pred = |choice| {
-        train_predictor(TaskKind::LdpcDecode, decode, choice, &cost).predict_us(&small)
-    };
+    let pred =
+        |choice| train_predictor(TaskKind::LdpcDecode, decode, choice, &cost).predict_us(&small);
     let oracle = pred(PredictorChoice::Oracle);
     let qdt = pred(PredictorChoice::QuantileDt);
     let pwcet = pred(PredictorChoice::PwcetEvt);

@@ -28,8 +28,10 @@ fn arb_ue() -> impl Strategy<Value = UeAlloc> {
 }
 
 fn arb_workload(dir: SlotDirection) -> impl Strategy<Value = SlotWorkload> {
-    proptest::collection::vec(arb_ue(), 0..10)
-        .prop_map(move |ues| SlotWorkload { direction: dir, ues })
+    proptest::collection::vec(arb_ue(), 0..10).prop_map(move |ues| SlotWorkload {
+        direction: dir,
+        ues,
+    })
 }
 
 proptest! {

@@ -1,0 +1,145 @@
+//! Offline workalike of `criterion`.
+//!
+//! Provides the API surface the workspace's microbenches use
+//! (`benchmark_group`, `bench_with_input`, `bench_function`,
+//! `criterion_group!`/`criterion_main!`) with a simple timing loop:
+//! a short warm-up, then a fixed measurement window, reporting mean
+//! time per iteration. No statistics, no HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for one parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from the parameter's display form.
+    pub fn from_parameter<D: std::fmt::Display>(param: D) -> Self {
+        BenchmarkId(param.to_string())
+    }
+
+    /// Builds an id from a function name and a parameter.
+    pub fn new<D: std::fmt::Display>(function: &str, param: D) -> Self {
+        BenchmarkId(format!("{function}/{param}"))
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Measures `f`: brief warm-up, then iterations until a ~100 ms
+    /// window is filled.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..10 {
+            std::hint::black_box(f());
+        }
+        let window = Duration::from_millis(100);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < window {
+            for _ in 0..100 {
+                std::hint::black_box(f());
+            }
+            iters += 100;
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("bench {name:<40} (no iterations)");
+            return;
+        }
+        let per_iter = self.elapsed.as_nanos() as f64 / self.iters as f64;
+        println!(
+            "bench {name:<40} {per_iter:>12.1} ns/iter ({} iters)",
+            self.iters
+        );
+    }
+}
+
+/// Re-export for convenience parity with the real crate.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into one registration function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to a `main` that runs the registered groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

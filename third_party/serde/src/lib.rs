@@ -1,0 +1,383 @@
+//! Offline workalike of the `serde` facade.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! minimal serde-compatible surface: the [`Serialize`] / [`Deserialize`]
+//! traits, a self-describing [`Value`] data model, and (behind the `derive`
+//! feature) the derive macros from the sibling `serde_derive` stub.
+//!
+//! The data model is deliberately simple — everything serializes into a
+//! [`Value`] tree and deserializes from one — which is all the workspace
+//! needs for its JSON reports and round-trip tests. Integer precision is
+//! preserved (`U64`/`I64` are distinct from `F64`), because seeds and
+//! nanosecond timestamps in this codebase do not survive an `f64` round
+//! trip.
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing serialized form: the stub's entire data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also the encoding of `()`, `None`, and non-finite floats).
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer, kept at full 64-bit precision.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Finite float.
+    F64(f64),
+    /// String (also the encoding of unit enum variants).
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// Key-ordered map; insertion order is preserved for deterministic output.
+    Map(Vec<(String, Value)>),
+}
+
+/// A shared `Null` to hand out when a map key is absent (lets `Option`
+/// fields tolerate missing keys, exactly like serde's default behaviour
+/// for `Option`).
+pub static NULL: Value = Value::Null;
+
+/// Looks up `key` in a map body, returning [`NULL`] when absent.
+pub fn map_get<'a>(m: &'a [(String, Value)], key: &str) -> &'a Value {
+    m.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .unwrap_or(&NULL)
+}
+
+/// Deserialization error: a plain message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Builds an error from any message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can serialize themselves into a [`Value`].
+pub trait Serialize {
+    /// Produces the serialized form.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can reconstruct themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses from the serialized form.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let x = match *v {
+                    Value::U64(x) => x,
+                    Value::I64(x) if x >= 0 => x as u64,
+                    ref other => {
+                        return Err(Error::custom(format!(
+                            "expected unsigned integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(x).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {x} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let x = *self as i64;
+                if x >= 0 {
+                    Value::U64(x as u64)
+                } else {
+                    Value::I64(x)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let x: i64 = match *v {
+                    Value::I64(x) => x,
+                    Value::U64(x) => i64::try_from(x).map_err(|_| {
+                        Error::custom(format!("integer {x} out of i64 range"))
+                    })?,
+                    ref other => {
+                        return Err(Error::custom(format!(
+                            "expected integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(x).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {x} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let x = *self as f64;
+                if x.is_finite() {
+                    Value::F64(x)
+                } else {
+                    // NaN/inf have no JSON form; `null` keeps empty-metric
+                    // sentinels visible instead of silently inventing a zero.
+                    Value::Null
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match *v {
+                    Value::F64(x) => Ok(x as $t),
+                    Value::U64(x) => Ok(x as $t),
+                    Value::I64(x) => Ok(x as $t),
+                    Value::Null => Ok(<$t>::NAN),
+                    ref other => Err(Error::custom(format!(
+                        "expected number, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn serialize(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(Error::custom(format!("expected null, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error::custom(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::deserialize(v)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected {N} elements, got {n}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Seq(items) => {
+                        let expect = [$($idx),+].len();
+                        if items.len() != expect {
+                            return Err(Error::custom(format!(
+                                "expected {expect}-tuple, got {} elements",
+                                items.len()
+                            )));
+                        }
+                        Ok(($($name::deserialize(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::custom(format!(
+                        "expected sequence, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_keep_full_precision() {
+        let x: u64 = u64::MAX - 1;
+        match x.serialize() {
+            Value::U64(v) => assert_eq!(v, x),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(u64::deserialize(&x.serialize()).unwrap(), x);
+    }
+
+    #[test]
+    fn nan_round_trips_through_null() {
+        let v = f64::NAN.serialize();
+        assert_eq!(v, Value::Null);
+        assert!(f64::deserialize(&v).unwrap().is_nan());
+    }
+
+    #[test]
+    fn option_tolerates_missing_map_key() {
+        let m = vec![("present".to_string(), Value::U64(1))];
+        let missing: Option<u32> = Option::deserialize(map_get(&m, "absent")).unwrap();
+        assert_eq!(missing, None);
+        let present: Option<u32> = Option::deserialize(map_get(&m, "present")).unwrap();
+        assert_eq!(present, Some(1));
+    }
+
+    #[test]
+    fn out_of_range_integer_is_an_error() {
+        assert!(u8::deserialize(&Value::U64(300)).is_err());
+        assert!(u32::deserialize(&Value::I64(-1)).is_err());
+    }
+}

@@ -1,0 +1,431 @@
+//! Offline workalike of `serde_derive`.
+//!
+//! Derives `Serialize`/`Deserialize` for the shapes this workspace actually
+//! uses — named-field structs, tuple structs, and enums with unit, newtype
+//! and struct variants — against the sibling `serde` stub's `Value` data
+//! model. The item is parsed directly from the `proc_macro` token stream
+//! (the environment has no `syn`/`quote`), and the generated impl is
+//! emitted as source text and re-parsed.
+//!
+//! Unsupported shapes (generics, `#[serde(...)]` attributes) fail loudly at
+//! expansion time rather than generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field layout of a struct or enum variant.
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive stub generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive stub generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, got {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic type `{name}` is not supported");
+        }
+    }
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(parse_struct_fields(&toks, i, &name)),
+        "enum" => Body::Enum(parse_enum_variants(&toks, i, &name)),
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    };
+    Item { name, body }
+}
+
+fn parse_struct_fields(toks: &[TokenTree], i: usize, name: &str) -> Fields {
+    match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Fields::Named(
+                split_top_level(&body)
+                    .iter()
+                    .map(|chunk| field_name(chunk, name))
+                    .collect(),
+            )
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Fields::Tuple(split_top_level(&body).len())
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        other => panic!("serde_derive stub: unexpected struct body for `{name}`: {other:?}"),
+    }
+}
+
+fn parse_enum_variants(toks: &[TokenTree], i: usize, name: &str) -> Vec<Variant> {
+    let g = match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!("serde_derive stub: unexpected enum body for `{name}`: {other:?}"),
+    };
+    let body: Vec<TokenTree> = g.stream().into_iter().collect();
+    split_top_level(&body)
+        .iter()
+        .map(|chunk| {
+            let mut j = skip_attrs_and_vis(chunk, 0);
+            let vname = match &chunk[j] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde_derive stub: expected variant name, got {other}"),
+            };
+            j += 1;
+            let fields = match chunk.get(j) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Tuple(split_top_level(&inner).len())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Named(
+                        split_top_level(&inner)
+                            .iter()
+                            .map(|c| field_name(c, name))
+                            .collect(),
+                    )
+                }
+                _ => Fields::Unit,
+            };
+            Variant {
+                name: vname,
+                fields,
+            }
+        })
+        .collect()
+}
+
+/// Splits on top-level commas. Delimited groups arrive pre-nested in the
+/// token tree, but generic arguments do not — `Vec<(String, f64)>` hides
+/// its comma inside a group while `Foo<A, B>` does not — so angle-bracket
+/// depth is tracked explicitly.
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    chunks.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        chunks.push(cur);
+    }
+    chunks
+}
+
+/// Skips `#[...]` attributes and a `pub` / `pub(...)` visibility prefix.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Punct(bang)) = toks.get(i + 1) {
+                    if bang.as_char() == '!' {
+                        i += 3; // #![...]
+                        continue;
+                    }
+                }
+                i += 2; // #[...]
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn field_name(chunk: &[TokenTree], item: &str) -> String {
+    let i = skip_attrs_and_vis(chunk, 0);
+    match chunk.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected field name in `{item}`, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => ser_struct_body(name, fields),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{vn}\")),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::serialize(__f0)".to_string()
+                        } else {
+                            format!(
+                                "::serde::Value::Seq(<[_]>::into_vec(::std::boxed::Box::new([{}])))",
+                                binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(\
+                             ::std::vec::Vec::from([(::std::string::String::from(\"{vn}\"), {inner})])),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let pairs = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::serialize({f}))"
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Map(\
+                             ::std::vec::Vec::from([(::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Map(::std::vec::Vec::from([{pairs}])))])),\n",
+                            fs.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn ser_struct_body(_name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items = (0..*n)
+                .map(|k| format!("::serde::Serialize::serialize(&self.{k})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Seq(::std::vec::Vec::from([{items}]))")
+        }
+        Fields::Named(fs) => {
+            let pairs = fs
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Map(::std::vec::Vec::from([{pairs}]))")
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Unit) => format!(
+            "match __v {{ ::serde::Value::Null => ::std::result::Result::Ok({name}), \
+             __other => ::std::result::Result::Err(::serde::Error::custom(\
+             ::std::format!(\"expected null for {name}, got {{__other:?}}\"))) }}"
+        ),
+        Body::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))")
+        }
+        Body::Struct(Fields::Tuple(n)) => {
+            let items = (0..*n)
+                .map(|k| format!("::serde::Deserialize::deserialize(&__s[{k}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Seq(__s) if __s.len() == {n} => \
+                 ::std::result::Result::Ok({name}({items})),\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"expected {n}-element sequence for {name}, \
+                 got {{__other:?}}\"))),\n}}"
+            )
+        }
+        Body::Struct(Fields::Named(fs)) => {
+            let fields = fs
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(\
+                         ::serde::map_get(__m, \"{f}\"))?"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Map(__m) => \
+                 ::std::result::Result::Ok({name} {{ {fields} }}),\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"expected map for {name}, got {{__other:?}}\"))),\n}}"
+            )
+        }
+        Body::Enum(variants) => {
+            let unit_arms = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n",
+                        vn = v.name
+                    )
+                })
+                .collect::<String>();
+            let str_arm = if unit_arms.is_empty() {
+                format!(
+                    "::serde::Value::Str(_) => ::std::result::Result::Err(\
+                     ::serde::Error::custom(\"no unit variants in {name}\")),\n"
+                )
+            } else {
+                format!(
+                    "::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"unknown {name} variant {{__other}}\"))),\n}},\n"
+                )
+            };
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {}
+                    Fields::Tuple(1) => payload_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::deserialize(__inner)?)),\n"
+                    )),
+                    Fields::Tuple(n) => payload_arms.push_str(&format!(
+                        "\"{vn}\" => match __inner {{\n\
+                         ::serde::Value::Seq(__s) if __s.len() == {n} => \
+                         ::std::result::Result::Ok({name}::{vn}({items})),\n\
+                         __other => ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"expected {n}-element sequence for {name}::{vn}, \
+                         got {{__other:?}}\"))),\n}},\n",
+                        items = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::deserialize(&__s[{k}])?"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )),
+                    Fields::Named(fs) => payload_arms.push_str(&format!(
+                        "\"{vn}\" => match __inner {{\n\
+                         ::serde::Value::Map(__fm) => ::std::result::Result::Ok(\
+                         {name}::{vn} {{ {fields} }}),\n\
+                         __other => ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"expected map for {name}::{vn}, \
+                         got {{__other:?}}\"))),\n}},\n",
+                        fields = fs
+                            .iter()
+                            .map(|f| format!(
+                                "{f}: ::serde::Deserialize::deserialize(\
+                                 ::serde::map_get(__fm, \"{f}\"))?"
+                            ))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )),
+                }
+            }
+            let map_arm = if payload_arms.is_empty() {
+                format!(
+                    "::serde::Value::Map(_) => ::std::result::Result::Err(\
+                     ::serde::Error::custom(\"no payload variants in {name}\")),\n"
+                )
+            } else {
+                format!(
+                    "::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                     let (__k, __inner) = &__m[0];\n\
+                     match __k.as_str() {{\n{payload_arms}\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"unknown {name} variant {{__other}}\"))),\n}}\n}},\n"
+                )
+            };
+            format!(
+                "match __v {{\n{str_arm}{map_arm}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"cannot deserialize {name} from {{__other:?}}\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
