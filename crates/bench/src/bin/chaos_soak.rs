@@ -20,9 +20,9 @@
 //! fault windows, the same per-experiment outcomes and byte-identical
 //! JSON.
 //!
-//! Example: `cargo run -p concordia-bench --release --bin chaos_soak -- --seed 1`
+//! Example: `cargo run -p concordia-bench --release --bin chaos_soak -- --seed 1 --load 0.7`
 
-use concordia_bench::{banner, write_json, RunLength};
+use concordia_bench::{banner, f64_flag, write_json, RunLength};
 use concordia_core::runner::run_parallel_results;
 use concordia_core::{Colocation, ExperimentReport, SchedulerChoice, SimConfig};
 use concordia_platform::faults::{FaultKind, FaultPlan};
@@ -86,6 +86,7 @@ fn row(report: &ExperimentReport, fault: FaultKind) -> ChaosRow {
 fn main() {
     let len = RunLength::from_args();
     let seed = concordia_bench::seed_from_args();
+    let load = f64_flag("--load", 0.6).clamp(0.0, 1.0);
     banner(
         "Chaos soak (fault injection across the pool, scheduler and accelerator path)",
         "no fault class panics the simulator; Concordia's reliability recovers once the fault clears",
@@ -126,7 +127,7 @@ fn main() {
             cfg.scheduler = *sched;
             cfg.duration = dur;
             cfg.profiling_slots = profiling;
-            cfg.load = 0.6;
+            cfg.load = load;
             cfg.colocation = Colocation::Single(WorkloadKind::Redis);
             // The accelerator faults need an engine to lose; for the CPU
             // -side faults the FPGA stays off so decode keeps the pool
@@ -147,11 +148,12 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(4);
     println!(
-        "\n{} experiments ({} fault classes x {} schedulers + 1 broken config), {}s simulated each, seed {}",
+        "\n{} experiments ({} fault classes x {} schedulers + 1 broken config), {}s simulated each, load {:.0}%, seed {}",
         configs.len(),
         CLASSES.len(),
         schedulers.len(),
         secs,
+        load * 100.0,
         seed
     );
 
@@ -230,6 +232,7 @@ fn main() {
         &serde_json::json!({
             "seed": seed,
             "simulated_secs": secs,
+            "load": load,
             "rows": rows,
             "worker_panic_contained": contained,
             "concordia_recovered": concordia_recovered,

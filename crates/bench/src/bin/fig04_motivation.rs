@@ -51,6 +51,7 @@ fn motivation_configs() -> Vec<(String, SimConfig)> {
         // Fig. 4a sizes pools for peak traffic.
         peak_provisioning: true,
         faults: concordia_platform::faults::FaultPlan::none(),
+        supervisor: None,
     };
     vec![
         (

@@ -15,7 +15,6 @@ use concordia_ran::accel::FpgaModel;
 use concordia_ran::cost::CostModel;
 use concordia_ran::dag::{build_downlink_dag, build_uplink_dag, SlotWorkload, UeAlloc};
 use concordia_ran::numerology::SlotDirection;
-use concordia_ran::task::TaskKind;
 use concordia_ran::{CellConfig, Nanos};
 use serde::Serialize;
 

@@ -56,12 +56,25 @@ impl RunLength {
 
 /// Parses `--seed N` (default 2021).
 pub fn seed_from_args() -> u64 {
+    u64_flag("--seed", 2021)
+}
+
+/// Parses a `--flag N` integer from the process arguments.
+pub fn u64_flag(name: &str, default: u64) -> u64 {
+    flag_value(name).unwrap_or(default)
+}
+
+/// Parses a `--flag X.Y` float from the process arguments.
+pub fn f64_flag(name: &str, default: f64) -> f64 {
+    flag_value(name).unwrap_or(default)
+}
+
+fn flag_value<T: std::str::FromStr>(name: &str) -> Option<T> {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
-        .position(|a| a == "--seed")
+        .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok())
-        .unwrap_or(2021)
 }
 
 /// Directory for the JSON results (created on demand).
@@ -114,5 +127,13 @@ mod tests {
     #[test]
     fn default_seed() {
         assert_eq!(seed_from_args(), 2021);
+    }
+
+    #[test]
+    fn flags_fall_back_to_defaults() {
+        // The test binary's argv carries no such flags, so both helpers
+        // must return the caller's default.
+        assert_eq!(u64_flag("--windows", 200), 200);
+        assert!((f64_flag("--load", 0.6) - 0.6).abs() < 1e-12);
     }
 }

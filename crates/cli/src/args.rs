@@ -5,6 +5,7 @@ use concordia_platform::faults::{FaultKind, FaultPlan};
 use concordia_platform::workloads::WorkloadKind;
 use concordia_ran::{CellConfig, Nanos};
 use concordia_sched::concordia::ConcordiaConfig;
+use concordia_sched::supervisor::SupervisorConfig;
 
 /// Usage text printed on `--help` and parse errors.
 pub const USAGE: &str = "\
@@ -32,7 +33,11 @@ OPTIONS:
   --faults LIST               inject chaos faults: comma-separated classes
                               from core_offline, core_stall, accel_outage,
                               accel_timeout, predictor_bias,
-                              storm_amplification, traffic_surge
+                              storm_amplification, traffic_surge,
+                              drift_injection
+  --supervisor                enable the predictor control plane (drift
+                              detection, quarantine, online retraining,
+                              admission control)
   --json PATH                 write the full JSON report to PATH
   -h, --help                  this text
 ";
@@ -165,6 +170,7 @@ pub fn parse(argv: &[String]) -> Result<(SimConfig, Option<String>), CliError> {
                 }
                 fault_kinds = Some(kinds);
             }
+            "--supervisor" => cfg.supervisor = Some(SupervisorConfig::default()),
             "--fpga" => cfg.fpga = true,
             "--mac" => cfg.mac_in_pool = true,
             "--peak" => cfg.peak_provisioning = true,
@@ -288,6 +294,20 @@ mod tests {
         assert!(parse(&args("--seed")).is_err(), "missing value");
         assert!(parse(&args("--faults meteor_strike")).is_err());
         assert!(parse(&args("--faults ,,")).is_err(), "empty list");
+    }
+
+    #[test]
+    fn supervisor_flag_enables_the_control_plane() {
+        let (cfg, _) = parse(&args("--supervisor")).unwrap();
+        assert_eq!(cfg.supervisor, Some(SupervisorConfig::default()));
+        let (cfg, _) = parse(&[]).unwrap();
+        assert!(cfg.supervisor.is_none(), "default is legacy behavior");
+    }
+
+    #[test]
+    fn drift_injection_is_a_valid_fault_class() {
+        let (cfg, _) = parse(&args("--faults drift_injection")).unwrap();
+        assert_eq!(cfg.faults.specs[0].kind, FaultKind::DriftInjection);
     }
 
     #[test]

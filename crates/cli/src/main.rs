@@ -97,6 +97,29 @@ fn main() -> ExitCode {
             );
         }
     }
+    if let Some(sup) = &report.supervisor {
+        println!(
+            "  supervisor: {} windows | drift {} | quarantine {} | retrain {} | \
+             shadow-reject {} | readmit {} | swaps {}",
+            sup.windows,
+            sup.drift_detections,
+            sup.quarantines,
+            sup.retrains,
+            sup.shadow_rejections,
+            sup.readmissions,
+            sup.swaps
+        );
+        println!(
+            "  admission: shed {} windows | rejected {} DAGs | lanes on fallback {}{}",
+            sup.shed_windows,
+            sup.rejected_dags,
+            sup.lanes_on_fallback,
+            match sup.windows_to_readmission {
+                Some(w) => format!(" | readmitted after {w} windows"),
+                None => String::new(),
+            }
+        );
+    }
     if !report.five_nines() {
         println!("  WARNING: below 99.999% reliability");
     }

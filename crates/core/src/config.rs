@@ -5,6 +5,7 @@ use concordia_platform::workloads::WorkloadKind;
 use concordia_ran::cell::CellConfig;
 use concordia_ran::time::Nanos;
 use concordia_sched::concordia::ConcordiaConfig;
+use concordia_sched::supervisor::SupervisorConfig;
 use serde::{Deserialize, Serialize};
 
 /// Which pool scheduler an experiment runs.
@@ -134,6 +135,10 @@ pub struct SimConfig {
     /// plan resolves to concrete windows from the root seed, so fault
     /// experiments stay bit-reproducible.
     pub faults: FaultPlan,
+    /// The predictor control plane (drift detection, quarantine, online
+    /// retraining, admission control). `None` = legacy behavior: the model
+    /// bank serves directly with no lifecycle management.
+    pub supervisor: Option<SupervisorConfig>,
 }
 
 impl SimConfig {
@@ -157,6 +162,7 @@ impl SimConfig {
             mac_in_pool: false,
             peak_provisioning: false,
             faults: FaultPlan::none(),
+            supervisor: None,
         }
     }
 

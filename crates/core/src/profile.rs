@@ -12,7 +12,7 @@
 //! one predictor per task kind via Algorithm 1 feature selection.
 
 use crate::config::PredictorChoice;
-use concordia_predictor::api::{ModelBank, TrainingSample, WcetPredictor};
+use concordia_predictor::api::{InflatedPredictor, ModelBank, TrainingSample, WcetPredictor};
 use concordia_predictor::evt::PwcetEvt;
 use concordia_predictor::featsel::{select_features, FeatSelConfig};
 use concordia_predictor::gbt::{GbtConfig, GradientBoosting};
@@ -26,6 +26,7 @@ use concordia_ran::features::{extract, handpicked};
 use concordia_ran::numerology::SlotDirection;
 use concordia_ran::task::TaskKind;
 use concordia_ran::time::Nanos;
+use concordia_sched::supervisor::{PredictorSupervisor, SupervisorConfig};
 use concordia_stats::rng::Rng;
 
 /// Offline profiling dataset: per-kind training samples.
@@ -198,6 +199,34 @@ pub fn train_bank(
     bank
 }
 
+/// Builds the predictor control plane from the profiling dataset: per
+/// task kind, a lane with the configured primary model plus a conservative
+/// fallback — an inflated linear model, whose residual-quantile bound and
+/// extra inflation keep it safe across regimes the tree never saw.
+pub fn train_supervisor(
+    dataset: &ProfilingDataset,
+    choice: PredictorChoice,
+    cost: &CostModel,
+    cfg: SupervisorConfig,
+) -> PredictorSupervisor {
+    let mut sup = PredictorSupervisor::new(cfg, TaskKind::ALL.len());
+    let featsel_cfg = FeatSelConfig::default();
+    for kind in TaskKind::ALL {
+        let samples = dataset.samples(kind);
+        if samples.len() < 100 {
+            continue; // kind never profiled
+        }
+        let primary = train_predictor(kind, samples, choice, cost);
+        let feats = select_features(samples, &handpicked(kind), &featsel_cfg);
+        let fallback = Box::new(InflatedPredictor::new(
+            Box::new(LinearRegression::fit(samples, &feats, 0.99999)),
+            cfg.fallback_inflation,
+        ));
+        sup.install(kind.index(), primary, fallback);
+    }
+    sup
+}
+
 /// Ground-truth oracle predictor (ablation only): the cost model's
 /// expected value times a safety margin. A real deployment cannot have
 /// this — it is the "how much does prediction error cost us" yardstick.
@@ -326,6 +355,31 @@ mod tests {
         }
         let rate = misses as f64 / total as f64;
         assert!(rate < 0.02, "miss rate {rate} over {total} tasks");
+    }
+
+    #[test]
+    fn trained_supervisor_has_lanes_with_fallbacks() {
+        let cell = CellConfig::fdd_20mhz();
+        let cost = CostModel::new();
+        let ds = profile(&cell, &cost, 400, 8, 49);
+        let sup = train_supervisor(
+            &ds,
+            PredictorChoice::QuantileDt,
+            &cost,
+            SupervisorConfig::default(),
+        );
+        assert!(sup.n_lanes() >= 15, "lanes {}", sup.n_lanes());
+        let lane = TaskKind::LdpcDecode.index();
+        assert!(sup.has_lane(lane));
+        // The lane serves its primary from generation zero.
+        assert_eq!(sup.generation(lane), 0);
+        let x = extract(&concordia_ran::task::TaskParams {
+            n_cbs: 2,
+            cb_bits: 8448,
+            pool_cores: 4,
+            ..Default::default()
+        });
+        assert!(sup.predict_us(lane, &x).unwrap() > 0.0);
     }
 
     #[test]

@@ -60,11 +60,51 @@ impl FaultWindowReport {
     }
 }
 
+/// Typed backpressure accounting from the supervisor's admission control.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BackpressureReport {
+    /// Decision windows spent shedding best-effort work or rejecting
+    /// admissions.
+    pub shed_windows: u64,
+    /// Slot DAGs refused while admission was at the reject level.
+    pub rejected_dags: u64,
+}
+
 /// Fault-injection outcome of one experiment.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FaultReport {
     /// Per-window reliability accounting, in timeline order.
     pub windows: Vec<FaultWindowReport>,
+    /// Admission-control backpressure, when a supervisor ran.
+    pub backpressure: Option<BackpressureReport>,
+}
+
+/// Predictor-control-plane outcome of one experiment.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SupervisorReport {
+    /// Decision windows evaluated.
+    pub windows: u64,
+    /// Windows in which a lane's drift test tripped.
+    pub drift_detections: u64,
+    /// Healthy → Quarantined transitions (fallback swapped in).
+    pub quarantines: u64,
+    /// Successful replay re-fits (Quarantined → Shadow).
+    pub retrains: u64,
+    /// Shadow gates failed (back to Quarantined).
+    pub shadow_rejections: u64,
+    /// Shadow gates passed (retrained model swapped back in).
+    pub readmissions: u64,
+    /// Generation-counted serving swaps.
+    pub swaps: u64,
+    /// Windows spent shedding or rejecting under overload.
+    pub shed_windows: u64,
+    /// Slot DAGs refused under reject-level admission control.
+    pub rejected_dags: u64,
+    /// Windows from the first quarantine to the last readmission (the
+    /// time-to-readmission metric), when both happened.
+    pub windows_to_readmission: Option<u64>,
+    /// Lanes still serving their fallback at the end of the run.
+    pub lanes_on_fallback: u64,
 }
 
 /// Outcome of one end-to-end experiment.
@@ -94,6 +134,8 @@ pub struct ExperimentReport {
     pub workload: Option<WorkloadReport>,
     /// Fault-injection outcome, when the experiment injected faults.
     pub fault: Option<FaultReport>,
+    /// Predictor-control-plane outcome, when a supervisor ran.
+    pub supervisor: Option<SupervisorReport>,
 }
 
 impl ExperimentReport {
@@ -155,6 +197,7 @@ mod tests {
             },
             workload: None,
             fault: None,
+            supervisor: None,
         }
     }
 
@@ -227,11 +270,32 @@ mod tests {
                 reliability_after: 1.0,
                 recovery_us: 0.0,
             }],
+            backpressure: Some(BackpressureReport {
+                shed_windows: 4,
+                rejected_dags: 12,
+            }),
+        });
+        r.supervisor = Some(SupervisorReport {
+            windows: 200,
+            drift_detections: 3,
+            quarantines: 1,
+            retrains: 1,
+            shadow_rejections: 0,
+            readmissions: 1,
+            swaps: 2,
+            shed_windows: 4,
+            rejected_dags: 12,
+            windows_to_readmission: Some(9),
+            lanes_on_fallback: 0,
         });
         let json = serde_json::to_string(&r).unwrap();
         let back: ExperimentReport = serde_json::from_str(&json).unwrap();
         let f = back.fault.expect("fault report survives the round trip");
         assert_eq!(f.windows.len(), 1);
         assert_eq!(f.windows[0].kind, "accel_outage");
+        assert_eq!(f.backpressure.expect("backpressure").rejected_dags, 12);
+        let s = back.supervisor.expect("supervisor report");
+        assert_eq!(s.readmissions, 1);
+        assert_eq!(s.windows_to_readmission, Some(9));
     }
 }

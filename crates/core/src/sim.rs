@@ -3,8 +3,11 @@
 //! adaptation.
 
 use crate::config::{Colocation, SchedulerChoice, SimConfig};
-use crate::profile::{profile, train_bank};
-use crate::report::{ExperimentReport, FaultReport, FaultWindowReport, WorkloadReport};
+use crate::profile::{profile, train_bank, train_supervisor};
+use crate::report::{
+    BackpressureReport, ExperimentReport, FaultReport, FaultWindowReport, SupervisorReport,
+    WorkloadReport,
+};
 use concordia_platform::faults::{FaultKind, FaultTimeline};
 use concordia_platform::pool::{PoolConfig, ScheduledDag, VranPool};
 use concordia_platform::sched_api::{DedicatedScheduler, PoolScheduler};
@@ -12,12 +15,14 @@ use concordia_platform::workloads::{MixSchedule, WorkloadKind};
 use concordia_predictor::api::ModelBank;
 use concordia_ran::cost::CostModel;
 use concordia_ran::dag::build_dag;
-use concordia_ran::features::extract;
+use concordia_ran::features::{extract, FeatureVec};
 use concordia_ran::numerology::SlotDirection;
+use concordia_ran::task::TaskKind;
 use concordia_ran::time::Nanos;
 use concordia_sched::baselines::{FlexRanScheduler, ShenangoScheduler, UtilizationScheduler};
 use concordia_sched::concordia::ConcordiaScheduler;
 use concordia_sched::guard::MispredictionGuard;
+use concordia_sched::supervisor::{AdmissionLevel, PredictorSupervisor};
 use concordia_stats::rng::Rng;
 use concordia_traffic::gen5g::{CellTraffic, TrafficConfig};
 
@@ -32,6 +37,14 @@ pub struct Simulation {
     static_pressure: (f64, f64),
     faults: FaultTimeline,
     guard: MispredictionGuard,
+    /// The predictor control plane; when present it replaces the bare
+    /// model bank as the prediction source.
+    supervisor: Option<PredictorSupervisor>,
+    /// Best-effort pressure currently withdrawn by admission control.
+    shedding: bool,
+    /// Slot DAGs / violations already attributed to closed windows.
+    win_dags: u64,
+    win_viols: u64,
     slot: u64,
 }
 
@@ -66,7 +79,21 @@ impl Simulation {
             cfg.cores,
             cfg.seed ^ 0x0FF_11FE,
         );
-        let bank = train_bank(&dataset, cfg.predictor, &cost);
+        // With a supervisor, the control plane owns the models (one
+        // primary + one fallback per lane) and the bank stays empty;
+        // training the same primaries twice would double the setup cost.
+        let (bank, supervisor) = match cfg.supervisor {
+            Some(mut sup_cfg) => {
+                // The supervisor's online feed mirrors the experiment's
+                // online-updates switch (frozen ablations stay frozen).
+                sup_cfg.online_feed = sup_cfg.online_feed && cfg.online_updates;
+                (
+                    ModelBank::new(),
+                    Some(train_supervisor(&dataset, cfg.predictor, &cost, sup_cfg)),
+                )
+            }
+            None => (train_bank(&dataset, cfg.predictor, &cost), None),
+        };
 
         let pool = VranPool::new(
             PoolConfig {
@@ -123,6 +150,10 @@ impl Simulation {
             static_pressure,
             faults,
             guard: MispredictionGuard::default(),
+            supervisor,
+            shedding: false,
+            win_dags: 0,
+            win_viols: 0,
             slot: 0,
         };
         if sim.cfg.fpga {
@@ -144,6 +175,59 @@ impl Simulation {
         }
     }
 
+    /// The serving WCET prediction (µs) for a task: the supervisor's
+    /// current-generation model when the control plane runs, the bare
+    /// bank otherwise.
+    fn predict_us(&self, kind: TaskKind, x: &FeatureVec) -> Option<f64> {
+        match &self.supervisor {
+            Some(sup) => sup.predict_us(kind.index(), x),
+            None => self.bank.predict(kind, x).map(|p| p.as_micros_f64()),
+        }
+    }
+
+    fn predict_wcet(&self, kind: TaskKind, x: &FeatureVec) -> Option<Nanos> {
+        self.predict_us(kind, x).map(Nanos::from_micros_f64)
+    }
+
+    /// Closes one supervisor decision window at slot boundary `t`:
+    /// feeds the window's slot-DAG reliability in, lets the control plane
+    /// run its lifecycle transitions, then applies the side effects —
+    /// guard reset on readmission and admission-level changes.
+    fn end_supervisor_window(&mut self, t: Nanos) {
+        let total_dags = self.pool.metrics().slots.count() as u64;
+        let total_viols = self.pool.metrics().slots.violations();
+        let dags = total_dags.saturating_sub(self.win_dags);
+        let viols = total_viols.saturating_sub(self.win_viols);
+        self.win_dags = total_dags;
+        self.win_viols = total_viols;
+
+        let Some(sup) = self.supervisor.as_mut() else {
+            return;
+        };
+        sup.end_window(dags, viols);
+        if sup.take_guard_reset() {
+            // A retrained model was just swapped in; it must not inherit
+            // the inflation the guard earned against its predecessor.
+            self.guard.reset();
+        }
+        let admission = sup.admission();
+        match admission {
+            AdmissionLevel::Shed | AdmissionLevel::Reject => {
+                if !self.shedding {
+                    self.shedding = true;
+                    self.pool.set_pressure(0.0, 0.0);
+                }
+            }
+            AdmissionLevel::Normal => {
+                if self.shedding {
+                    self.shedding = false;
+                    let (c, k) = self.pressure_at(t);
+                    self.pool.set_pressure(c, k);
+                }
+            }
+        }
+    }
+
     /// Runs the online phase to completion and produces the report.
     pub fn run(mut self) -> ExperimentReport {
         let slot_dur = self.cfg.cell.slot_duration();
@@ -154,8 +238,9 @@ impl Simulation {
             self.pool.run_until(t);
             self.slot = slot;
 
-            // Colocation pressure follows the mix schedule.
-            if self.mix.is_some() {
+            // Colocation pressure follows the mix schedule — unless
+            // admission control is shedding, which overrides it.
+            if self.mix.is_some() && !self.shedding {
                 let (c, k) = self.pressure_at(t);
                 let (oc, ok) = self.pool.pressure();
                 if (c - oc).abs() > 1e-9 || (k - ok).abs() > 1e-9 {
@@ -175,12 +260,26 @@ impl Simulation {
                     .severity_at(FaultKind::PredictorBias, t)
                     .unwrap_or(0.0);
             for obs in self.pool.drain_observations() {
-                if let Some(pred) = self.bank.predict(obs.kind, &obs.features) {
-                    self.guard
-                        .observe(pred.as_micros_f64() / bias, obs.runtime_us);
+                if let Some(pred) = self.predict_us(obs.kind, &obs.features) {
+                    self.guard.observe(pred / bias, obs.runtime_us);
                 }
-                if self.cfg.online_updates {
-                    self.bank.observe(obs.kind, &obs.features, obs.runtime_us);
+                match self.supervisor.as_mut() {
+                    // The supervisor records every observation: replay,
+                    // drift statistics, shadow scoring, and (when its
+                    // online feed is on) the serving model's adaptation.
+                    Some(sup) => sup.record(obs.kind.index(), &obs.features, obs.runtime_us),
+                    None if self.cfg.online_updates => {
+                        self.bank.observe(obs.kind, &obs.features, obs.runtime_us);
+                    }
+                    None => {}
+                }
+            }
+
+            // Decision-window boundary: the only place the control plane
+            // may swap serving models or change the admission level.
+            if let Some(window_slots) = self.supervisor.as_ref().map(|s| s.config().window_slots) {
+                if (slot + 1) % window_slots.max(1) == 0 {
+                    self.end_supervisor_window(t);
                 }
             }
         }
@@ -210,6 +309,15 @@ impl Simulation {
                 .faults
                 .severity_at(FaultKind::TrafficSurge, t)
                 .unwrap_or(0.0);
+        // Reject-level admission control: stop admitting new slot DAGs.
+        // Traffic volumes are still drawn (the RNG streams stay aligned
+        // with an admitting run), but nothing reaches the pool; every
+        // refusal is counted as typed backpressure.
+        let rejecting = self
+            .supervisor
+            .as_ref()
+            .is_some_and(|s| s.admission() == AdmissionLevel::Reject);
+        let mut rejected = 0u64;
         for c in 0..self.cfg.n_cells as usize {
             // §7 extension: MAC scheduling for the *next* slot runs in the
             // pool, with a one-slot deadline.
@@ -217,26 +325,29 @@ impl Simulation {
                 let n_ues = (self.cfg.cell.max_ues / 2).max(1);
                 let mac =
                     concordia_ran::dag::build_mac_dag(&self.cfg.cell, c as u32, slot, t, n_ues);
-                let node_wcet = mac
-                    .nodes
-                    .iter()
-                    .map(|n| {
-                        let mut params = n.task.params;
-                        params.pool_cores = granted;
-                        self.bank
-                            .predict(n.task.kind, &extract(&params))
-                            .unwrap_or_else(|| {
-                                self.cost
-                                    .expected_cost_on_pool(n.task.kind, &params)
-                                    .scale(1.5)
-                            })
-                            .scale(wcet_factor)
-                    })
-                    .collect();
-                self.pool.inject_dag(ScheduledDag {
-                    dag: mac,
-                    node_wcet,
-                });
+                if rejecting {
+                    rejected += 1;
+                } else {
+                    let node_wcet = mac
+                        .nodes
+                        .iter()
+                        .map(|n| {
+                            let mut params = n.task.params;
+                            params.pool_cores = granted;
+                            self.predict_wcet(n.task.kind, &extract(&params))
+                                .unwrap_or_else(|| {
+                                    self.cost
+                                        .expected_cost_on_pool(n.task.kind, &params)
+                                        .scale(1.5)
+                                })
+                                .scale(wcet_factor)
+                        })
+                        .collect();
+                    self.pool.inject_dag(ScheduledDag {
+                        dag: mac,
+                        node_wcet,
+                    });
+                }
             }
             let dirs = self.cfg.cell.duplex.directions(slot);
             for &dir in dirs {
@@ -251,14 +362,17 @@ impl Simulation {
                 if dag.is_empty() {
                     continue;
                 }
+                if rejecting {
+                    rejected += 1;
+                    continue;
+                }
                 let node_wcet = dag
                     .nodes
                     .iter()
                     .map(|n| {
                         let mut params = n.task.params;
                         params.pool_cores = granted;
-                        self.bank
-                            .predict(n.task.kind, &extract(&params))
+                        self.predict_wcet(n.task.kind, &extract(&params))
                             .unwrap_or_else(|| {
                                 self.cost
                                     .expected_cost_on_pool(n.task.kind, &params)
@@ -268,6 +382,11 @@ impl Simulation {
                     })
                     .collect();
                 self.pool.inject_dag(ScheduledDag { dag, node_wcet });
+            }
+        }
+        if rejected > 0 {
+            if let Some(sup) = self.supervisor.as_mut() {
+                sup.note_rejected(rejected);
             }
         }
     }
@@ -294,7 +413,26 @@ impl Simulation {
             metrics: summary,
             workload,
             fault: self.fault_report(),
+            supervisor: self.supervisor_report(),
         }
+    }
+
+    fn supervisor_report(&self) -> Option<SupervisorReport> {
+        let sup = self.supervisor.as_ref()?;
+        let c = sup.counters();
+        Some(SupervisorReport {
+            windows: c.windows,
+            drift_detections: c.drift_detections,
+            quarantines: c.quarantines,
+            retrains: c.retrains,
+            shadow_rejections: c.shadow_rejections,
+            readmissions: c.readmissions,
+            swaps: c.swaps,
+            shed_windows: c.shed_windows,
+            rejected_dags: c.rejected_dags,
+            windows_to_readmission: sup.windows_to_readmission(),
+            lanes_on_fallback: sup.lanes_on_fallback() as u64,
+        })
     }
 
     /// Per-fault-window reliability accounting: violations before, during
@@ -355,7 +493,14 @@ impl Simulation {
                 }
             })
             .collect();
-        Some(FaultReport { windows })
+        let backpressure = self.supervisor.as_ref().map(|s| BackpressureReport {
+            shed_windows: s.counters().shed_windows,
+            rejected_dags: s.counters().rejected_dags,
+        });
+        Some(FaultReport {
+            windows,
+            backpressure,
+        })
     }
 
     fn workload_report(&self, kind: WorkloadKind) -> WorkloadReport {

@@ -48,6 +48,14 @@ pub enum FaultKind {
     /// Traffic surges beyond the calibrated load. Severity = fractional
     /// volume increase on every slot.
     TrafficSurge,
+    /// The platform's feature→runtime mapping drifts (microcode update,
+    /// firmware regression, silent frequency capping): sampled runtimes are
+    /// inflated by a runtime-dependent factor `1 + severity·t/(t + 25 µs)`,
+    /// so long tasks drift by up to `severity` while short ones barely
+    /// move. A scalar guard inflation cannot compensate — the predictor's
+    /// per-leaf statistics must be retrained. Severity = asymptotic
+    /// fractional inflation.
+    DriftInjection,
 }
 
 impl FaultKind {
@@ -61,11 +69,12 @@ impl FaultKind {
             FaultKind::PredictorBias => "predictor_bias",
             FaultKind::StormAmplification => "storm_amplification",
             FaultKind::TrafficSurge => "traffic_surge",
+            FaultKind::DriftInjection => "drift_injection",
         }
     }
 
     /// Every fault class, in a stable order (the chaos-soak sweep order).
-    pub const ALL: [FaultKind; 7] = [
+    pub const ALL: [FaultKind; 8] = [
         FaultKind::CoreOffline,
         FaultKind::CoreStall,
         FaultKind::AccelOutage,
@@ -73,6 +82,7 @@ impl FaultKind {
         FaultKind::PredictorBias,
         FaultKind::StormAmplification,
         FaultKind::TrafficSurge,
+        FaultKind::DriftInjection,
     ];
 
     /// Inverse of [`FaultKind::name`]: parses a CLI/report string back to
@@ -91,6 +101,7 @@ impl FaultKind {
                 | FaultKind::AccelOutage
                 | FaultKind::AccelTimeout
                 | FaultKind::StormAmplification
+                | FaultKind::DriftInjection
         )
     }
 }
@@ -142,6 +153,7 @@ impl FaultSpec {
             FaultKind::PredictorBias => (0.4, 0.8),
             FaultKind::StormAmplification => (1.5, 3.0),
             FaultKind::TrafficSurge => (0.5, 1.0),
+            FaultKind::DriftInjection => (0.5, 1.0),
         };
         FaultSpec {
             kind,

@@ -223,6 +223,10 @@ pub struct VranPool {
     accel_timeout: Option<Nanos>,
     /// Additive kernel-pressure boost from StormAmplification windows.
     kernel_boost: f64,
+    /// Asymptotic runtime inflation from DriftInjection windows: sampled
+    /// CPU runtimes are scaled by `1 + severity·t/(t + 25 µs)` — the
+    /// feature→runtime mapping itself shifts, not a uniform bias.
+    drift_severity: f64,
     /// FPGA parked during an AccelOutage window (restored when it clears).
     parked_fpga: Option<(FpgaModel, Vec<FpgaState>)>,
 }
@@ -284,6 +288,7 @@ impl VranPool {
             stall_factor: 1.0,
             accel_timeout: None,
             kernel_boost: 0.0,
+            drift_severity: 0.0,
             parked_fpga: None,
         }
     }
@@ -595,6 +600,7 @@ impl VranPool {
         let mut timeout: Option<Nanos> = None;
         let mut boost = 0.0f64;
         let mut outage = false;
+        let mut drift = 0.0f64;
         for (i, w) in self.faults.windows.iter().enumerate() {
             if !self.fault_active[i] {
                 continue;
@@ -607,12 +613,14 @@ impl VranPool {
                 }
                 FaultKind::StormAmplification => boost = boost.max(w.severity),
                 FaultKind::AccelOutage => outage = true,
+                FaultKind::DriftInjection => drift = drift.max(w.severity),
                 _ => {}
             }
         }
         self.stall_factor = stall;
         self.accel_timeout = timeout;
         self.kernel_boost = boost;
+        self.drift_severity = drift;
         if outage && self.fpga.is_some() {
             self.parked_fpga = self.fpga.take();
         } else if !outage && self.parked_fpga.is_some() {
@@ -793,12 +801,18 @@ impl VranPool {
                 let f =
                     self.cache
                         .interference_factor(self.cache_pressure, warm, &mut self.rng_cost);
-                (
-                    self.cost
-                        .sample_runtime(kind, &params, f, &mut self.rng_cost)
-                        .scale(self.stall_factor),
-                    f,
-                )
+                let mut rt = self
+                    .cost
+                    .sample_runtime(kind, &params, f, &mut self.rng_cost)
+                    .scale(self.stall_factor);
+                if self.drift_severity > 0.0 {
+                    // The feature→runtime mapping itself drifts: long tasks
+                    // inflate by up to `severity`, short ones barely move —
+                    // a shape change no scalar guard inflation can absorb.
+                    let us = rt.as_micros_f64();
+                    rt = rt.scale(1.0 + self.drift_severity * us / (us + 25.0));
+                }
+                (rt, f)
             }
         };
         self.metrics.counters.record_task(interference);
@@ -1472,6 +1486,36 @@ mod tests {
             stalled > healthy * 1.5,
             "severity-1.0 stall must roughly double latency: {healthy} vs {stalled}"
         );
+    }
+
+    #[test]
+    fn drift_injection_inflates_runtimes_inside_the_window() {
+        let run = |drift: Option<FaultTimeline>| {
+            let mut pool = pool_with(2);
+            if let Some(tl) = drift {
+                pool.set_fault_timeline(tl);
+            }
+            pool.inject_dag(test_dag(Nanos::ZERO, 10_000, 2));
+            pool.run_until(Nanos::from_millis(20));
+            pool.metrics().slots.mean_us()
+        };
+        let healthy = run(None);
+        let drifted = run(Some(fixed_timeline(
+            FaultKind::DriftInjection,
+            0,
+            20_000,
+            1.0,
+        )));
+        // The multiplier is runtime-dependent (up to 1 + severity for long
+        // tasks), so latency must rise, but by less than a uniform 2×.
+        assert!(
+            drifted > healthy * 1.05,
+            "drift must inflate latency: {healthy} vs {drifted}"
+        );
+        // Outside the window behavior is untouched: a window that ended
+        // before the work arrives changes nothing.
+        let cleared = run(Some(fixed_timeline(FaultKind::DriftInjection, 0, 1, 1.0)));
+        assert_eq!(cleared, healthy, "expired drift window must be inert");
     }
 
     #[test]

@@ -35,6 +35,28 @@ pub trait WcetPredictor: Send {
     fn predict(&self, x: &FeatureVec) -> Nanos {
         Nanos::from_micros_f64(self.predict_us(x))
     }
+
+    /// Which internal partition (leaf) `x` routes to, for models that have
+    /// one. The predictor control plane uses this to maintain per-leaf
+    /// drift statistics; structureless models return `None`.
+    fn route(&self, _x: &FeatureVec) -> Option<usize> {
+        None
+    }
+
+    /// Re-fits the model's *statistics* from recent samples, keeping its
+    /// structure frozen (for a quantile tree: leaf buffers are rebuilt,
+    /// the CART splits are not). Returns `false` for models that cannot
+    /// be re-fitted in place; such models stay quarantined on fallback.
+    fn refit(&mut self, _samples: &[TrainingSample]) -> bool {
+        false
+    }
+
+    /// Per-leaf reference quantiles of the current leaf contents (empty
+    /// for models without leaves). The control plane snapshots these at
+    /// training time and tests online samples against them.
+    fn reference_quantiles(&self, _q: f64) -> Vec<f64> {
+        Vec::new()
+    }
 }
 
 /// One predictor per task kind, as the paper prescribes.
@@ -137,6 +159,42 @@ impl WcetPredictor for MaxObservedPredictor {
     }
 }
 
+/// Wraps any predictor and inflates its predictions by a constant factor —
+/// the control plane's conservative fallback: a quarantined quantile tree
+/// is replaced by an inflated linear model so reliability degrades
+/// gracefully (more pessimism, fewer reclaimed cores) instead of silently.
+pub struct InflatedPredictor {
+    inner: Box<dyn WcetPredictor>,
+    factor: f64,
+}
+
+impl InflatedPredictor {
+    /// Wraps `inner`, multiplying every prediction by `factor` (≥ 1.0).
+    pub fn new(inner: Box<dyn WcetPredictor>, factor: f64) -> Self {
+        InflatedPredictor {
+            inner,
+            factor: factor.max(1.0),
+        }
+    }
+
+    /// The inflation factor.
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+}
+
+impl WcetPredictor for InflatedPredictor {
+    fn predict_us(&self, x: &FeatureVec) -> f64 {
+        self.inner.predict_us(x) * self.factor
+    }
+    fn observe(&mut self, x: &FeatureVec, runtime_us: f64) {
+        self.inner.observe(x, runtime_us);
+    }
+    fn name(&self) -> &'static str {
+        "inflated_fallback"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +238,31 @@ mod tests {
         );
         assert_eq!(bank.predict(TaskKind::Fft, &X), Some(Nanos::from_micros(7)));
         assert_eq!(bank.predict(TaskKind::Ifft, &X), None);
+    }
+
+    #[test]
+    fn default_lifecycle_hooks_are_inert() {
+        // Structureless models: no routing, no refit, no references.
+        let mut p = FixedPredictor { wcet_us: 10.0 };
+        assert_eq!(p.route(&X), None);
+        assert!(!p.refit(&[TrainingSample {
+            x: X,
+            runtime_us: 5.0
+        }]));
+        assert!(p.reference_quantiles(0.95).is_empty());
+    }
+
+    #[test]
+    fn inflated_predictor_scales_and_forwards() {
+        let mut p = InflatedPredictor::new(Box::new(MaxObservedPredictor::default()), 1.5);
+        assert_eq!(p.predict_us(&X), 0.0);
+        p.observe(&X, 100.0);
+        assert_eq!(p.predict_us(&X), 150.0);
+        assert_eq!(p.factor(), 1.5);
+        // Factors below 1.0 are clamped: the fallback never under-covers
+        // its inner model.
+        let q = InflatedPredictor::new(Box::new(FixedPredictor { wcet_us: 10.0 }), 0.5);
+        assert_eq!(q.predict_us(&X), 10.0);
     }
 
     #[test]

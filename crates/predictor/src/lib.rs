@@ -13,6 +13,8 @@
 //! * [`gbt`] — gradient-boosting baseline (§6.4).
 //! * [`evt`] — conventional single-value pWCET via Gumbel block maxima
 //!   (§6.3, [23]).
+//! * [`replay`] — bounded replay buffer feeding the online-retraining path
+//!   of the predictor control plane.
 
 pub mod api;
 pub mod evt;
@@ -20,12 +22,17 @@ pub mod featsel;
 pub mod gbt;
 pub mod linreg;
 pub mod qdt;
+pub mod replay;
 pub mod tree;
 
-pub use api::{FixedPredictor, MaxObservedPredictor, ModelBank, TrainingSample, WcetPredictor};
+pub use api::{
+    FixedPredictor, InflatedPredictor, MaxObservedPredictor, ModelBank, TrainingSample,
+    WcetPredictor,
+};
 pub use evt::PwcetEvt;
 pub use featsel::{select_features, FeatSelConfig};
 pub use gbt::{GbtConfig, GradientBoosting};
 pub use linreg::LinearRegression;
 pub use qdt::{LeafStatistic, QuantileDecisionTree, LEAF_BUFFER_CAPACITY};
+pub use replay::ReplayBuffer;
 pub use tree::{Tree, TreeConfig};

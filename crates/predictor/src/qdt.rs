@@ -115,6 +115,36 @@ impl QuantileDecisionTree {
         };
         v.unwrap_or(self.fallback_us)
     }
+
+    /// Upper quantile of a leaf's current samples (the fallback value for
+    /// a drained leaf). Snapshotted at training time by the predictor
+    /// control plane as the per-leaf drift reference.
+    pub fn leaf_quantile(&self, leaf: usize, q: f64) -> f64 {
+        self.leaves[leaf].quantile(q).unwrap_or(self.fallback_us)
+    }
+
+    /// Rebuilds every leaf buffer from `samples`, routing each through the
+    /// *frozen* tree — the online-retraining step of the control plane:
+    /// structure from the offline fit, statistics from the replay buffer.
+    /// Leaves the replay never visited keep nothing and answer with the
+    /// (raised) fallback, so the re-fitted tree stays total and
+    /// conservative where it has no fresh evidence. Returns the number of
+    /// leaves that received at least one sample.
+    pub fn refit_leaves(&mut self, samples: &[TrainingSample]) -> usize {
+        for l in &mut self.leaves {
+            l.clear();
+        }
+        let mut max = 0.0f64;
+        for s in samples {
+            let leaf = self.tree.leaf_of(&s.x);
+            self.leaves[leaf].push(s.runtime_us);
+            max = max.max(s.runtime_us);
+        }
+        // The fallback only ever ratchets up: an empty leaf must cover the
+        // worst runtime seen in either regime.
+        self.fallback_us = self.fallback_us.max(max);
+        self.leaves.iter().filter(|l| !l.is_empty()).count()
+    }
 }
 
 impl WcetPredictor for QuantileDecisionTree {
@@ -129,6 +159,24 @@ impl WcetPredictor for QuantileDecisionTree {
 
     fn name(&self) -> &'static str {
         "quantile_dt"
+    }
+
+    fn route(&self, x: &FeatureVec) -> Option<usize> {
+        Some(self.tree.leaf_of(x))
+    }
+
+    fn refit(&mut self, samples: &[TrainingSample]) -> bool {
+        if samples.is_empty() {
+            return false;
+        }
+        self.refit_leaves(samples);
+        true
+    }
+
+    fn reference_quantiles(&self, q: f64) -> Vec<f64> {
+        (0..self.leaves.len())
+            .map(|l| self.leaf_quantile(l, q))
+            .collect()
     }
 }
 
@@ -264,6 +312,79 @@ mod tests {
         }
         let relaxed = qdt.predict_us(&x);
         assert!(relaxed < 300.0, "relaxed {relaxed}");
+    }
+
+    #[test]
+    fn refit_leaves_adopts_the_new_regime() {
+        // Quarantine-and-retrain in miniature: re-fit the frozen tree from
+        // a replay of 1.5x-inflated samples; predictions must cover the
+        // new regime and routing must not change.
+        let samples = synthetic(20_000, 20);
+        let mut qdt = QuantileDecisionTree::fit(&samples, &[0, 1], &TreeConfig::default());
+        let route_before = qdt.leaf_of(&fv(8.0, 0.5));
+        let before = qdt.predict_us(&fv(8.0, 0.5));
+        let mut rng = Rng::new(21);
+        let replay: Vec<TrainingSample> = (0..8_000)
+            .map(|_| {
+                let cbs = rng.range_u64(1, 16) as f64;
+                TrainingSample {
+                    x: fv(cbs, rng.f64()),
+                    runtime_us: (10.0 + 30.0 * cbs) * rng.lognormal(0.0, 0.05) * 1.5,
+                }
+            })
+            .collect();
+        let filled = qdt.refit_leaves(&replay);
+        assert!(filled > 0);
+        assert_eq!(qdt.leaf_of(&fv(8.0, 0.5)), route_before, "structure frozen");
+        let after = qdt.predict_us(&fv(8.0, 0.5));
+        assert!(after > before * 1.2, "before {before} after {after}");
+        // Coverage on the new regime.
+        let mut misses = 0;
+        for _ in 0..5_000 {
+            let cbs = rng.range_u64(1, 16) as f64;
+            let actual = (10.0 + 30.0 * cbs) * rng.lognormal(0.0, 0.05) * 1.5;
+            if actual > qdt.predict_us(&fv(cbs, rng.f64())) {
+                misses += 1;
+            }
+        }
+        // The replay (8 K samples) is smaller than the offline set, so the
+        // per-leaf maxima cover a little less tail than a fresh fit.
+        assert!(misses < 150, "misses {misses}");
+    }
+
+    #[test]
+    fn refit_with_sparse_replay_stays_conservative() {
+        // A replay that visits only one corner of the input space: the
+        // drained leaves must answer with the ratcheted fallback (at least
+        // the worst runtime ever seen), never zero.
+        let samples = synthetic(10_000, 22);
+        let global_max = samples.iter().map(|s| s.runtime_us).fold(0.0, f64::max);
+        let mut qdt = QuantileDecisionTree::fit(&samples, &[0, 1], &TreeConfig::default());
+        let replay = vec![TrainingSample {
+            x: fv(2.0, 0.5),
+            runtime_us: 70.0,
+        }];
+        qdt.refit_leaves(&replay);
+        let large = qdt.predict_us(&fv(14.0, 0.5));
+        assert!(large >= global_max, "large {large} vs max {global_max}");
+    }
+
+    #[test]
+    fn lifecycle_trait_hooks_route_and_reference() {
+        let samples = synthetic(10_000, 23);
+        let mut qdt = QuantileDecisionTree::fit(&samples, &[0, 1], &TreeConfig::default());
+        let x = fv(8.0, 0.5);
+        assert_eq!(qdt.route(&x), Some(qdt.leaf_of(&x)));
+        let refs = qdt.reference_quantiles(0.95);
+        assert_eq!(refs.len(), qdt.n_leaves());
+        let leaf = qdt.leaf_of(&x);
+        // Reference is an upper quantile: above the mean, at most the max.
+        let ys = qdt.leaf_samples(leaf);
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let max = ys.iter().cloned().fold(0.0, f64::max);
+        assert!(refs[leaf] >= mean && refs[leaf] <= max);
+        assert!(!qdt.refit(&[]), "empty replay refuses to refit");
+        assert!(qdt.refit(&samples[..100]));
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Bounded replay buffer of recent `(features, runtime)` observations.
+//!
+//! The predictor control plane re-fits a quarantined model from *recent*
+//! online samples rather than the stale offline profiling set. The buffer
+//! is a plain overwrite ring: once full, each push evicts the oldest
+//! sample, so its contents are always the most recent `capacity`
+//! observations in arrival order — deterministic, allocation-stable, and
+//! cheap enough to run per task completion.
+
+use crate::api::TrainingSample;
+
+/// Fixed-capacity ring of recent training samples.
+pub struct ReplayBuffer {
+    buf: Vec<TrainingSample>,
+    capacity: usize,
+    /// Next write position once the ring is full.
+    head: usize,
+    /// Samples pushed since the last [`ReplayBuffer::clear`].
+    pushed: u64,
+}
+
+impl ReplayBuffer {
+    /// An empty buffer holding at most `capacity` samples.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay buffer needs capacity");
+        ReplayBuffer {
+            buf: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            head: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Maximum number of retained samples.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Samples currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Samples pushed since the last clear (may exceed `len` once the ring
+    /// wraps) — the control plane's "fresh data since quarantine" counter.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Records one observation, evicting the oldest when full.
+    pub fn push(&mut self, sample: TrainingSample) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(sample);
+        } else {
+            self.buf[self.head] = sample;
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.pushed += 1;
+    }
+
+    /// Drops every sample and resets the freshness counter (called on
+    /// quarantine so retraining sees only post-fault data).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        self.pushed = 0;
+    }
+
+    /// The retained samples in chronological order (oldest first). Leaf
+    /// ring buffers keep the most recent entries, so re-fitting in this
+    /// order reproduces "what the leaf would have seen".
+    pub fn chronological(&self) -> Vec<TrainingSample> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concordia_ran::features::NUM_FEATURES;
+
+    fn s(v: f64) -> TrainingSample {
+        TrainingSample {
+            x: [0.0; NUM_FEATURES],
+            runtime_us: v,
+        }
+    }
+
+    #[test]
+    fn fills_then_overwrites_oldest() {
+        let mut rb = ReplayBuffer::new(3);
+        assert!(rb.is_empty());
+        for v in 1..=5 {
+            rb.push(s(v as f64));
+        }
+        assert_eq!(rb.len(), 3);
+        assert_eq!(rb.pushed(), 5);
+        let chron: Vec<f64> = rb.chronological().iter().map(|s| s.runtime_us).collect();
+        assert_eq!(chron, vec![3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn chronological_before_wrap() {
+        let mut rb = ReplayBuffer::new(4);
+        rb.push(s(1.0));
+        rb.push(s(2.0));
+        let chron: Vec<f64> = rb.chronological().iter().map(|s| s.runtime_us).collect();
+        assert_eq!(chron, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn clear_resets_freshness() {
+        let mut rb = ReplayBuffer::new(2);
+        rb.push(s(1.0));
+        rb.push(s(2.0));
+        rb.push(s(3.0));
+        assert_eq!(rb.pushed(), 3);
+        rb.clear();
+        assert!(rb.is_empty());
+        assert_eq!(rb.pushed(), 0);
+        rb.push(s(9.0));
+        assert_eq!(rb.len(), 1);
+        assert_eq!(rb.chronological()[0].runtime_us, 9.0);
+    }
+}

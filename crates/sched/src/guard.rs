@@ -75,6 +75,15 @@ impl MispredictionGuard {
         self.streak
     }
 
+    /// Drops all accumulated state: streak and inflation return to their
+    /// disengaged values. Called when the predictor control plane swaps in
+    /// a retrained model — the new model must not inherit inflation earned
+    /// by its drifted predecessor.
+    pub fn reset(&mut self) {
+        self.streak = 0;
+        self.inflation = 1.0;
+    }
+
     /// Applies the current inflation to a prediction.
     pub fn apply(&self, wcet: Nanos) -> Nanos {
         if self.inflation > 1.0 {
@@ -145,6 +154,22 @@ mod tests {
         }
         assert_eq!(g.inflation(), 1.0);
         assert_eq!(g.streak(), 0);
+    }
+
+    #[test]
+    fn reset_clears_streak_and_inflation() {
+        let mut g = MispredictionGuard::new(2);
+        for _ in 0..20 {
+            g.observe(100.0, 300.0);
+        }
+        assert!(g.inflation() > 1.0);
+        assert!(g.streak() > 0);
+        g.reset();
+        assert_eq!(g.inflation(), 1.0);
+        assert_eq!(g.streak(), 0);
+        // Post-reset behavior matches a fresh guard: no residual memory.
+        g.observe(100.0, 150.0);
+        assert_eq!(g.inflation(), 1.0);
     }
 
     #[test]
