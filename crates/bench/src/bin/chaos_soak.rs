@@ -21,11 +21,16 @@
 //! JSON.
 //!
 //! Example: `cargo run -p concordia-bench --release --bin chaos_soak -- --seed 1 --load 0.7`
+//!
+//! `--trace` turns the ring-buffer recorder on for every experiment. The
+//! rows are derived from metrics only, so the JSON stays byte-identical
+//! with tracing on or off — CI runs the soak both ways and compares.
 
-use concordia_bench::{banner, f64_flag, write_json, RunLength};
+use concordia_bench::{banner, bool_flag, f64_flag, write_json, RunLength};
 use concordia_core::runner::run_parallel_results;
 use concordia_core::{Colocation, ExperimentReport, SchedulerChoice, SimConfig};
 use concordia_platform::faults::{FaultKind, FaultPlan};
+use concordia_platform::trace::TraceConfig;
 use concordia_platform::workloads::WorkloadKind;
 use concordia_ran::Nanos;
 use concordia_sched::ConcordiaConfig;
@@ -87,6 +92,7 @@ fn main() {
     let len = RunLength::from_args();
     let seed = concordia_bench::seed_from_args();
     let load = f64_flag("--load", 0.6).clamp(0.0, 1.0);
+    let tracing = bool_flag("--trace");
     banner(
         "Chaos soak (fault injection across the pool, scheduler and accelerator path)",
         "no fault class panics the simulator; Concordia's reliability recovers once the fault clears",
@@ -135,6 +141,7 @@ fn main() {
             cfg.fpga = matches!(kind, FaultKind::AccelOutage | FaultKind::AccelTimeout);
             cfg.seed = seed;
             cfg.faults = FaultPlan::chaos(&[kind], dur);
+            cfg.trace = tracing.then(TraceConfig::default);
             configs.push(cfg);
         }
     }

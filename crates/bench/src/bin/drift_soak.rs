@@ -32,10 +32,15 @@
 //!
 //! Example:
 //! `cargo run -p concordia-bench --release --bin drift_soak -- --seed 7 --windows 200`
+//!
+//! `--trace` turns the ring-buffer recorder on for both runs. The rows are
+//! metric-derived only, so the JSON stays byte-identical with tracing on
+//! or off — CI runs the soak both ways and compares.
 
-use concordia_bench::{banner, f64_flag, u64_flag, write_json};
+use concordia_bench::{banner, bool_flag, f64_flag, u64_flag, write_json};
 use concordia_core::{run_experiment, Colocation, ExperimentReport, SimConfig};
 use concordia_platform::faults::{FaultKind, FaultPlan, FaultSpec};
+use concordia_platform::trace::TraceConfig;
 use concordia_platform::workloads::WorkloadKind;
 use concordia_sched::SupervisorConfig;
 use serde::Serialize;
@@ -134,6 +139,7 @@ fn main() {
     base.load = load;
     base.colocation = Colocation::Single(WorkloadKind::Redis);
     base.seed = seed;
+    base.trace = bool_flag("--trace").then(TraceConfig::default);
     base.faults = FaultPlan {
         specs: vec![
             FaultSpec::fixed(FaultKind::DriftInjection, start, split - start, SEVERITY),

@@ -10,7 +10,7 @@
 //!    mixed-generation deployment check: the LTE pool behaves like the 5G
 //!    one, just cheaper per slot.
 
-use concordia_bench::{banner, pct, write_json, RunLength};
+use concordia_bench::{banner, pct, quantile_or_nan, write_json, RunLength};
 use concordia_core::{run_experiment, Colocation, SimConfig};
 use concordia_platform::workloads::WorkloadKind;
 use concordia_ran::{CellConfig, Nanos};
@@ -43,14 +43,14 @@ fn main() {
         println!(
             "{scenario:<28} {:>12.6} {:>13.0} {:>12} {:>12}",
             r.metrics.reliability,
-            r.metrics.p99999_latency_us,
+            quantile_or_nan(r.metrics.p99999_latency_us),
             pct(r.metrics.reclaimed_fraction),
             r.metrics.tasks_executed
         );
         rows.push(ExtRow {
             scenario: scenario.into(),
             reliability: r.metrics.reliability,
-            p99999_us: r.metrics.p99999_latency_us,
+            p99999_us: quantile_or_nan(r.metrics.p99999_latency_us),
             reclaimed_pct: r.metrics.reclaimed_fraction * 100.0,
             tasks_executed: r.metrics.tasks_executed,
         });

@@ -11,7 +11,7 @@
 //! Grid: {20 MHz × 7 cells, 100 MHz × 2 cells} × {Concordia, FlexRAN} ×
 //! {isolated, Nginx, Redis, TPCC, MLPerf}, 8-core pools.
 
-use concordia_bench::{banner, write_json, RunLength};
+use concordia_bench::{banner, quantile_or_nan, write_json, RunLength};
 use concordia_core::{run_experiment, Colocation, SchedulerChoice, SimConfig};
 use concordia_platform::workloads::WorkloadKind;
 use concordia_ran::Nanos;
@@ -78,8 +78,8 @@ fn main() {
                     "{:<10} {:>10.0} {:>12.0} {:>13.0} {:>12.6} {:>8}",
                     r.colocation,
                     r.metrics.mean_latency_us,
-                    r.metrics.p9999_latency_us,
-                    r.metrics.p99999_latency_us,
+                    quantile_or_nan(r.metrics.p9999_latency_us),
+                    quantile_or_nan(r.metrics.p99999_latency_us),
                     r.metrics.reliability,
                     if five { "yes" } else { "NO" }
                 );
@@ -88,8 +88,8 @@ fn main() {
                     scheduler: r.scheduler.clone(),
                     colocation: r.colocation.clone(),
                     mean_us: r.metrics.mean_latency_us,
-                    p9999_us: r.metrics.p9999_latency_us,
-                    p99999_us: r.metrics.p99999_latency_us,
+                    p9999_us: quantile_or_nan(r.metrics.p9999_latency_us),
+                    p99999_us: quantile_or_nan(r.metrics.p99999_latency_us),
                     deadline_us: r.deadline_us,
                     reliability: r.metrics.reliability,
                     five_nines: five,

@@ -8,7 +8,7 @@
 //!   and adding one more core (9) restores 99.999 % — extra cores give
 //!   Concordia room to compensate when a scheduled core wakes late.
 
-use concordia_bench::{banner, write_json, RunLength};
+use concordia_bench::{banner, quantile_or_nan, write_json, RunLength};
 use concordia_core::{run_experiment, Colocation, SimConfig};
 use concordia_ran::Nanos;
 use serde::Serialize;
@@ -52,16 +52,16 @@ fn main() {
             let r = run_experiment(cfg);
             println!(
                 "{name:<10} {cores:>6} {:>12.0} {:>13.0} {:>10.0} {:>12.6}",
-                r.metrics.p9999_latency_us,
-                r.metrics.p99999_latency_us,
+                quantile_or_nan(r.metrics.p9999_latency_us),
+                quantile_or_nan(r.metrics.p99999_latency_us),
                 r.deadline_us,
                 r.metrics.reliability
             );
             rows.push(Fig12Row {
                 config: name.into(),
                 cores,
-                p9999_us: r.metrics.p9999_latency_us,
-                p99999_us: r.metrics.p99999_latency_us,
+                p9999_us: quantile_or_nan(r.metrics.p9999_latency_us),
+                p99999_us: quantile_or_nan(r.metrics.p99999_latency_us),
                 deadline_us: r.deadline_us,
                 reliability: r.metrics.reliability,
             });

@@ -8,7 +8,7 @@
 //!   worst input and is therefore pessimistic for the typical slot;
 //! * the latency benefit of the pessimistic model is marginal (~5 µs).
 
-use concordia_bench::{banner, pct, write_json, RunLength};
+use concordia_bench::{banner, pct, quantile_or_nan, write_json, RunLength};
 use concordia_core::{run_experiment, Colocation, PredictorChoice, SimConfig};
 use concordia_platform::workloads::WorkloadKind;
 use concordia_ran::Nanos;
@@ -53,16 +53,16 @@ fn main() {
                 r.predictor,
                 load * 100.0,
                 pct(r.metrics.reclaimed_fraction),
-                r.metrics.p9999_latency_us,
-                r.metrics.p99999_latency_us,
+                quantile_or_nan(r.metrics.p9999_latency_us),
+                quantile_or_nan(r.metrics.p99999_latency_us),
                 r.metrics.reliability
             );
             rows.push(Fig13Row {
                 predictor: r.predictor.clone(),
                 load,
                 reclaimed_pct: r.metrics.reclaimed_fraction * 100.0,
-                p9999_us: r.metrics.p9999_latency_us,
-                p99999_us: r.metrics.p99999_latency_us,
+                p9999_us: quantile_or_nan(r.metrics.p9999_latency_us),
+                p99999_us: quantile_or_nan(r.metrics.p99999_latency_us),
                 reliability: r.metrics.reliability,
             });
         }

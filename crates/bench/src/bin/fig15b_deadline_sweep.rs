@@ -6,7 +6,7 @@
 //! latency at the expense of reclaimed CPU — the deadline is a tuning knob
 //! trading vRAN reliability margin against sharing.
 
-use concordia_bench::{banner, pct, write_json, RunLength};
+use concordia_bench::{banner, pct, quantile_or_nan, write_json, RunLength};
 use concordia_core::experiments::deadline_sweep;
 use concordia_core::{Colocation, SimConfig};
 use concordia_platform::workloads::WorkloadKind;
@@ -50,13 +50,13 @@ fn main() {
         println!(
             "{:>12.0} {:>14.0} {:>12} {:>12.6}",
             d.as_micros_f64(),
-            r.metrics.p99999_latency_us,
+            quantile_or_nan(r.metrics.p99999_latency_us),
             pct(r.metrics.reclaimed_fraction),
             r.metrics.reliability
         );
         rows.push(Fig15bRow {
             deadline_us: d.as_micros_f64(),
-            p99999_us: r.metrics.p99999_latency_us,
+            p99999_us: quantile_or_nan(r.metrics.p99999_latency_us),
             reclaimed_pct: r.metrics.reclaimed_fraction * 100.0,
             reliability: r.metrics.reliability,
         });

@@ -1,5 +1,6 @@
 //! Development probe: tail-latency distribution per scheduler/config.
 
+use concordia_bench::quantile_or_nan;
 use concordia_core::{run_experiment, Colocation, SchedulerChoice, SimConfig};
 use concordia_platform::workloads::WorkloadKind;
 use concordia_ran::Nanos;
@@ -31,8 +32,8 @@ fn main() {
                     r.metrics.violations,
                     r.metrics.reliability,
                     r.metrics.mean_latency_us,
-                    r.metrics.p9999_latency_us,
-                    r.metrics.p99999_latency_us,
+                    quantile_or_nan(r.metrics.p9999_latency_us),
+                    quantile_or_nan(r.metrics.p99999_latency_us),
                     r.metrics.reclaimed_fraction * 100.0,
                     r.metrics.wake_events,
                     r.metrics.stall_cycles_pct,

@@ -10,7 +10,7 @@
 //!
 //! Example: `cargo run --release -p concordia-bench --bin reliability_soak -- 300`
 
-use concordia_bench::{banner, write_json};
+use concordia_bench::{banner, quantile_or_nan, write_json};
 use concordia_core::{Colocation, SimConfig, Simulation};
 use concordia_ran::Nanos;
 use serde::Serialize;
@@ -57,7 +57,7 @@ fn main() {
             report.metrics.dags,
             report.metrics.violations,
             report.metrics.reliability,
-            report.metrics.p99999_latency_us
+            quantile_or_nan(report.metrics.p99999_latency_us)
         );
         rows.push(SoakRow {
             config: name.into(),
@@ -65,7 +65,7 @@ fn main() {
             dags: report.metrics.dags,
             violations: report.metrics.violations,
             reliability: report.metrics.reliability,
-            p99999_us: report.metrics.p99999_latency_us,
+            p99999_us: quantile_or_nan(report.metrics.p99999_latency_us),
         });
     }
 

@@ -12,7 +12,7 @@
 //! * Concordia (prediction-driven) achieves both reliability and sharing —
 //!   "having predictions of task execution times is instrumental".
 
-use concordia_bench::{banner, pct, write_json, RunLength};
+use concordia_bench::{banner, pct, quantile_or_nan, write_json, RunLength};
 use concordia_core::{run_experiment, Colocation, SchedulerChoice, SimConfig};
 use concordia_platform::workloads::WorkloadKind;
 use concordia_ran::Nanos;
@@ -55,14 +55,14 @@ fn main() {
             r.scheduler,
             param,
             r.metrics.reliability,
-            r.metrics.p9999_latency_us,
+            quantile_or_nan(r.metrics.p9999_latency_us),
             pct(r.metrics.reclaimed_fraction)
         );
         rows.push(AltRow {
             scheduler: r.scheduler.clone(),
             parameter: param,
             reliability: r.metrics.reliability,
-            p9999_us: r.metrics.p9999_latency_us,
+            p9999_us: quantile_or_nan(r.metrics.p9999_latency_us),
             reclaimed_pct: r.metrics.reclaimed_fraction * 100.0,
         });
     };

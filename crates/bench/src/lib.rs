@@ -69,6 +69,17 @@ pub fn f64_flag(name: &str, default: f64) -> f64 {
     flag_value(name).unwrap_or(default)
 }
 
+/// True when a bare `--flag` is present in the process arguments.
+pub fn bool_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Unwraps an optional tail quantile for a numeric report row; empty
+/// recorders surface as NaN, which the JSON writer renders as `null`.
+pub fn quantile_or_nan(q: Option<f64>) -> f64 {
+    q.unwrap_or(f64::NAN)
+}
+
 fn flag_value<T: std::str::FromStr>(name: &str) -> Option<T> {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
@@ -135,5 +146,12 @@ mod tests {
         // must return the caller's default.
         assert_eq!(u64_flag("--windows", 200), 200);
         assert!((f64_flag("--load", 0.6) - 0.6).abs() < 1e-12);
+        assert!(!bool_flag("--trace"));
+    }
+
+    #[test]
+    fn quantile_unwrap_preserves_values_and_marks_empty() {
+        assert_eq!(quantile_or_nan(Some(912.5)), 912.5);
+        assert!(quantile_or_nan(None).is_nan());
     }
 }

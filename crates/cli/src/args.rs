@@ -2,6 +2,7 @@
 
 use concordia_core::{Colocation, PredictorChoice, SchedulerChoice, SimConfig};
 use concordia_platform::faults::{FaultKind, FaultPlan};
+use concordia_platform::trace::TraceConfig;
 use concordia_platform::workloads::WorkloadKind;
 use concordia_ran::{CellConfig, Nanos};
 use concordia_sched::concordia::ConcordiaConfig;
@@ -39,6 +40,9 @@ OPTIONS:
                               detection, quarantine, online retraining,
                               admission control)
   --json PATH                 write the full JSON report to PATH
+  --trace PATH                record a microsecond-granularity event trace
+                              and write it to PATH as Chrome trace-event
+                              JSON (load in Perfetto / chrome://tracing)
   -h, --help                  this text
 ";
 
@@ -51,8 +55,9 @@ fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
 }
 
 /// Parses the argument list into a simulation config plus optional JSON
-/// output path.
-pub fn parse(argv: &[String]) -> Result<(SimConfig, Option<String>), CliError> {
+/// report path and optional Chrome-trace output path.
+#[allow(clippy::type_complexity)]
+pub fn parse(argv: &[String]) -> Result<(SimConfig, Option<String>, Option<String>), CliError> {
     let mut cfg = SimConfig::paper_20mhz();
     cfg.duration = Nanos::from_secs(5);
     cfg.profiling_slots = 1_500;
@@ -63,6 +68,7 @@ pub fn parse(argv: &[String]) -> Result<(SimConfig, Option<String>), CliError> {
     let mut cores_override: Option<u32> = None;
     let mut fault_kinds: Option<Vec<FaultKind>> = None;
     let mut json_path = None;
+    let mut trace_path = None;
 
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -175,6 +181,10 @@ pub fn parse(argv: &[String]) -> Result<(SimConfig, Option<String>), CliError> {
             "--mac" => cfg.mac_in_pool = true,
             "--peak" => cfg.peak_provisioning = true,
             "--json" => json_path = Some(value("--json")?.clone()),
+            "--trace" => {
+                trace_path = Some(value("--trace")?.clone());
+                cfg.trace = Some(TraceConfig::default());
+            }
             other => return err(format!("unknown flag '{other}'")),
         }
     }
@@ -195,7 +205,7 @@ pub fn parse(argv: &[String]) -> Result<(SimConfig, Option<String>), CliError> {
     if let Some(kinds) = fault_kinds {
         cfg.faults = FaultPlan::chaos(&kinds, cfg.duration);
     }
-    Ok((cfg, json_path))
+    Ok((cfg, json_path, trace_path))
 }
 
 fn parse_scheduler(v: &str) -> Result<SchedulerChoice, CliError> {
@@ -236,17 +246,18 @@ mod tests {
 
     #[test]
     fn defaults_are_sane() {
-        let (cfg, json) = parse(&[]).unwrap();
+        let (cfg, json, trace) = parse(&[]).unwrap();
         assert_eq!(cfg.n_cells, 7);
         assert_eq!(cfg.cores, 8);
         assert_eq!(cfg.scheduler.name(), "concordia");
         assert_eq!(cfg.colocation.name(), "redis");
         assert!(json.is_none());
+        assert!(trace.is_none());
     }
 
     #[test]
     fn full_flag_set_parses() {
-        let (cfg, json) = parse(&args(
+        let (cfg, json, trace) = parse(&args(
             "--config 100mhz --cells 3 --cores 10 --scheduler shenango:50 \
              --predictor gbt --colocate mix --load 0.75 --secs 9 --seed 42 \
              --deadline-us 1200 --fpga --mac --peak --json out.json",
@@ -267,17 +278,18 @@ mod tests {
         assert_eq!(cfg.deadline_override, Some(Nanos::from_micros(1200)));
         assert!(cfg.fpga && cfg.mac_in_pool && cfg.peak_provisioning);
         assert_eq!(json.as_deref(), Some("out.json"));
+        assert!(trace.is_none());
     }
 
     #[test]
     fn lte_preset_selects_turbo_cells() {
-        let (cfg, _) = parse(&args("--config lte")).unwrap();
+        let (cfg, ..) = parse(&args("--config lte")).unwrap();
         assert_eq!(cfg.cell.generation, concordia_ran::RanGeneration::Lte);
     }
 
     #[test]
     fn utilization_scheduler_parses() {
-        let (cfg, _) = parse(&args("--scheduler utilization:0.3")).unwrap();
+        let (cfg, ..) = parse(&args("--scheduler utilization:0.3")).unwrap();
         assert_eq!(cfg.scheduler, SchedulerChoice::Utilization(0.3));
     }
 
@@ -298,26 +310,39 @@ mod tests {
 
     #[test]
     fn supervisor_flag_enables_the_control_plane() {
-        let (cfg, _) = parse(&args("--supervisor")).unwrap();
+        let (cfg, ..) = parse(&args("--supervisor")).unwrap();
         assert_eq!(cfg.supervisor, Some(SupervisorConfig::default()));
-        let (cfg, _) = parse(&[]).unwrap();
+        let (cfg, ..) = parse(&[]).unwrap();
         assert!(cfg.supervisor.is_none(), "default is legacy behavior");
     }
 
     #[test]
+    fn trace_flag_enables_tracing_and_captures_the_path() {
+        let (cfg, json, trace) = parse(&args("--trace out.trace.json")).unwrap();
+        assert_eq!(cfg.trace, Some(TraceConfig::default()));
+        assert!(json.is_none());
+        assert_eq!(trace.as_deref(), Some("out.trace.json"));
+        // Default stays off: no hot-path recording without the flag.
+        let (cfg, _, trace) = parse(&[]).unwrap();
+        assert!(cfg.trace.is_none());
+        assert!(trace.is_none());
+        assert!(parse(&args("--trace")).is_err(), "missing value");
+    }
+
+    #[test]
     fn drift_injection_is_a_valid_fault_class() {
-        let (cfg, _) = parse(&args("--faults drift_injection")).unwrap();
+        let (cfg, ..) = parse(&args("--faults drift_injection")).unwrap();
         assert_eq!(cfg.faults.specs[0].kind, FaultKind::DriftInjection);
     }
 
     #[test]
     fn faults_flag_builds_a_chaos_plan() {
-        let (cfg, _) = parse(&args("--faults core_offline,accel_outage")).unwrap();
+        let (cfg, ..) = parse(&args("--faults core_offline,accel_outage")).unwrap();
         assert_eq!(cfg.faults.specs.len(), 2);
         assert_eq!(cfg.faults.specs[0].kind, FaultKind::CoreOffline);
         assert_eq!(cfg.faults.specs[1].kind, FaultKind::AccelOutage);
         // Default is fault-free.
-        let (cfg, _) = parse(&[]).unwrap();
+        let (cfg, ..) = parse(&[]).unwrap();
         assert!(cfg.faults.specs.is_empty());
     }
 
@@ -325,7 +350,7 @@ mod tests {
     fn faults_plan_scales_to_final_duration() {
         // --secs after --faults must still size the windows: the plan is
         // built after the flag loop.
-        let (cfg, _) = parse(&args("--faults traffic_surge --secs 10")).unwrap();
+        let (cfg, ..) = parse(&args("--faults traffic_surge --secs 10")).unwrap();
         assert_eq!(
             cfg.faults.specs[0].latest_start,
             Nanos::from_secs(10).scale(0.45)
@@ -335,7 +360,7 @@ mod tests {
     #[test]
     fn order_of_config_and_overrides() {
         // --cells after --config must win regardless of flag order.
-        let (cfg, _) = parse(&args("--cells 3 --config 100mhz")).unwrap();
+        let (cfg, ..) = parse(&args("--cells 3 --config 100mhz")).unwrap();
         assert_eq!(cfg.n_cells, 3);
     }
 }

@@ -14,7 +14,8 @@
 //!           [--faults core_offline,accel_outage,...] [--json <path>]
 //! ```
 
-use concordia_core::{run_experiment, Colocation, PredictorChoice, SchedulerChoice, SimConfig};
+use concordia_core::{Colocation, PredictorChoice, SchedulerChoice, SimConfig, Simulation};
+use concordia_platform::trace::export_chrome_trace;
 use concordia_platform::workloads::WorkloadKind;
 use concordia_ran::{CellConfig, Nanos};
 use std::process::ExitCode;
@@ -28,7 +29,7 @@ fn main() -> ExitCode {
         print!("{}", args::USAGE);
         return ExitCode::SUCCESS;
     }
-    let (cfg, json_path) = match parse(&argv) {
+    let (cfg, json_path, trace_path) = match parse(&argv) {
         Ok(v) => v,
         Err(CliError(msg)) => {
             eprintln!("error: {msg}\n");
@@ -51,14 +52,18 @@ fn main() -> ExitCode {
         cfg.duration.as_nanos() / 1_000_000_000
     );
 
-    let report = run_experiment(cfg);
+    let (report, recorder) = Simulation::new(cfg).run_traced();
+    let quant = |v: Option<f64>| match v {
+        Some(v) => format!("{v:.0}us"),
+        None => "n/a".to_string(),
+    };
     println!("{}", report.one_liner());
     println!(
-        "  deadline {}us | mean {:.0}us | p99.99 {:.0}us | p99.999 {:.0}us",
+        "  deadline {}us | mean {:.0}us | p99.99 {} | p99.999 {}",
         report.deadline_us,
         report.metrics.mean_latency_us,
-        report.metrics.p9999_latency_us,
-        report.metrics.p99999_latency_us
+        quant(report.metrics.p9999_latency_us),
+        quant(report.metrics.p99999_latency_us)
     );
     println!(
         "  reclaimed {:.1}% | pool util {:.1}% | wakes {} | stall +{:.1}%",
@@ -131,6 +136,23 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("report written to {path}");
+    }
+    if let Some(path) = trace_path {
+        let Some(rec) = recorder else {
+            eprintln!("error: --trace path given but tracing was not enabled");
+            return ExitCode::FAILURE;
+        };
+        let json = serde_json::to_string(&export_chrome_trace(&rec)).expect("serializable trace");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        let s = rec.summary();
+        eprintln!(
+            "trace written to {path} ({} events, {} dropped, {} snapshots) — \
+             open in https://ui.perfetto.dev or chrome://tracing",
+            s.events_recorded, s.events_dropped, s.snapshots
+        );
     }
     ExitCode::SUCCESS
 }

@@ -1,6 +1,7 @@
 //! Experiment configuration.
 
 use concordia_platform::faults::FaultPlan;
+use concordia_platform::trace::TraceConfig;
 use concordia_platform::workloads::WorkloadKind;
 use concordia_ran::cell::CellConfig;
 use concordia_ran::time::Nanos;
@@ -139,6 +140,10 @@ pub struct SimConfig {
     /// retraining, admission control). `None` = legacy behavior: the model
     /// bank serves directly with no lifecycle management.
     pub supervisor: Option<SupervisorConfig>,
+    /// Microsecond-granularity event tracing. `None` (the default) records
+    /// nothing and adds no hot-path work; `Some` turns on the ring-buffer
+    /// recorder, which by contract never perturbs simulation results.
+    pub trace: Option<TraceConfig>,
 }
 
 impl SimConfig {
@@ -163,6 +168,7 @@ impl SimConfig {
             peak_provisioning: false,
             faults: FaultPlan::none(),
             supervisor: None,
+            trace: None,
         }
     }
 

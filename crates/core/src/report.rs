@@ -1,6 +1,7 @@
 //! Serializable experiment reports.
 
 use concordia_platform::metrics::MetricsSummary;
+use concordia_platform::trace::TraceSummary;
 use serde::{Deserialize, Serialize};
 
 /// Throughput outcome of the collocated best-effort workload (Fig. 8b–d).
@@ -136,6 +137,10 @@ pub struct ExperimentReport {
     pub fault: Option<FaultReport>,
     /// Predictor-control-plane outcome, when a supervisor ran.
     pub supervisor: Option<SupervisorReport>,
+    /// Trace-recorder accounting, when tracing was enabled. Stripping this
+    /// field is the only edit needed to compare a traced report against an
+    /// untraced one — the metrics themselves are identical by contract.
+    pub trace: Option<TraceSummary>,
 }
 
 impl ExperimentReport {
@@ -144,17 +149,22 @@ impl ExperimentReport {
         self.metrics.reliability >= 0.99999
     }
 
-    /// One-line human-readable summary.
+    /// One-line human-readable summary. Tail quantiles print as `n/a`
+    /// when the run completed no DAGs (empty latency recorder).
     pub fn one_liner(&self) -> String {
+        let q = |v: Option<f64>| match v {
+            Some(v) => format!("{v:.0}us"),
+            None => "n/a".to_string(),
+        };
         format!(
-            "{}/{} {}: {} dags, reliability {:.6}, p99.99 {:.0}us, p99.999 {:.0}us, reclaimed {:.1}%",
+            "{}/{} {}: {} dags, reliability {:.6}, p99.99 {}, p99.999 {}, reclaimed {:.1}%",
             self.scheduler,
             self.predictor,
             self.colocation,
             self.metrics.dags,
             self.metrics.reliability,
-            self.metrics.p9999_latency_us,
-            self.metrics.p99999_latency_us,
+            q(self.metrics.p9999_latency_us),
+            q(self.metrics.p99999_latency_us),
             self.metrics.reclaimed_fraction * 100.0
         )
     }
@@ -180,8 +190,8 @@ mod tests {
                 violations: 0,
                 reliability: 1.0,
                 mean_latency_us: 200.0,
-                p9999_latency_us: 900.0,
-                p99999_latency_us: 1100.0,
+                p9999_latency_us: Some(900.0),
+                p99999_latency_us: Some(1100.0),
                 reclaimed_fraction: 0.55,
                 pool_utilization: 0.3,
                 wake_events: 5000,
@@ -198,6 +208,7 @@ mod tests {
             workload: None,
             fault: None,
             supervisor: None,
+            trace: None,
         }
     }
 

@@ -11,6 +11,7 @@ use crate::report::{
 use concordia_platform::faults::{FaultKind, FaultTimeline};
 use concordia_platform::pool::{PoolConfig, ScheduledDag, VranPool};
 use concordia_platform::sched_api::{DedicatedScheduler, PoolScheduler};
+use concordia_platform::trace::{self, TraceEvent, TraceRecorder};
 use concordia_platform::workloads::{MixSchedule, WorkloadKind};
 use concordia_predictor::api::ModelBank;
 use concordia_ran::cost::CostModel;
@@ -22,7 +23,7 @@ use concordia_ran::time::Nanos;
 use concordia_sched::baselines::{FlexRanScheduler, ShenangoScheduler, UtilizationScheduler};
 use concordia_sched::concordia::ConcordiaScheduler;
 use concordia_sched::guard::MispredictionGuard;
-use concordia_sched::supervisor::{AdmissionLevel, PredictorSupervisor};
+use concordia_sched::supervisor::{AdmissionLevel, LaneState, PredictorSupervisor};
 use concordia_stats::rng::Rng;
 use concordia_traffic::gen5g::{CellTraffic, TrafficConfig};
 
@@ -46,6 +47,35 @@ pub struct Simulation {
     win_dags: u64,
     win_viols: u64,
     slot: u64,
+    /// Last guard inflation the trace saw (change-detected so the trace
+    /// carries one counter sample per change, not one per slot).
+    last_traced_inflation: f64,
+    /// Last admission level the trace saw.
+    last_traced_admission: AdmissionLevel,
+    /// Which workload-level fault kinds (predictor bias, traffic surge —
+    /// the ones that never reach the pool's own timeline) are currently
+    /// inside an active window, for edge-detected trace events.
+    workload_fault_active: [bool; 2],
+}
+
+/// Workload-level fault kinds the sim (not the pool) traces, paired with
+/// their slot in [`Simulation::workload_fault_active`].
+const WORKLOAD_FAULTS: [FaultKind; 2] = [FaultKind::PredictorBias, FaultKind::TrafficSurge];
+
+fn lane_code(s: LaneState) -> u8 {
+    match s {
+        LaneState::Healthy => trace::LANE_HEALTHY,
+        LaneState::Quarantined => trace::LANE_QUARANTINED,
+        LaneState::Shadow => trace::LANE_SHADOW,
+    }
+}
+
+fn admission_code(a: AdmissionLevel) -> u8 {
+    match a {
+        AdmissionLevel::Normal => trace::ADMISSION_NORMAL,
+        AdmissionLevel::Shed => trace::ADMISSION_SHED,
+        AdmissionLevel::Reject => trace::ADMISSION_REJECT,
+    }
 }
 
 fn make_scheduler(choice: SchedulerChoice) -> Box<dyn PoolScheduler> {
@@ -155,7 +185,13 @@ impl Simulation {
             win_dags: 0,
             win_viols: 0,
             slot: 0,
+            last_traced_inflation: 1.0,
+            last_traced_admission: AdmissionLevel::Normal,
+            workload_fault_active: [false; 2],
         };
+        if let Some(tc) = sim.cfg.trace {
+            sim.pool.enable_trace(tc);
+        }
         if sim.cfg.fpga {
             sim.pool
                 .enable_fpga(concordia_ran::accel::FpgaModel::default());
@@ -204,13 +240,41 @@ impl Simulation {
         let Some(sup) = self.supervisor.as_mut() else {
             return;
         };
+        let tracing = self.pool.trace_enabled();
+        // Snapshot lane states around the window close so the trace carries
+        // every Healthy → Quarantined → Shadow → Healthy transition.
+        let before: Vec<LaneState> = if tracing {
+            (0..sup.n_lanes())
+                .map(|l| sup.lane_state(l).unwrap_or(LaneState::Healthy))
+                .collect()
+        } else {
+            Vec::new()
+        };
         sup.end_window(dags, viols);
         if sup.take_guard_reset() {
             // A retrained model was just swapped in; it must not inherit
             // the inflation the guard earned against its predecessor.
             self.guard.reset();
         }
+        if tracing {
+            for (l, &was) in before.iter().enumerate() {
+                let now = sup.lane_state(l).unwrap_or(was);
+                if now != was {
+                    self.pool.record_trace_event(TraceEvent::LaneTransition {
+                        lane: l as u8,
+                        from: lane_code(was),
+                        to: lane_code(now),
+                    });
+                }
+            }
+        }
         let admission = sup.admission();
+        if tracing && admission != self.last_traced_admission {
+            self.last_traced_admission = admission;
+            self.pool.record_trace_event(TraceEvent::Admission {
+                level: admission_code(admission),
+            });
+        }
         match admission {
             AdmissionLevel::Shed | AdmissionLevel::Reject => {
                 if !self.shedding {
@@ -230,6 +294,20 @@ impl Simulation {
 
     /// Runs the online phase to completion and produces the report.
     pub fn run(mut self) -> ExperimentReport {
+        self.run_to_completion();
+        self.report()
+    }
+
+    /// Like [`Self::run`], but also hands back the trace recorder (when
+    /// [`SimConfig::trace`] was set) for exporting. The report is built
+    /// before the recorder is detached, so its `trace` summary is filled.
+    pub fn run_traced(mut self) -> (ExperimentReport, Option<TraceRecorder>) {
+        self.run_to_completion();
+        let report = self.report();
+        (report, self.pool.take_trace())
+    }
+
+    fn run_to_completion(&mut self) {
         let slot_dur = self.cfg.cell.slot_duration();
         let n_slots = self.cfg.duration.as_nanos() / slot_dur.as_nanos();
 
@@ -248,6 +326,7 @@ impl Simulation {
                 }
             }
 
+            self.trace_workload_fault_edges(t);
             self.inject_slot(t, slot);
 
             // Online adaptation (§4.2): feed observed runtimes back. The
@@ -275,6 +354,8 @@ impl Simulation {
                 }
             }
 
+            self.trace_guard_inflation();
+
             // Decision-window boundary: the only place the control plane
             // may swap serving models or change the admission level.
             if let Some(window_slots) = self.supervisor.as_ref().map(|s| s.config().window_slots) {
@@ -282,12 +363,56 @@ impl Simulation {
                     self.end_supervisor_window(t);
                 }
             }
+
+            // Periodic flat snapshot for the metrics exporter.
+            if let Some(tc) = self.cfg.trace {
+                let every = tc.snapshot_slots.max(1);
+                if (slot + 1) % every == 0 {
+                    self.pool
+                        .record_window_snapshot((slot + 1) / every, self.guard.inflation());
+                }
+            }
         }
         // Drain the tail of the last slots.
         self.pool
             .run_until(self.cfg.duration + self.cfg.cell.deadline);
         self.pool.flush_accounting();
-        self.report()
+    }
+
+    /// Edge-detects workload-level fault windows (predictor bias, traffic
+    /// surge). The pool's own timeline only delivers platform faults, so
+    /// the sim emits start/end instants for the rest of the taxonomy.
+    fn trace_workload_fault_edges(&mut self, t: Nanos) {
+        if !self.pool.trace_enabled() {
+            return;
+        }
+        for (i, kind) in WORKLOAD_FAULTS.into_iter().enumerate() {
+            match self.faults.severity_at(kind, t) {
+                Some(severity) if !self.workload_fault_active[i] => {
+                    self.workload_fault_active[i] = true;
+                    self.pool
+                        .record_trace_event(TraceEvent::FaultStart { kind, severity });
+                }
+                None if self.workload_fault_active[i] => {
+                    self.workload_fault_active[i] = false;
+                    self.pool.record_trace_event(TraceEvent::FaultEnd { kind });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Records the guard's inflation as a trace counter whenever it moves.
+    fn trace_guard_inflation(&mut self) {
+        if !self.pool.trace_enabled() {
+            return;
+        }
+        let inflation = self.guard.inflation();
+        if inflation != self.last_traced_inflation {
+            self.last_traced_inflation = inflation;
+            self.pool
+                .record_trace_event(TraceEvent::GuardInflation { inflation });
+        }
     }
 
     /// Injects the DAGs of one slot boundary for every cell.
@@ -388,6 +513,11 @@ impl Simulation {
             if let Some(sup) = self.supervisor.as_mut() {
                 sup.note_rejected(rejected);
             }
+            if self.pool.trace_enabled() {
+                self.pool.record_trace_event(TraceEvent::AdmissionReject {
+                    dags: rejected.min(u32::MAX as u64) as u32,
+                });
+            }
         }
     }
 
@@ -414,6 +544,7 @@ impl Simulation {
             workload,
             fault: self.fault_report(),
             supervisor: self.supervisor_report(),
+            trace: self.pool.trace_summary(),
         }
     }
 
@@ -587,11 +718,11 @@ mod tests {
             c.load = 0.75;
             c.scheduler = SchedulerChoice::FlexRan;
         });
+        let flex_p = flex.metrics.p9999_latency_us.expect("flexran p9999");
+        let conc_p = conc.metrics.p9999_latency_us.expect("concordia p9999");
         assert!(
-            flex.metrics.p9999_latency_us > conc.metrics.p9999_latency_us,
-            "flexran p9999 {} vs concordia {}",
-            flex.metrics.p9999_latency_us,
-            conc.metrics.p9999_latency_us
+            flex_p > conc_p,
+            "flexran p9999 {flex_p} vs concordia {conc_p}"
         );
     }
 

@@ -61,6 +61,17 @@ impl<E> EventQueue<E> {
         self.heap.pop().map(|Reverse(e)| (e.time, e.event))
     }
 
+    /// Pops the earliest event only if it is due at or before `t_end`.
+    /// One atomic peek-and-pop: callers never need the
+    /// peek-then-`pop().unwrap()` pattern that leaves a bare unwrap on the
+    /// simulation hot loop.
+    pub fn pop_due(&mut self, t_end: Nanos) -> Option<(Nanos, E)> {
+        if self.peek_time()? > t_end {
+            return None;
+        }
+        self.pop()
+    }
+
     /// Time of the earliest pending event.
     pub fn peek_time(&self) -> Option<Nanos> {
         self.heap.peek().map(|Reverse(e)| e.time)
@@ -120,6 +131,18 @@ mod tests {
         q.pop();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn pop_due_respects_the_horizon() {
+        let mut q = EventQueue::new();
+        q.push(Nanos(10), "a");
+        q.push(Nanos(20), "b");
+        assert_eq!(q.pop_due(Nanos(5)), None);
+        assert_eq!(q.pop_due(Nanos(10)), Some((Nanos(10), "a"))); // inclusive
+        assert_eq!(q.pop_due(Nanos(15)), None);
+        assert_eq!(q.pop_due(Nanos(25)), Some((Nanos(20), "b")));
+        assert_eq!(q.pop_due(Nanos(u64::MAX)), None); // empty queue
     }
 
     #[test]

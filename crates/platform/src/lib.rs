@@ -16,6 +16,8 @@
 //!   execution, rotation, metrics).
 //! * [`accel_state`] — FPGA offload engine state (§7).
 //! * [`metrics`] — latency/reliability/reclaimed-CPU accounting.
+//! * [`trace`] — microsecond-granularity ring-buffer span recorder +
+//!   Chrome-trace/snapshot exporters (the observability spine).
 
 pub mod accel_state;
 pub mod cache;
@@ -25,6 +27,7 @@ pub mod metrics;
 pub mod oslat;
 pub mod pool;
 pub mod sched_api;
+pub mod trace;
 pub mod workloads;
 
 pub use cache::{CacheModel, CounterAccumulator, CounterDeltas};
@@ -33,4 +36,8 @@ pub use metrics::{MetricsSummary, PoolMetrics, SlotLatencyRecorder, SlotOutcome}
 pub use oslat::OsLatencyModel;
 pub use pool::{Observation, PoolConfig, ScheduledDag, VranPool};
 pub use sched_api::{DagProgress, DedicatedScheduler, PoolScheduler, PoolView};
+pub use trace::{
+    export_chrome_trace, export_snapshots, TraceConfig, TraceEvent, TraceRecord, TraceRecorder,
+    TraceSummary, WindowSnapshot,
+};
 pub use workloads::{MixSchedule, WorkloadKind, WorkloadProfile};

@@ -3,8 +3,9 @@
 
 use concordia_ran::time::Nanos;
 use concordia_stats::hist::Log2Histogram;
-use concordia_stats::summary::quantile;
+use concordia_stats::summary::quantile_sorted;
 use serde::{Deserialize, Serialize};
+use std::cell::{Cell, RefCell};
 
 /// Records per-slot (per-DAG) processing latencies and deadline outcomes.
 #[derive(Debug, Clone, Default)]
@@ -15,6 +16,16 @@ pub struct SlotLatencyRecorder {
     /// order — the raw material for per-fault-window reliability
     /// accounting (violations before/during/after each window).
     outcomes: Vec<SlotOutcome>,
+    /// Lazily rebuilt ascending copy of `latencies_us`, shared by every
+    /// quantile query until the next `record_at` invalidates it. Interior
+    /// mutability keeps `quantile_us` callable through `&self` (summaries
+    /// are read-only); the recorder is only ever owned by one pool, never
+    /// shared across threads.
+    sorted: RefCell<Vec<f64>>,
+    sorted_valid: Cell<bool>,
+    /// Full sorts performed — the regression guard that the summary path
+    /// sorts at most once per batch of recordings.
+    sorts: Cell<u64>,
 }
 
 /// One completed DAG's timing outcome.
@@ -41,6 +52,7 @@ impl SlotLatencyRecorder {
     /// fault-window accounting can attribute it to a timeline phase.
     pub fn record_at(&mut self, completed_at: Nanos, latency: Nanos, deadline_budget: Nanos) {
         self.latencies_us.push(latency.as_micros_f64());
+        self.sorted_valid.set(false);
         let violated = latency > deadline_budget;
         if violated {
             self.violations += 1;
@@ -83,8 +95,29 @@ impl SlotLatencyRecorder {
     /// Latency quantile in µs (e.g. 0.9999 and 0.99999 for Fig. 11).
     /// `None` when no DAG has completed — an empty tail is *unknown*, not
     /// zero, and reporting 0 µs silently passed for perfect.
+    ///
+    /// The ascending view is cached: a summary requesting several
+    /// quantiles sorts once, not once per call (report generation used to
+    /// be O(k·n log n) at hundreds of thousands of samples).
     pub fn quantile_us(&self, q: f64) -> Option<f64> {
-        quantile(&self.latencies_us, q)
+        if self.latencies_us.is_empty() {
+            return None;
+        }
+        if !self.sorted_valid.get() {
+            let mut s = self.sorted.borrow_mut();
+            s.clear();
+            s.extend_from_slice(&self.latencies_us);
+            s.sort_by(|a, b| a.partial_cmp(b).expect("NaN latency recorded"));
+            drop(s);
+            self.sorted_valid.set(true);
+            self.sorts.set(self.sorts.get() + 1);
+        }
+        Some(quantile_sorted(&self.sorted.borrow(), q))
+    }
+
+    /// Full sorts performed so far (regression guard for the cached view).
+    pub fn sorts_performed(&self) -> u64 {
+        self.sorts.get()
     }
 
     /// Raw latencies (µs) for downstream analysis.
@@ -184,10 +217,11 @@ pub struct MetricsSummary {
     pub reliability: f64,
     /// Mean slot latency (µs).
     pub mean_latency_us: f64,
-    /// 99.99th-percentile slot latency (µs; NaN when no DAG completed).
-    pub p9999_latency_us: f64,
-    /// 99.999th-percentile slot latency (µs; NaN when no DAG completed).
-    pub p99999_latency_us: f64,
+    /// 99.99th-percentile slot latency (µs; `None` when no DAG completed —
+    /// NaN would serialize as `null` and break report round-trips).
+    pub p9999_latency_us: Option<f64>,
+    /// 99.999th-percentile slot latency (µs; `None` when no DAG completed).
+    pub p99999_latency_us: Option<f64>,
     /// Reclaimed CPU fraction.
     pub reclaimed_fraction: f64,
     /// vRAN pool utilization (busy over pool).
@@ -223,8 +257,8 @@ impl PoolMetrics {
             violations: self.slots.violations(),
             reliability: self.slots.reliability(),
             mean_latency_us: self.slots.mean_us(),
-            p9999_latency_us: self.slots.quantile_us(0.9999).unwrap_or(f64::NAN),
-            p99999_latency_us: self.slots.quantile_us(0.99999).unwrap_or(f64::NAN),
+            p9999_latency_us: self.slots.quantile_us(0.9999),
+            p99999_latency_us: self.slots.quantile_us(0.99999),
             reclaimed_fraction: self.reclaimed_fraction(cores, duration),
             pool_utilization: self.utilization_of_pool(cores, duration),
             wake_events: self.wake_events,
@@ -271,11 +305,54 @@ mod tests {
     }
 
     #[test]
-    fn empty_quantile_surfaces_as_nan_in_summary() {
+    fn empty_quantile_surfaces_as_none_in_summary() {
         let m = PoolMetrics::new();
         let s = m.summary(4, Nanos::from_secs(1));
-        assert!(s.p9999_latency_us.is_nan());
-        assert!(s.p99999_latency_us.is_nan());
+        assert_eq!(s.p9999_latency_us, None);
+        assert_eq!(s.p99999_latency_us, None);
+        // The empty summary must survive a serde round trip: the old
+        // `f64::NAN` encoding serialized as `null` and failed to parse
+        // back into an `f64`.
+        let json = serde_json::to_string(&s).unwrap();
+        let back: MetricsSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.p9999_latency_us, None);
+        assert_eq!(back.p99999_latency_us, None);
+    }
+
+    #[test]
+    fn summary_path_sorts_at_most_once_per_recorder() {
+        let mut m = PoolMetrics::new();
+        let budget = Nanos::from_millis(1);
+        for i in 0..500 {
+            m.slots.record(Nanos::from_micros(100 + i), budget);
+        }
+        assert_eq!(m.slots.sorts_performed(), 0);
+        // A full summary asks for two quantiles; several summaries and
+        // direct quantile queries still share one sort.
+        let s1 = m.summary(4, Nanos::from_secs(1));
+        let s2 = m.summary(4, Nanos::from_secs(1));
+        let _ = m.slots.quantile_us(0.5);
+        assert_eq!(m.slots.sorts_performed(), 1, "cached view must be reused");
+        assert_eq!(s1.p9999_latency_us, s2.p9999_latency_us);
+        // New samples invalidate the cache exactly once.
+        m.slots.record(Nanos::from_micros(9_000), budget);
+        assert_eq!(m.slots.quantile_us(1.0), Some(9_000.0));
+        let _ = m.slots.quantile_us(0.9999);
+        assert_eq!(m.slots.sorts_performed(), 2);
+    }
+
+    #[test]
+    fn cached_quantiles_match_direct_computation() {
+        let mut r = SlotLatencyRecorder::new();
+        let budget = Nanos::from_millis(10);
+        // Descending insertion order exercises the sort.
+        for i in (0..1000).rev() {
+            r.record(Nanos::from_micros(i), budget);
+        }
+        let direct = concordia_stats::summary::quantile(r.latencies_us(), 0.9999);
+        assert_eq!(r.quantile_us(0.9999), direct);
+        assert_eq!(r.quantile_us(0.0), Some(0.0));
+        assert_eq!(r.quantile_us(1.0), Some(999.0));
     }
 
     #[test]

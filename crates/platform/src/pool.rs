@@ -20,6 +20,7 @@ use crate::faults::{FaultKind, FaultTimeline};
 use crate::metrics::PoolMetrics;
 use crate::oslat::OsLatencyModel;
 use crate::sched_api::{DagProgress, PoolScheduler, PoolView};
+use crate::trace::{TraceConfig, TraceEvent, TraceRecorder, TraceSummary, WindowSnapshot};
 use concordia_ran::accel::FpgaModel;
 use concordia_ran::cost::CostModel;
 use concordia_ran::dag::SlotDag;
@@ -229,6 +230,12 @@ pub struct VranPool {
     drift_severity: f64,
     /// FPGA parked during an AccelOutage window (restored when it clears).
     parked_fpga: Option<(FpgaModel, Vec<FpgaState>)>,
+    /// Microsecond-granularity event recorder (`None` = tracing off; the
+    /// hot path pays one branch).
+    trace: Option<TraceRecorder>,
+    /// Last reallocation target recorded into the trace, so the tick-driven
+    /// scheduler stream only records *decisions* (changes), not every poll.
+    last_traced_target: Option<u32>,
 }
 
 impl VranPool {
@@ -290,6 +297,71 @@ impl VranPool {
             kernel_boost: 0.0,
             drift_severity: 0.0,
             parked_fpga: None,
+            trace: None,
+            last_traced_target: None,
+        }
+    }
+
+    /// Enables event tracing with the given ring configuration.
+    pub fn enable_trace(&mut self, cfg: TraceConfig) {
+        self.trace = Some(TraceRecorder::new(cfg));
+    }
+
+    /// Whether tracing is on.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Read access to the recorder, when tracing is on.
+    pub fn trace(&self) -> Option<&TraceRecorder> {
+        self.trace.as_ref()
+    }
+
+    /// Takes the recorder out of the pool (for export after a run).
+    pub fn take_trace(&mut self) -> Option<TraceRecorder> {
+        self.trace.take()
+    }
+
+    /// Serializable trace summary, when tracing is on.
+    pub fn trace_summary(&self) -> Option<TraceSummary> {
+        self.trace.as_ref().map(|t| t.summary())
+    }
+
+    /// Records a simulation-level event (guard inflation, supervisor
+    /// lifecycle, admission control, workload-fault edges) at the current
+    /// simulation time. No-op with tracing off.
+    pub fn record_trace_event(&mut self, ev: TraceEvent) {
+        self.trace_event(ev);
+    }
+
+    /// Appends a flat per-window metrics snapshot at the current time.
+    /// `guard_inflation` comes from the slot loop (the pool cannot see the
+    /// guard). No-op with tracing off.
+    pub fn record_window_snapshot(&mut self, window: u64, guard_inflation: f64) {
+        if self.trace.is_none() {
+            return;
+        }
+        let snap = WindowSnapshot {
+            window,
+            t_us: self.now.as_micros_f64(),
+            dags: self.metrics.slots.count() as u64,
+            violations: self.metrics.slots.violations(),
+            granted_cores: self.granted_cores(),
+            ready_tasks: self.ready.len() as u64,
+            tasks_executed: self.metrics.tasks_executed,
+            offload_fallbacks: self.metrics.offload_fallbacks,
+            tasks_requeued: self.metrics.tasks_requeued,
+            guard_inflation,
+        };
+        if let Some(tr) = self.trace.as_mut() {
+            tr.push_snapshot(snap);
+        }
+    }
+
+    #[inline]
+    fn trace_event(&mut self, ev: TraceEvent) {
+        if let Some(tr) = self.trace.as_mut() {
+            tr.record(self.now, ev);
         }
     }
 
@@ -402,8 +474,18 @@ impl VranPool {
             remaining_work,
             cpu_only: vec![false; n],
         };
+        // Collect the source nodes *before* the DAG moves into its slot:
+        // no re-borrow of `self.dags`, so a concurrent degraded-mode
+        // shrink can never leave this read looking at a freed slot.
+        let sources: Vec<u32> = (0..n as u32)
+            .filter(|&i| active.pred_left[i as usize] == 0)
+            .collect();
         let slot = match self.free_dags.pop() {
             Some(s) => {
+                debug_assert!(
+                    self.dags[s as usize].is_none(),
+                    "free list holds a live slot"
+                );
                 self.dags[s as usize] = Some(active);
                 s
             }
@@ -413,13 +495,6 @@ impl VranPool {
             }
         };
         self.active_dag_count += 1;
-        // Queue the source nodes.
-        let sources: Vec<u32> = {
-            let d = self.dags[slot as usize].as_ref().unwrap();
-            (0..n as u32)
-                .filter(|&i| d.pred_left[i as usize] == 0)
-                .collect()
-        };
         for node in sources {
             self.enqueue_ready(slot, node, deadline);
         }
@@ -431,11 +506,9 @@ impl VranPool {
 
     /// Runs the simulation until `t_end` (inclusive of events at `t_end`).
     pub fn run_until(&mut self, t_end: Nanos) {
-        while let Some(t) = self.events.peek_time() {
-            if t > t_end {
-                break;
-            }
-            let (t, ev) = self.events.pop().unwrap();
+        // `pop_due` peeks and pops atomically — the old peek-then-unwrap
+        // pair relied on nothing draining the queue in between.
+        while let Some((t, ev)) = self.events.pop_due(t_end) {
             debug_assert!(t >= self.now);
             self.now = t;
             self.handle(ev);
@@ -501,6 +574,7 @@ impl VranPool {
                 };
                 self.metrics.vran_busy_time += runtime;
                 self.running_tasks -= 1;
+                self.trace_event(TraceEvent::TaskComplete { core, dag, node });
                 if offload_submit {
                     // The CPU part (submission) is done; the node itself
                     // completes when the cell's FPGA engine finishes — or
@@ -514,6 +588,7 @@ impl VranPool {
                 self.dispatch();
             }
             Event::FpgaDone { dag, node } => {
+                self.trace_event(TraceEvent::OffloadDone { dag, node });
                 // No worker context here: a locally-kept successor would
                 // have no core to run on, so queue it like the others.
                 if let Some((ldag, lnode)) = self.complete_node(dag, node) {
@@ -527,6 +602,10 @@ impl VranPool {
             Event::FaultStart { idx } => {
                 self.fault_active[idx] = true;
                 let w = self.faults.windows[idx];
+                self.trace_event(TraceEvent::FaultStart {
+                    kind: w.kind,
+                    severity: w.severity,
+                });
                 if w.kind == FaultKind::CoreOffline {
                     self.take_cores_offline(idx, w.severity);
                 }
@@ -536,6 +615,8 @@ impl VranPool {
             }
             Event::FaultEnd { idx } => {
                 self.fault_active[idx] = false;
+                let kind = self.faults.windows[idx].kind;
+                self.trace_event(TraceEvent::FaultEnd { kind });
                 let restored = std::mem::take(&mut self.offline_by_window[idx]);
                 for core in restored {
                     self.restore_core(core);
@@ -585,6 +666,7 @@ impl VranPool {
         // the CPU path and requeue it. The submission cost is sunk; the
         // node re-executes as ordinary CPU work.
         self.metrics.offload_fallbacks += 1;
+        self.trace_event(TraceEvent::OffloadFallback { dag, node });
         if let Some(d) = self.dags[dag as usize].as_mut() {
             d.cpu_only[node as usize] = true;
             let deadline = d.sched.dag.deadline;
@@ -652,11 +734,13 @@ impl VranPool {
         if let CoreState::Busy { dag, node } = self.cores[core as usize].state {
             self.running_tasks -= 1;
             self.metrics.tasks_requeued += 1;
+            self.trace_event(TraceEvent::TaskRequeue { core, dag, node });
             if let Some(d) = self.dags[dag as usize].as_ref() {
                 let deadline = d.sched.dag.deadline;
                 self.enqueue_ready(dag, node, deadline);
             }
         }
+        self.trace_event(TraceEvent::CoreFail { core });
         let c = &mut self.cores[core as usize];
         let span = now.saturating_sub(c.acct_since);
         let was_released = c.state == CoreState::Released;
@@ -683,6 +767,7 @@ impl VranPool {
         c.acct_since = now;
         c.faulted = false;
         self.metrics.offline_core_time += span;
+        self.trace_event(TraceEvent::CoreRestore { core });
     }
 
     /// Marks a node complete; queues newly-ready successors except an
@@ -739,6 +824,11 @@ impl VranPool {
                 let latency = self.now.saturating_sub(d.sched.dag.arrival);
                 let budget = d.sched.dag.deadline.saturating_sub(d.sched.dag.arrival);
                 self.metrics.slots.record_at(self.now, latency, budget);
+                self.trace_event(TraceEvent::DagComplete {
+                    dag,
+                    latency,
+                    violated: latency > budget,
+                });
             }
             debug_assert!(local.is_none());
         }
@@ -794,6 +884,7 @@ impl VranPool {
             // An engine is configured but currently lost to an outage:
             // this node would have offloaded, so the CPU run is a fallback.
             self.metrics.offload_fallbacks += 1;
+            self.trace_event(TraceEvent::OffloadFallback { dag, node });
         }
         let (runtime, interference) = match offload_cost {
             Some(cost) => (cost, 1.0),
@@ -825,6 +916,14 @@ impl VranPool {
             });
         }
 
+        self.trace_event(TraceEvent::TaskStart {
+            core,
+            dag,
+            node,
+            kind,
+            runtime,
+            offload,
+        });
         let c = &mut self.cores[core as usize];
         c.state = CoreState::Busy { dag, node };
         self.running_tasks += 1;
@@ -842,19 +941,25 @@ impl VranPool {
     /// Assigns ready tasks to spinning cores (EDF order).
     fn dispatch(&mut self) {
         loop {
-            if self.ready.is_empty() {
-                self.queue_nonempty_since = None;
-                return;
-            }
             let core = match self
                 .cores
                 .iter()
                 .position(|c| c.state == CoreState::Spinning && !c.release_pending)
             {
                 Some(i) => i as u32,
-                None => return,
+                None => {
+                    if self.ready.is_empty() {
+                        self.queue_nonempty_since = None;
+                    }
+                    return;
+                }
             };
-            let Reverse(task) = self.ready.pop().unwrap();
+            // Pop drives the loop directly: an empty queue ends it, so no
+            // emptiness pre-check has to stay in sync with the unwrap.
+            let Some(Reverse(task)) = self.ready.pop() else {
+                self.queue_nonempty_since = None;
+                return;
+            };
             if self.ready.is_empty() {
                 self.queue_nonempty_since = None;
             }
@@ -919,6 +1024,18 @@ impl VranPool {
             recent_utilization: self.utilization_ema,
         };
         let target = self.scheduler.target_cores(&view).min(surviving);
+        if self.trace.is_some() && self.last_traced_target != Some(target) {
+            // Record *decisions*, not every 20 µs poll: the scheduler track
+            // only carries target changes.
+            self.last_traced_target = Some(target);
+            let granted = self.granted_cores();
+            let ready = self.ready.len() as u32;
+            self.trace_event(TraceEvent::Realloc {
+                target,
+                granted,
+                ready,
+            });
+        }
         self.apply_target(target);
     }
 
@@ -1033,6 +1150,7 @@ impl VranPool {
             .wake_hist
             .record(latency.as_micros_f64() as u64);
         self.metrics.evictions += 1;
+        self.trace_event(TraceEvent::CoreWake { core, latency });
         let now = self.now;
         let c = &mut self.cores[core as usize];
         debug_assert_eq!(c.state, CoreState::Released);
@@ -1048,6 +1166,7 @@ impl VranPool {
     }
 
     fn release_core(&mut self, core: u32) {
+        self.trace_event(TraceEvent::CoreRelease { core });
         let now = self.now;
         let c = &mut self.cores[core as usize];
         debug_assert!(c.state != CoreState::Released);
@@ -1549,5 +1668,82 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    use crate::trace::{TraceConfig, TraceEvent};
+
+    #[test]
+    fn tracing_never_perturbs_the_simulation() {
+        let run = |traced: bool| {
+            let mut pool = pool_with(4);
+            pool.enable_fpga(concordia_ran::accel::FpgaModel::default());
+            if traced {
+                pool.enable_trace(TraceConfig::default());
+            }
+            pool.set_fault_timeline(
+                FaultPlan::chaos(
+                    &[FaultKind::CoreOffline, FaultKind::AccelOutage],
+                    Nanos::from_millis(10),
+                )
+                .resolve(5),
+            );
+            for k in 0..12 {
+                let t = Nanos::from_micros(400 * k);
+                pool.run_until(t);
+                pool.inject_dag(test_dag(t, 6_000, 2));
+            }
+            pool.run_until(Nanos::from_millis(30));
+            (
+                pool.metrics().slots.mean_us(),
+                pool.metrics().tasks_executed,
+                pool.metrics().tasks_requeued,
+                pool.metrics().vran_busy_time,
+                pool.metrics().wake_events,
+            )
+        };
+        assert_eq!(run(false), run(true), "tracing changed the outcome");
+    }
+
+    #[test]
+    fn trace_captures_the_hot_path_event_classes() {
+        let mut pool = pool_with(4);
+        pool.enable_fpga(concordia_ran::accel::FpgaModel::default());
+        pool.enable_trace(TraceConfig::default());
+        pool.set_fault_timeline(fixed_timeline(FaultKind::CoreOffline, 500, 4_000, 0.5));
+        for k in 0..6 {
+            let t = Nanos::from_micros(500 * k);
+            pool.run_until(t);
+            pool.inject_dag(test_dag(t, 8_000, 3));
+        }
+        pool.run_until(Nanos::from_millis(40));
+        let tr = pool.trace().expect("tracing enabled");
+        let has = |pred: &dyn Fn(&TraceEvent) -> bool| tr.iter().any(|r| pred(&r.ev));
+        assert!(has(&|e| matches!(e, TraceEvent::TaskStart { .. })));
+        assert!(has(&|e| matches!(e, TraceEvent::TaskComplete { .. })));
+        assert!(has(&|e| matches!(e, TraceEvent::DagComplete { .. })));
+        assert!(has(&|e| matches!(e, TraceEvent::OffloadDone { .. })));
+        assert!(has(&|e| matches!(e, TraceEvent::FaultStart { .. })));
+        assert!(has(&|e| matches!(e, TraceEvent::FaultEnd { .. })));
+        assert!(has(&|e| matches!(e, TraceEvent::CoreFail { .. })));
+        assert!(has(&|e| matches!(e, TraceEvent::CoreRestore { .. })));
+        // Record times arrive in nondecreasing order (ring preserves it).
+        let times: Vec<u64> = tr.iter().map(|r| r.t.as_nanos()).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        // Requeues are traced 1:1 with the metric.
+        let requeues = tr
+            .iter()
+            .filter(|r| matches!(r.ev, TraceEvent::TaskRequeue { .. }))
+            .count() as u64;
+        assert_eq!(requeues, pool.metrics().tasks_requeued);
+        let summary = pool.trace_summary().unwrap();
+        assert_eq!(
+            summary.events_recorded,
+            tr.len() as u64 + tr.dropped(),
+            "summary counts kept + dropped"
+        );
+        // take_trace moves the recorder out.
+        let taken = pool.take_trace().unwrap();
+        assert!(!taken.is_empty());
+        assert!(!pool.trace_enabled());
     }
 }

@@ -102,6 +102,10 @@ impl Log2Histogram {
     pub fn bucket_range(i: usize) -> (u64, u64) {
         if i == 0 {
             (0, 1)
+        } else if i >= 63 {
+            // Top bucket: `(1 << 64) - 1` would overflow u64; everything
+            // from 2^63 up (including u64::MAX) lands here.
+            (1 << 63, u64::MAX)
         } else {
             (1 << i, (1 << (i + 1)) - 1)
         }
@@ -169,6 +173,35 @@ mod tests {
         assert_eq!(Log2Histogram::bucket_range(0), (0, 1));
         assert_eq!(Log2Histogram::bucket_range(3), (8, 15));
         assert_eq!(Log2Histogram::bucket_label(2), "4-7");
+    }
+
+    #[test]
+    fn log2_bucket_of_boundary_values() {
+        // Degenerate low end: 0, 1 share bucket 0; 2 opens bucket 1.
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 0);
+        assert_eq!(Log2Histogram::bucket_of(2), 1);
+        // 2^k - 1 closes bucket k-1; 2^k opens bucket k, at every width.
+        for k in 2..64u32 {
+            let lo = 1u64 << k;
+            assert_eq!(Log2Histogram::bucket_of(lo - 1), (k - 1) as usize);
+            assert_eq!(Log2Histogram::bucket_of(lo), k as usize);
+        }
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn log2_top_bucket_does_not_overflow() {
+        // bucket_of(u64::MAX) = 63; the old bucket_range(63) computed
+        // (1 << 64) - 1 and panicked in debug builds.
+        assert_eq!(Log2Histogram::bucket_range(63), (1 << 63, u64::MAX));
+        let mut h = Log2Histogram::new();
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.count_at_or_above(1 << 63), 1);
+        // The label must render, not panic.
+        assert!(Log2Histogram::bucket_label(63).ends_with(&u64::MAX.to_string()));
     }
 
     #[test]

@@ -268,6 +268,25 @@ mod tests {
     }
 
     #[test]
+    fn quantile_sorted_extremes_and_singleton() {
+        // q=0 and q=1 must return the exact min/max with no interpolation
+        // drift, at any length.
+        let xs = [1.5, 2.5, 7.0, 9.25];
+        assert_eq!(quantile_sorted(&xs, 0.0), 1.5);
+        assert_eq!(quantile_sorted(&xs, 1.0), 9.25);
+        // A single-element sample answers that element for every q.
+        let one = [42.0];
+        for q in [0.0, 0.25, 0.5, 0.9999, 1.0] {
+            assert_eq!(quantile_sorted(&one, q), 42.0);
+        }
+        // Two elements: endpoints exact, midpoint interpolated.
+        let two = [10.0, 20.0];
+        assert_eq!(quantile_sorted(&two, 0.0), 10.0);
+        assert_eq!(quantile_sorted(&two, 1.0), 20.0);
+        assert_eq!(quantile_sorted(&two, 0.5), 15.0);
+    }
+
+    #[test]
     fn ecdf_eval_and_inverse() {
         let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]);
         assert_eq!(e.eval(0.5), 0.0);

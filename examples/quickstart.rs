@@ -31,7 +31,9 @@ fn main() {
     );
     println!(
         "slot latency mean/p99.99 : {:.0} / {:.0} us (deadline {:.0} us)",
-        report.metrics.mean_latency_us, report.metrics.p9999_latency_us, report.deadline_us
+        report.metrics.mean_latency_us,
+        report.metrics.p9999_latency_us.unwrap_or(f64::NAN),
+        report.deadline_us
     );
     println!(
         "reclaimed CPU            : {:.1}% of the pool",

@@ -38,7 +38,7 @@ fn main() {
             r.scheduler,
             r.metrics.violations,
             r.metrics.reliability,
-            r.metrics.p9999_latency_us,
+            r.metrics.p9999_latency_us.unwrap_or(f64::NAN),
             r.metrics.reclaimed_fraction * 100.0,
             r.metrics.wake_events,
         );

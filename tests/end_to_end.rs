@@ -60,11 +60,11 @@ fn flexran_tail_inflates_under_redis_but_not_isolated() {
     let redis_r = run_experiment(redis);
 
     assert_eq!(iso_r.metrics.violations, 0);
+    let iso_p = iso_r.metrics.p99999_latency_us.expect("isolated p99999");
+    let redis_p = redis_r.metrics.p99999_latency_us.expect("redis p99999");
     assert!(
-        redis_r.metrics.p99999_latency_us > 1.5 * iso_r.metrics.p99999_latency_us,
-        "colocation must inflate FlexRAN's tail: {} vs {}",
-        iso_r.metrics.p99999_latency_us,
-        redis_r.metrics.p99999_latency_us
+        redis_p > 1.5 * iso_p,
+        "colocation must inflate FlexRAN's tail: {iso_p} vs {redis_p}"
     );
 }
 
@@ -194,13 +194,14 @@ fn shenango_never_wins_on_both_axes() {
         cfg.scheduler = SchedulerChoice::Shenango(Nanos::from_micros(thr_us));
         cfg.colocation = Colocation::Single(WorkloadKind::Redis);
         let r = run_experiment(cfg);
-        let as_reliable = r.metrics.p99999_latency_us <= conc.metrics.p99999_latency_us;
+        let r_p = r.metrics.p99999_latency_us.expect("shenango p99999");
+        let conc_p = conc.metrics.p99999_latency_us.expect("concordia p99999");
+        let as_reliable = r_p <= conc_p;
         let shares_as_much = r.metrics.reclaimed_fraction >= conc.metrics.reclaimed_fraction - 0.02;
         assert!(
             !(as_reliable && shares_as_much),
-            "threshold {thr_us}us beat Concordia on both axes: tail {} vs {}, reclaimed {} vs {}",
-            r.metrics.p99999_latency_us,
-            conc.metrics.p99999_latency_us,
+            "threshold {thr_us}us beat Concordia on both axes: tail {r_p} vs {conc_p}, \
+             reclaimed {} vs {}",
             r.metrics.reclaimed_fraction,
             conc.metrics.reclaimed_fraction
         );

@@ -153,4 +153,79 @@ proptest! {
         // Severity 1.0 must still leave at least one survivor.
         prop_assert!(pool.offline_cores() < 4);
     }
+
+    /// Regression for the bare-unwrap hot paths in the pool (dispatch,
+    /// event loop, free-list reuse): arbitrary interleavings of core-loss
+    /// windows with DAG arrivals — fault edges landing before, between and
+    /// inside arrival bursts — must never panic, never lose a task, and
+    /// must behave identically with the trace recorder attached.
+    #[test]
+    fn core_loss_interleaved_with_arrivals_is_lossless_and_trace_invariant(
+        n_ues in 1usize..5,
+        arrivals in proptest::collection::vec(0u64..6_000, 1..8),
+        windows in proptest::collection::vec((0u64..5_000, 100u64..2_500), 1..3),
+        severity in 0.1f64..1.0,
+    ) {
+        let cell = CellConfig::tdd_100mhz();
+        let cost = CostModel::new();
+        let timeline = FaultPlan {
+            specs: windows.iter().map(|&(start_us, dur_us)| FaultSpec::fixed(
+                FaultKind::CoreOffline,
+                Nanos::from_micros(start_us),
+                Nanos::from_micros(dur_us),
+                severity,
+            )).collect(),
+        }
+        .resolve(0);
+
+        let run = |traced: bool| {
+            let mut pool = VranPool::new(
+                PoolConfig { cores: 4, rotation: None, ..PoolConfig::default() },
+                cost.clone(),
+                Box::new(DedicatedScheduler),
+                17,
+            );
+            if traced {
+                pool.enable_trace(concordia::platform::trace::TraceConfig::default());
+            }
+            pool.set_fault_timeline(timeline.clone());
+            let mut sorted = arrivals.clone();
+            sorted.sort_unstable();
+            for (i, &at_us) in sorted.iter().enumerate() {
+                let arrival = Nanos::from_micros(at_us);
+                pool.run_until(arrival);
+                let wl = SlotWorkload {
+                    direction: SlotDirection::Uplink,
+                    ues: (0..n_ues).map(|u| UeAlloc {
+                        tb_bytes: 3_000 + 800 * u as u32,
+                        mcs_index: 10,
+                        snr_db: 15.0,
+                        layers: 2,
+                        prbs: 40,
+                    }).collect(),
+                };
+                let dag = build_dag(&cell, 0, i as u64, arrival, &wl);
+                let wcet = dag.nodes.iter()
+                    .map(|n| cost.expected_cost(n.task.kind, &n.task.params))
+                    .collect();
+                pool.inject_dag(ScheduledDag { dag, node_wcet: wcet });
+            }
+            pool.run_until(Nanos::from_millis(200));
+            (
+                pool.active_dags(),
+                pool.metrics().slots.count(),
+                pool.metrics().tasks_executed,
+                pool.metrics().tasks_requeued,
+                pool.metrics().cores_failed,
+            )
+        };
+
+        let untraced = run(false);
+        let traced = run(true);
+        // No DAG may be left stuck in the pool.
+        prop_assert_eq!(untraced.0, 0);
+        prop_assert_eq!(untraced.1, arrivals.len());
+        // The recorder must not perturb any outcome.
+        prop_assert_eq!(untraced, traced);
+    }
 }

@@ -1,6 +1,7 @@
 //! Property-based tests (proptest) over the core data structures and
 //! invariants, spanning crates through the facade.
 
+use concordia::platform::events::EventQueue;
 use concordia::platform::pool::{PoolConfig, ScheduledDag, VranPool};
 use concordia::platform::sched_api::DedicatedScheduler;
 use concordia::predictor::qdt::QuantileDecisionTree;
@@ -200,5 +201,28 @@ proptest! {
         let b: Vec<f64> = a.iter().map(|x| x + shift).collect();
         let w = concordia::stats::wasserstein1(&a, &b);
         prop_assert!((w - shift).abs() < 1e-9);
+    }
+
+    /// Determinism contract of the event queue: events at the same
+    /// timestamp pop in push order (FIFO), whatever mix of duplicated and
+    /// distinct times is pushed. Heap order alone doesn't give this — the
+    /// sequence-number tie-breaker does, and bit-reproducible simulation
+    /// depends on it.
+    #[test]
+    fn event_queue_is_fifo_within_a_timestamp(
+        times in proptest::collection::vec(0u64..20, 1..200)
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Nanos(t), i);
+        }
+        let mut expected: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        // Stable sort by time — push order preserved within equal times.
+        expected.sort_by_key(|&(t, _)| t);
+        for (t, i) in expected {
+            prop_assert_eq!(q.pop(), Some((Nanos(t), i)));
+        }
+        prop_assert!(q.is_empty());
     }
 }
