@@ -50,7 +50,7 @@ fn main() {
 
     let mut trio = BurstModel::lte_trio(seed);
     let traces: Vec<Trace> = {
-        let mut per_cell: Vec<Vec<f64>> = vec![Vec::with_capacity(ttis); 3];
+        let mut per_cell: Vec<Vec<f64>> = (0..3).map(|_| Vec::with_capacity(ttis)).collect();
         for _ in 0..ttis {
             for (i, m) in trio.iter_mut().enumerate() {
                 per_cell[i].push(m.next_tti());

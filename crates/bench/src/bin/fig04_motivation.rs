@@ -36,6 +36,7 @@ fn motivation_configs() -> Vec<(String, SimConfig)> {
     let mk = |cell: CellConfig, n_cells: u32| SimConfig {
         cell,
         n_cells,
+        cell_stagger: true,
         cores: 8,
         scheduler: SchedulerChoice::Dedicated,
         predictor: concordia_core::PredictorChoice::QuantileDt,

@@ -88,7 +88,7 @@ fn main() {
 
     // Collect fresh isolated + interfered samples per leaf (TPCC-like
     // pressure 1.1 on a cold-ish pool => interference factor ~1.15-1.3).
-    let mut rng = Rng::new(seed ^ 0xF16_7);
+    let mut rng = Rng::new(seed ^ 0xF167);
     let n_leaves = tree.n_leaves();
     let mut iso: Vec<Vec<f64>> = vec![Vec::new(); n_leaves];
     let mut intf: Vec<Vec<f64>> = vec![Vec::new(); n_leaves];

@@ -2,9 +2,9 @@
 //! most expensive signal-processing tasks.
 //!
 //! Paper claims reproduced here: decoding takes > 60 % of uplink slot
-//! processing, channel estimation > 8 %, equalization > 5 %, demodulation
-//! > 6 %; encoding takes > 40 % of downlink processing, precoding > 15 %,
-//! modulation > 10 %.
+//! processing, channel estimation > 8 %, equalization > 5 %,
+//! demodulation > 6 %; encoding takes > 40 % of downlink processing,
+//! precoding > 15 %, modulation > 10 %.
 
 use concordia_bench::{banner, pct, write_json, RunLength};
 use concordia_core::profile::random_workload;

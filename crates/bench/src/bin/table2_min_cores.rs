@@ -1,0 +1,162 @@
+//! Table 2 scale-out — minimum pool cores vs number of pooled cells,
+//! Concordia's shared pool against per-cell static partitioning.
+//!
+//! The paper's Table 2 sizes the pool by the minimum number of CPU cores
+//! that still processes peak traffic reliably. Operators today partition
+//! statically: every cell gets its own reserved slice, so the deployment
+//! costs `C x (min cores of one cell)`. Concordia pools the cells on one
+//! scheduler, and because co-located carriers are not slot-synchronous
+//! (their boundaries interleave — `SimConfig::cell_stagger`), the cells'
+//! compute peaks rarely coincide: the shared pool rides the statistical
+//! multiplexing and needs strictly fewer cores, with the gap widening as
+//! more cells share.
+//!
+//! Example:
+//! `cargo run -p concordia-bench --release --bin table2_min_cores -- --quick`
+//!
+//! `--check` exits non-zero unless the shared pool beats static
+//! partitioning for every C >= 4 and the saving grows with C.
+//! `--jobs N` caps the worker threads (output bytes never depend on it).
+
+use concordia_bench::{banner, bool_flag, f64_flag, jobs_from_args, write_json, RunLength};
+use concordia_core::runner::run_parallel;
+use concordia_core::SimConfig;
+use concordia_ran::Nanos;
+use serde::Serialize;
+
+/// Cell counts reported (the 20 MHz column of Table 2 scaled out).
+const CELL_COUNTS: [u32; 4] = [1, 2, 4, 7];
+
+#[derive(Serialize)]
+struct Row {
+    cells: u32,
+    static_cores: u32,
+    shared_cores: u32,
+    saved_cores: i64,
+    shared_reliability: f64,
+}
+
+/// Minimum cores meeting `target` reliability for `template`, by running
+/// every candidate pool size in parallel and taking the smallest that
+/// passes. Same answer as a linear scan, a fraction of the wall-clock.
+fn min_cores(template: &SimConfig, max_cores: u32, target: f64, jobs: usize) -> (u32, f64) {
+    let configs: Vec<SimConfig> = (1..=max_cores)
+        .map(|cores| SimConfig {
+            cores,
+            ..template.clone()
+        })
+        .collect();
+    let reports = run_parallel(configs, jobs);
+    for r in &reports {
+        if r.metrics.reliability >= target {
+            return (r.cores, r.metrics.reliability);
+        }
+    }
+    let last = reports.last().expect("at least one candidate");
+    (last.cores, last.metrics.reliability)
+}
+
+fn main() {
+    let len = RunLength::from_args();
+    let seed = concordia_bench::seed_from_args();
+    let jobs = jobs_from_args();
+    let check = bool_flag("--check");
+    let load = f64_flag("--load", 1.0).clamp(0.0, 1.0);
+    banner(
+        "Table 2 scale-out (minimum pool cores vs pooled cells)",
+        "one shared Concordia pool needs fewer cores than C static per-cell partitions, \
+         and the gap grows with C",
+    );
+
+    let (secs, profiling, target) = match len {
+        RunLength::Quick => (1, 300, 0.999),
+        RunLength::Standard => (4, 1_000, 0.9999),
+        RunLength::Long => (15, 2_000, 0.9999),
+    };
+
+    let mut base = SimConfig::paper_20mhz();
+    base.duration = Nanos::from_secs(secs);
+    base.profiling_slots = profiling;
+    base.load = load;
+    base.seed = seed;
+    // Table 2 sizes for peak traffic, not the bursty average.
+    base.peak_provisioning = true;
+
+    println!(
+        "\n{}s simulated per candidate, reliability target {}, seed {}, {} jobs",
+        secs, target, seed, jobs
+    );
+    println!(
+        "\n{:>6} {:>14} {:>14} {:>9} {:>14}",
+        "cells", "static(cores)", "shared(cores)", "saved", "shared rel."
+    );
+
+    // One cell on its own pool: the static partition's per-cell slice.
+    // The single-cell deployment has nothing to multiplex, so staggering
+    // is irrelevant to it.
+    let mut single = base.clone();
+    single.n_cells = 1;
+    let (per_cell, _) = min_cores(&single, 6, target, jobs);
+
+    let mut rows = Vec::new();
+    for cells in CELL_COUNTS {
+        let static_cores = per_cell * cells;
+        let mut shared = base.clone();
+        shared.n_cells = cells;
+        // The shared pool can never need more than the static partition
+        // (it could always mimic it), so the partition bounds the search.
+        let (shared_cores, rel) = min_cores(&shared, static_cores.max(per_cell), target, jobs);
+        let row = Row {
+            cells,
+            static_cores,
+            shared_cores,
+            saved_cores: static_cores as i64 - shared_cores as i64,
+            shared_reliability: rel,
+        };
+        println!(
+            "{:>6} {:>14} {:>14} {:>9} {:>14.5}",
+            row.cells, row.static_cores, row.shared_cores, row.saved_cores, row.shared_reliability
+        );
+        rows.push(row);
+    }
+
+    write_json(
+        "table2_min_cores",
+        &serde_json::json!({
+            "seed": seed,
+            "simulated_secs": secs,
+            "load": load,
+            "reliability_target": target,
+            "per_cell_static_cores": per_cell,
+            "rows": rows,
+        }),
+    );
+
+    if check {
+        let mut ok = true;
+        let mut last_gap = i64::MIN;
+        for row in &rows {
+            if row.cells >= 4 {
+                if row.shared_cores >= row.static_cores {
+                    eprintln!(
+                        "CHECK FAILED: C={} shared {} >= static {}",
+                        row.cells, row.shared_cores, row.static_cores
+                    );
+                    ok = false;
+                }
+                if row.saved_cores <= last_gap {
+                    eprintln!(
+                        "CHECK FAILED: C={} saving {} did not grow (previous {})",
+                        row.cells, row.saved_cores, last_gap
+                    );
+                    ok = false;
+                }
+                last_gap = row.saved_cores;
+            }
+        }
+        if !ok {
+            std::process::exit(1);
+        }
+        println!("\ncheck passed: shared < static for C >= 4 and the saving grows with C");
+    }
+}

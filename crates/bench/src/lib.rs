@@ -64,6 +64,21 @@ pub fn u64_flag(name: &str, default: u64) -> u64 {
     flag_value(name).unwrap_or(default)
 }
 
+/// Parses `--cells N` (pooled cells; default from the scenario).
+pub fn cells_from_args(default: u32) -> u32 {
+    (u64_flag("--cells", default as u64) as u32).max(1)
+}
+
+/// Parses `--jobs N` (worker threads; default: all available cores).
+/// The runner merges results in input order, so the value never changes
+/// a byte of output — only wall-clock time.
+pub fn jobs_from_args() -> usize {
+    let default = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    (u64_flag("--jobs", default as u64) as usize).max(1)
+}
+
 /// Parses a `--flag X.Y` float from the process arguments.
 pub fn f64_flag(name: &str, default: f64) -> f64 {
     flag_value(name).unwrap_or(default)

@@ -39,6 +39,15 @@ OPTIONS:
   --supervisor                enable the predictor control plane (drift
                               detection, quarantine, online retraining,
                               admission control)
+  --no-stagger                align every cell's slot boundaries on one
+                              global clock (default: boundaries interleave
+                              evenly across one slot)
+  --repeat N                  run an N-run seed sweep instead of a single
+                              experiment: per-run seeds derive from --seed
+                              via the ChaCha stream, and --json writes a
+                              sweep report (byte-identical for any --jobs)
+  --jobs N                    worker threads for --repeat (default: all
+                              available cores)
   --json PATH                 write the full JSON report to PATH
   --trace PATH                record a microsecond-granularity event trace
                               and write it to PATH as Chrome trace-event
@@ -54,10 +63,24 @@ fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
     Err(CliError(msg.into()))
 }
 
-/// Parses the argument list into a simulation config plus optional JSON
-/// report path and optional Chrome-trace output path.
-#[allow(clippy::type_complexity)]
-pub fn parse(argv: &[String]) -> Result<(SimConfig, Option<String>, Option<String>), CliError> {
+/// Everything the command line resolves to: the experiment configuration,
+/// output paths, and the sweep controls.
+#[derive(Debug)]
+pub struct Cli {
+    /// The experiment (for `--repeat N`, the sweep's base configuration).
+    pub cfg: SimConfig,
+    /// `--json` output path.
+    pub json: Option<String>,
+    /// `--trace` output path (single runs only).
+    pub trace: Option<String>,
+    /// `--repeat`: number of sweep runs (1 = a single experiment).
+    pub repeat: usize,
+    /// `--jobs`: worker threads for the sweep.
+    pub jobs: usize,
+}
+
+/// Parses the argument list.
+pub fn parse(argv: &[String]) -> Result<Cli, CliError> {
     let mut cfg = SimConfig::paper_20mhz();
     cfg.duration = Nanos::from_secs(5);
     cfg.profiling_slots = 1_500;
@@ -69,6 +92,10 @@ pub fn parse(argv: &[String]) -> Result<(SimConfig, Option<String>, Option<Strin
     let mut fault_kinds: Option<Vec<FaultKind>> = None;
     let mut json_path = None;
     let mut trace_path = None;
+    let mut repeat = 1usize;
+    let mut jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
 
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -177,6 +204,23 @@ pub fn parse(argv: &[String]) -> Result<(SimConfig, Option<String>, Option<Strin
                 fault_kinds = Some(kinds);
             }
             "--supervisor" => cfg.supervisor = Some(SupervisorConfig::default()),
+            "--no-stagger" => cfg.cell_stagger = false,
+            "--repeat" => {
+                repeat = value("--repeat")?
+                    .parse()
+                    .map_err(|_| CliError("--repeat must be an integer".into()))?;
+                if repeat == 0 {
+                    return err("--repeat must be positive");
+                }
+            }
+            "--jobs" => {
+                jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|_| CliError("--jobs must be an integer".into()))?;
+                if jobs == 0 {
+                    return err("--jobs must be positive");
+                }
+            }
             "--fpga" => cfg.fpga = true,
             "--mac" => cfg.mac_in_pool = true,
             "--peak" => cfg.peak_provisioning = true,
@@ -205,7 +249,16 @@ pub fn parse(argv: &[String]) -> Result<(SimConfig, Option<String>, Option<Strin
     if let Some(kinds) = fault_kinds {
         cfg.faults = FaultPlan::chaos(&kinds, cfg.duration);
     }
-    Ok((cfg, json_path, trace_path))
+    if repeat > 1 && trace_path.is_some() {
+        return err("--trace records a single run; drop it or use --repeat 1");
+    }
+    Ok(Cli {
+        cfg,
+        json: json_path,
+        trace: trace_path,
+        repeat,
+        jobs,
+    })
 }
 
 fn parse_scheduler(v: &str) -> Result<SchedulerChoice, CliError> {
@@ -246,7 +299,15 @@ mod tests {
 
     #[test]
     fn defaults_are_sane() {
-        let (cfg, json, trace) = parse(&[]).unwrap();
+        let Cli {
+            cfg,
+            json,
+            trace,
+            repeat,
+            jobs,
+        } = parse(&[]).unwrap();
+        assert_eq!(repeat, 1);
+        assert!(jobs >= 1);
         assert_eq!(cfg.n_cells, 7);
         assert_eq!(cfg.cores, 8);
         assert_eq!(cfg.scheduler.name(), "concordia");
@@ -257,7 +318,9 @@ mod tests {
 
     #[test]
     fn full_flag_set_parses() {
-        let (cfg, json, trace) = parse(&args(
+        let Cli {
+            cfg, json, trace, ..
+        } = parse(&args(
             "--config 100mhz --cells 3 --cores 10 --scheduler shenango:50 \
              --predictor gbt --colocate mix --load 0.75 --secs 9 --seed 42 \
              --deadline-us 1200 --fpga --mac --peak --json out.json",
@@ -283,13 +346,13 @@ mod tests {
 
     #[test]
     fn lte_preset_selects_turbo_cells() {
-        let (cfg, ..) = parse(&args("--config lte")).unwrap();
+        let Cli { cfg, .. } = parse(&args("--config lte")).unwrap();
         assert_eq!(cfg.cell.generation, concordia_ran::RanGeneration::Lte);
     }
 
     #[test]
     fn utilization_scheduler_parses() {
-        let (cfg, ..) = parse(&args("--scheduler utilization:0.3")).unwrap();
+        let Cli { cfg, .. } = parse(&args("--scheduler utilization:0.3")).unwrap();
         assert_eq!(cfg.scheduler, SchedulerChoice::Utilization(0.3));
     }
 
@@ -310,20 +373,22 @@ mod tests {
 
     #[test]
     fn supervisor_flag_enables_the_control_plane() {
-        let (cfg, ..) = parse(&args("--supervisor")).unwrap();
+        let Cli { cfg, .. } = parse(&args("--supervisor")).unwrap();
         assert_eq!(cfg.supervisor, Some(SupervisorConfig::default()));
-        let (cfg, ..) = parse(&[]).unwrap();
+        let Cli { cfg, .. } = parse(&[]).unwrap();
         assert!(cfg.supervisor.is_none(), "default is legacy behavior");
     }
 
     #[test]
     fn trace_flag_enables_tracing_and_captures_the_path() {
-        let (cfg, json, trace) = parse(&args("--trace out.trace.json")).unwrap();
+        let Cli {
+            cfg, json, trace, ..
+        } = parse(&args("--trace out.trace.json")).unwrap();
         assert_eq!(cfg.trace, Some(TraceConfig::default()));
         assert!(json.is_none());
         assert_eq!(trace.as_deref(), Some("out.trace.json"));
         // Default stays off: no hot-path recording without the flag.
-        let (cfg, _, trace) = parse(&[]).unwrap();
+        let Cli { cfg, trace, .. } = parse(&[]).unwrap();
         assert!(cfg.trace.is_none());
         assert!(trace.is_none());
         assert!(parse(&args("--trace")).is_err(), "missing value");
@@ -331,18 +396,18 @@ mod tests {
 
     #[test]
     fn drift_injection_is_a_valid_fault_class() {
-        let (cfg, ..) = parse(&args("--faults drift_injection")).unwrap();
+        let Cli { cfg, .. } = parse(&args("--faults drift_injection")).unwrap();
         assert_eq!(cfg.faults.specs[0].kind, FaultKind::DriftInjection);
     }
 
     #[test]
     fn faults_flag_builds_a_chaos_plan() {
-        let (cfg, ..) = parse(&args("--faults core_offline,accel_outage")).unwrap();
+        let Cli { cfg, .. } = parse(&args("--faults core_offline,accel_outage")).unwrap();
         assert_eq!(cfg.faults.specs.len(), 2);
         assert_eq!(cfg.faults.specs[0].kind, FaultKind::CoreOffline);
         assert_eq!(cfg.faults.specs[1].kind, FaultKind::AccelOutage);
         // Default is fault-free.
-        let (cfg, ..) = parse(&[]).unwrap();
+        let Cli { cfg, .. } = parse(&[]).unwrap();
         assert!(cfg.faults.specs.is_empty());
     }
 
@@ -350,7 +415,7 @@ mod tests {
     fn faults_plan_scales_to_final_duration() {
         // --secs after --faults must still size the windows: the plan is
         // built after the flag loop.
-        let (cfg, ..) = parse(&args("--faults traffic_surge --secs 10")).unwrap();
+        let Cli { cfg, .. } = parse(&args("--faults traffic_surge --secs 10")).unwrap();
         assert_eq!(
             cfg.faults.specs[0].latest_start,
             Nanos::from_secs(10).scale(0.45)
@@ -360,7 +425,31 @@ mod tests {
     #[test]
     fn order_of_config_and_overrides() {
         // --cells after --config must win regardless of flag order.
-        let (cfg, ..) = parse(&args("--cells 3 --config 100mhz")).unwrap();
+        let Cli { cfg, .. } = parse(&args("--cells 3 --config 100mhz")).unwrap();
         assert_eq!(cfg.n_cells, 3);
+    }
+
+    #[test]
+    fn stagger_defaults_on_and_no_stagger_disables() {
+        let Cli { cfg, .. } = parse(&[]).unwrap();
+        assert!(cfg.cell_stagger, "staggered boundaries are the default");
+        let Cli { cfg, .. } = parse(&args("--no-stagger")).unwrap();
+        assert!(!cfg.cell_stagger);
+    }
+
+    #[test]
+    fn repeat_and_jobs_parse_and_validate() {
+        let Cli { repeat, jobs, .. } = parse(&args("--repeat 5 --jobs 3")).unwrap();
+        assert_eq!(repeat, 5);
+        assert_eq!(jobs, 3);
+        assert!(parse(&args("--repeat 0")).is_err());
+        assert!(parse(&args("--jobs 0")).is_err());
+        assert!(parse(&args("--repeat x")).is_err());
+    }
+
+    #[test]
+    fn trace_is_incompatible_with_a_sweep() {
+        assert!(parse(&args("--repeat 2 --trace t.json")).is_err());
+        assert!(parse(&args("--repeat 1 --trace t.json")).is_ok());
     }
 }

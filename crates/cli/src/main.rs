@@ -14,6 +14,7 @@
 //!           [--faults core_offline,accel_outage,...] [--json <path>]
 //! ```
 
+use concordia_core::runner::run_sweep_with_progress;
 use concordia_core::{Colocation, PredictorChoice, SchedulerChoice, SimConfig, Simulation};
 use concordia_platform::trace::export_chrome_trace;
 use concordia_platform::workloads::WorkloadKind;
@@ -21,7 +22,7 @@ use concordia_ran::{CellConfig, Nanos};
 use std::process::ExitCode;
 
 mod args;
-use args::{parse, CliError};
+use args::{parse, Cli, CliError};
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -29,7 +30,13 @@ fn main() -> ExitCode {
         print!("{}", args::USAGE);
         return ExitCode::SUCCESS;
     }
-    let (cfg, json_path, trace_path) = match parse(&argv) {
+    let Cli {
+        cfg,
+        json: json_path,
+        trace: trace_path,
+        repeat,
+        jobs,
+    } = match parse(&argv) {
         Ok(v) => v,
         Err(CliError(msg)) => {
             eprintln!("error: {msg}\n");
@@ -37,6 +44,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if repeat > 1 {
+        return run_sweep_cli(cfg, repeat, jobs, json_path);
+    }
 
     eprintln!(
         "running: {} cells x {} ({}MHz), {} cores, scheduler={}, predictor={}, \
@@ -153,6 +163,56 @@ fn main() -> ExitCode {
              open in https://ui.perfetto.dev or chrome://tracing",
             s.events_recorded, s.events_dropped, s.snapshots
         );
+    }
+    ExitCode::SUCCESS
+}
+
+/// `--repeat N`: run an N-run seed sweep through the parallel runner and
+/// print one line per run. The sweep report is a pure function of the base
+/// configuration and the master seed — `--jobs` never changes a byte.
+fn run_sweep_cli(
+    cfg: SimConfig,
+    repeat: usize,
+    jobs: usize,
+    json_path: Option<String>,
+) -> ExitCode {
+    let master = cfg.seed;
+    eprintln!(
+        "sweep: {repeat} runs x {} cells ({} cores), master seed {master}, {jobs} jobs...",
+        cfg.n_cells, cfg.cores
+    );
+    let sweep = run_sweep_with_progress(
+        &cfg,
+        master,
+        repeat,
+        jobs,
+        Some(Box::new(|done, total| {
+            eprintln!("  run {done}/{total} complete");
+        })),
+    );
+    for run in &sweep.runs {
+        println!("{}", run.one_liner());
+    }
+    let below: Vec<u64> = sweep
+        .runs
+        .iter()
+        .filter(|r| !r.five_nines())
+        .map(|r| r.seed)
+        .collect();
+    if !below.is_empty() {
+        println!(
+            "  WARNING: {} of {} runs below 99.999% reliability (seeds {:?})",
+            below.len(),
+            sweep.runs.len(),
+            below
+        );
+    }
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, sweep.to_canonical_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("sweep report written to {path}");
     }
     ExitCode::SUCCESS
 }

@@ -101,6 +101,13 @@ pub struct SimConfig {
     pub cell: CellConfig,
     /// Number of pooled cells (Table 1: 2 × 100 MHz or 7 × 20 MHz).
     pub n_cells: u32,
+    /// Stagger the cells' slot boundaries evenly across one slot (real
+    /// co-located carriers are not slot-synchronous; interleaved
+    /// boundaries are what lets the shared pool multiplex their compute
+    /// peaks, §2/Table 2). Disable to force all boundaries onto one
+    /// global clock — the worst case for sharing, and the legacy
+    /// single-clock behaviour.
+    pub cell_stagger: bool,
     /// vRAN pool cores.
     pub cores: u32,
     /// Scheduler under test.
@@ -153,6 +160,7 @@ impl SimConfig {
         SimConfig {
             cell: CellConfig::tdd_100mhz(),
             n_cells: 2,
+            cell_stagger: true,
             cores: 12,
             scheduler: SchedulerChoice::concordia(),
             predictor: PredictorChoice::QuantileDt,

@@ -92,7 +92,7 @@ mod tests {
     fn find_min_cores_returns_a_sufficient_pool() {
         let template = tiny_template();
         let (cores, report) = find_min_cores(&template, 1, 8, 0.999).expect("some pool size works");
-        assert!(cores >= 1 && cores <= 8);
+        assert!((1..=8).contains(&cores));
         assert!(report.metrics.reliability >= 0.999);
     }
 

@@ -1,16 +1,12 @@
-//! The end-to-end Concordia simulation: offline profiling → predictor
-//! training → online multi-cell slot loop with scheduling, colocation and
-//! online adaptation.
+//! The legacy single-clock simulation loop, retained verbatim as the
+//! differential-test oracle for the multi-cell rewrite.
 //!
-//! The deployment runs `n_cells` independent slot clocks over one shared
-//! worker pool. With [`crate::config::SimConfig::cell_stagger`] on (the
-//! default), cell `c`'s slot boundaries are offset by `c / n_cells` of a
-//! slot, so the cells' compute peaks interleave instead of landing on one
-//! global tick — the statistical-multiplexing effect that Table 2 of the
-//! paper quantifies. Cells sharing a boundary instant form one *phase
-//! group* and are injected together in cell-id order; with stagger off (or
-//! a single cell) all cells collapse into one group and the loop is
-//! event-for-event identical to the retained [`crate::legacy`] path.
+//! [`LegacySimulation`] is the pre-scale-out `core::sim` loop: one global
+//! slot clock, all cells injected at the same boundary, one shared
+//! [`MispredictionGuard`]. The multi-cell path in [`crate::sim`] must
+//! produce a byte-identical [`ExperimentReport`] for `n_cells = 1` (see
+//! `tests/multicell.rs`); once a release cycle has validated the new path,
+//! this module is deleted. Do not grow features here.
 
 use crate::config::{Colocation, SchedulerChoice, SimConfig};
 use crate::profile::{profile, train_bank, train_supervisor};
@@ -24,7 +20,6 @@ use concordia_platform::sched_api::{DedicatedScheduler, PoolScheduler};
 use concordia_platform::trace::{self, TraceEvent, TraceRecorder};
 use concordia_platform::workloads::{MixSchedule, WorkloadKind};
 use concordia_predictor::api::ModelBank;
-use concordia_ran::cell::CellInstance;
 use concordia_ran::cost::CostModel;
 use concordia_ran::dag::build_dag;
 use concordia_ran::features::{extract, FeatureVec};
@@ -38,26 +33,18 @@ use concordia_sched::supervisor::{AdmissionLevel, LaneState, PredictorSupervisor
 use concordia_stats::rng::Rng;
 use concordia_traffic::gen5g::{CellTraffic, TrafficConfig};
 
-/// A fully assembled simulation, ready to run.
-pub struct Simulation {
+/// The pre-multi-cell simulation: one global slot clock, one guard.
+#[doc(hidden)]
+pub struct LegacySimulation {
     cfg: SimConfig,
     cost: CostModel,
     pool: VranPool,
     bank: ModelBank,
-    /// The deployment's cells, in id order.
-    cells: Vec<CellInstance>,
-    /// Cells grouped by slot-boundary phase, ascending phase. Each entry
-    /// is one injection instant per slot; staggered cells get one group
-    /// each, aligned cells share a single group at phase 0.
-    boundary_groups: Vec<(Nanos, Vec<u32>)>,
     traffic: Vec<CellTraffic>,
     mix: Option<MixSchedule>,
     static_pressure: (f64, f64),
     faults: FaultTimeline,
-    /// One misprediction guard per cell: a cell whose channel turns
-    /// pathological inflates only its own WCETs instead of taxing every
-    /// cell in the pool.
-    guards: Vec<MispredictionGuard>,
+    guard: MispredictionGuard,
     /// The predictor control plane; when present it replaces the bare
     /// model bank as the prediction source.
     supervisor: Option<PredictorSupervisor>,
@@ -79,7 +66,7 @@ pub struct Simulation {
 }
 
 /// Workload-level fault kinds the sim (not the pool) traces, paired with
-/// their slot in [`Simulation::workload_fault_active`].
+/// their slot in [`LegacySimulation::workload_fault_active`].
 const WORKLOAD_FAULTS: [FaultKind; 2] = [FaultKind::PredictorBias, FaultKind::TrafficSurge];
 
 fn lane_code(s: LaneState) -> u8 {
@@ -108,9 +95,9 @@ fn make_scheduler(choice: SchedulerChoice) -> Box<dyn PoolScheduler> {
     }
 }
 
-impl Simulation {
+impl LegacySimulation {
     /// Builds the simulation: runs the offline profiling phase, trains the
-    /// predictor bank, and sets up the pool, per-cell traffic sources and
+    /// predictor bank, and sets up the pool, traffic sources and
     /// colocation.
     pub fn new(cfg: SimConfig) -> Self {
         let mut cell = cfg.cell;
@@ -121,8 +108,7 @@ impl Simulation {
         let cost = CostModel::new();
         let root = Rng::new(cfg.seed);
 
-        // Offline phase (§4.2): isolated vRAN, randomized inputs. The
-        // cells share one radio configuration, so one profile serves all.
+        // Offline phase (§4.2): isolated vRAN, randomized inputs.
         let dataset = profile(
             &cfg.cell,
             &cost,
@@ -156,27 +142,9 @@ impl Simulation {
             cfg.seed ^ 0x9001,
         );
 
-        let cells: Vec<CellInstance> = (0..cfg.n_cells)
-            .map(|c| {
-                if cfg.cell_stagger {
-                    cfg.cell.instance(c, cfg.n_cells)
-                } else {
-                    CellInstance::aligned(c, cfg.cell)
-                }
-            })
-            .collect();
-        let mut boundary_groups: Vec<(Nanos, Vec<u32>)> = Vec::new();
-        for cell in &cells {
-            match boundary_groups.iter_mut().find(|(p, _)| *p == cell.phase) {
-                Some((_, group)) => group.push(cell.id),
-                None => boundary_groups.push((cell.phase, vec![cell.id])),
-            }
-        }
-        boundary_groups.sort_by_key(|(p, _)| *p);
-
         let traffic = (0..cfg.n_cells)
             .map(|c| {
-                CellTraffic::for_cell(
+                CellTraffic::new(
                     cfg.cell,
                     TrafficConfig {
                         load: cfg.load,
@@ -184,8 +152,7 @@ impl Simulation {
                         // every slot (the Table 2/3 sizing criterion).
                         mean_at_full: if cfg.peak_provisioning { 0.95 } else { 0.5 },
                     },
-                    c,
-                    &root,
+                    root.fork(100 + c as u64),
                 )
             })
             .collect();
@@ -210,21 +177,16 @@ impl Simulation {
         // leaves every other stream untouched.
         let faults = cfg.faults.resolve(cfg.seed ^ 0xFA17);
 
-        let guards = (0..cfg.n_cells.max(1))
-            .map(|_| MispredictionGuard::default())
-            .collect();
-        let mut sim = Simulation {
+        let mut sim = LegacySimulation {
             cfg,
             cost,
             pool,
             bank,
-            cells,
-            boundary_groups,
             traffic,
             mix,
             static_pressure,
             faults,
-            guards,
+            guard: MispredictionGuard::default(),
             supervisor,
             shedding: false,
             win_dags: 0,
@@ -249,11 +211,6 @@ impl Simulation {
         sim
     }
 
-    /// The deployment's cells, in id order.
-    pub fn cells(&self) -> &[CellInstance] {
-        &self.cells
-    }
-
     fn pressure_at(&self, t: Nanos) -> (f64, f64) {
         match &self.mix {
             Some(m) => m.pressure_at(t),
@@ -273,15 +230,6 @@ impl Simulation {
 
     fn predict_wcet(&self, kind: TaskKind, x: &FeatureVec) -> Option<Nanos> {
         self.predict_us(kind, x).map(Nanos::from_micros_f64)
-    }
-
-    /// The worst current guard inflation across cells — what the trace and
-    /// snapshots report, since any one inflated cell throttles reclaim.
-    fn max_guard_inflation(&self) -> f64 {
-        self.guards
-            .iter()
-            .map(|g| g.inflation())
-            .fold(1.0, f64::max)
     }
 
     /// Closes one supervisor decision window at slot boundary `t`:
@@ -312,10 +260,8 @@ impl Simulation {
         sup.end_window(dags, viols);
         if sup.take_guard_reset() {
             // A retrained model was just swapped in; it must not inherit
-            // the inflation the guards earned against its predecessor.
-            for g in &mut self.guards {
-                g.reset();
-            }
+            // the inflation the guard earned against its predecessor.
+            self.guard.reset();
         }
         if tracing {
             for (l, &was) in before.iter().enumerate() {
@@ -371,71 +317,57 @@ impl Simulation {
     fn run_to_completion(&mut self) {
         let slot_dur = self.cfg.cell.slot_duration();
         let n_slots = self.cfg.duration.as_nanos() / slot_dur.as_nanos();
-        let groups = self.boundary_groups.clone();
 
         for slot in 0..n_slots {
-            let t0 = Nanos(slot * slot_dur.as_nanos());
-            // Within one global slot the pool advances boundary by
-            // boundary: each phase group gets the full event cycle
-            // (execute → pressure → inject → adapt) at its own instant.
-            let mut t_last = t0;
-            for (phase, group) in &groups {
-                let t = t0 + *phase;
-                t_last = t;
-                self.pool.run_until(t);
-                self.slot = slot;
+            let t = Nanos(slot * slot_dur.as_nanos());
+            self.pool.run_until(t);
+            self.slot = slot;
 
-                // Colocation pressure follows the mix schedule — unless
-                // admission control is shedding, which overrides it.
-                if self.mix.is_some() && !self.shedding {
-                    let (c, k) = self.pressure_at(t);
-                    let (oc, ok) = self.pool.pressure();
-                    if (c - oc).abs() > 1e-9 || (k - ok).abs() > 1e-9 {
-                        self.pool.set_pressure(c, k);
-                    }
+            // Colocation pressure follows the mix schedule — unless
+            // admission control is shedding, which overrides it.
+            if self.mix.is_some() && !self.shedding {
+                let (c, k) = self.pressure_at(t);
+                let (oc, ok) = self.pool.pressure();
+                if (c - oc).abs() > 1e-9 || (k - ok).abs() > 1e-9 {
+                    self.pool.set_pressure(c, k);
                 }
-
-                self.trace_workload_fault_edges(t);
-                self.inject_cells(t, slot, group);
-
-                // Online adaptation (§4.2): feed observed runtimes back.
-                // Each cell's misprediction guard watches the error stream
-                // of its own DAGs — including any injected predictor bias —
-                // and arms its inflation after a run of underestimates.
-                let bias = 1.0
-                    + self
-                        .faults
-                        .severity_at(FaultKind::PredictorBias, t)
-                        .unwrap_or(0.0);
-                for obs in self.pool.drain_observations() {
-                    if let Some(pred) = self.predict_us(obs.kind, &obs.features) {
-                        if let Some(guard) = self.guards.get_mut(obs.cell as usize) {
-                            guard.observe(pred / bias, obs.runtime_us);
-                        }
-                    }
-                    match self.supervisor.as_mut() {
-                        // The supervisor records every observation: replay,
-                        // drift statistics, shadow scoring, and (when its
-                        // online feed is on) the serving model's adaptation.
-                        Some(sup) => sup.record(obs.kind.index(), &obs.features, obs.runtime_us),
-                        None if self.cfg.online_updates => {
-                            self.bank.observe(obs.kind, &obs.features, obs.runtime_us);
-                        }
-                        None => {}
-                    }
-                }
-
-                self.trace_guard_inflation();
             }
 
-            // Per-slot bookkeeping closes at the slot's last boundary so
-            // every cell's DAGs of slot k are inside window k's ledger.
-            //
+            self.trace_workload_fault_edges(t);
+            self.inject_slot(t, slot);
+
+            // Online adaptation (§4.2): feed observed runtimes back. The
+            // misprediction guard watches the same error stream the
+            // scheduler acted on — including any injected predictor bias —
+            // and arms its inflation after a run of underestimates.
+            let bias = 1.0
+                + self
+                    .faults
+                    .severity_at(FaultKind::PredictorBias, t)
+                    .unwrap_or(0.0);
+            for obs in self.pool.drain_observations() {
+                if let Some(pred) = self.predict_us(obs.kind, &obs.features) {
+                    self.guard.observe(pred / bias, obs.runtime_us);
+                }
+                match self.supervisor.as_mut() {
+                    // The supervisor records every observation: replay,
+                    // drift statistics, shadow scoring, and (when its
+                    // online feed is on) the serving model's adaptation.
+                    Some(sup) => sup.record(obs.kind.index(), &obs.features, obs.runtime_us),
+                    None if self.cfg.online_updates => {
+                        self.bank.observe(obs.kind, &obs.features, obs.runtime_us);
+                    }
+                    None => {}
+                }
+            }
+
+            self.trace_guard_inflation();
+
             // Decision-window boundary: the only place the control plane
             // may swap serving models or change the admission level.
             if let Some(window_slots) = self.supervisor.as_ref().map(|s| s.config().window_slots) {
                 if (slot + 1) % window_slots.max(1) == 0 {
-                    self.end_supervisor_window(t_last);
+                    self.end_supervisor_window(t);
                 }
             }
 
@@ -444,7 +376,7 @@ impl Simulation {
                 let every = tc.snapshot_slots.max(1);
                 if (slot + 1) % every == 0 {
                     self.pool
-                        .record_window_snapshot((slot + 1) / every, self.max_guard_inflation());
+                        .record_window_snapshot((slot + 1) / every, self.guard.inflation());
                 }
             }
         }
@@ -477,13 +409,12 @@ impl Simulation {
         }
     }
 
-    /// Records the worst guard inflation as a trace counter whenever it
-    /// moves.
+    /// Records the guard's inflation as a trace counter whenever it moves.
     fn trace_guard_inflation(&mut self) {
         if !self.pool.trace_enabled() {
             return;
         }
-        let inflation = self.max_guard_inflation();
+        let inflation = self.guard.inflation();
         if inflation != self.last_traced_inflation {
             self.last_traced_inflation = inflation;
             self.pool
@@ -491,21 +422,20 @@ impl Simulation {
         }
     }
 
-    /// Injects the slot-`slot` DAGs of one phase group's cells (in cell-id
-    /// order) at their shared boundary instant `t`.
-    fn inject_cells(&mut self, t: Nanos, slot: u64, group: &[u32]) {
+    /// Injects the DAGs of one slot boundary for every cell.
+    fn inject_slot(&mut self, t: Nanos, slot: u64) {
         let granted = self.pool.granted_cores().max(1);
         // Workload-level faults land here: a predictor-bias window divides
         // every prediction (a corrupted model systematically
         // underestimates), a traffic-surge window inflates every slot's
-        // volume beyond the calibrated load. Each cell's guard inflation
-        // pushes back against the bias once it has seen enough
-        // underestimates from that cell.
+        // volume beyond the calibrated load. The guard's inflation pushes
+        // back against the bias once it has seen enough underestimates.
         let bias = 1.0
             + self
                 .faults
                 .severity_at(FaultKind::PredictorBias, t)
                 .unwrap_or(0.0);
+        let wcet_factor = self.guard.inflation() / bias;
         let surge = 1.0
             + self
                 .faults
@@ -520,15 +450,13 @@ impl Simulation {
             .as_ref()
             .is_some_and(|s| s.admission() == AdmissionLevel::Reject);
         let mut rejected = 0u64;
-        for &cell_id in group {
-            let c = cell_id as usize;
-            let wcet_factor = self.guards[c].inflation() / bias;
+        for c in 0..self.cfg.n_cells as usize {
             // §7 extension: MAC scheduling for the *next* slot runs in the
             // pool, with a one-slot deadline.
             if self.cfg.mac_in_pool {
                 let n_ues = (self.cfg.cell.max_ues / 2).max(1);
                 let mac =
-                    concordia_ran::dag::build_mac_dag(&self.cfg.cell, cell_id, slot, t, n_ues);
+                    concordia_ran::dag::build_mac_dag(&self.cfg.cell, c as u32, slot, t, n_ues);
                 if rejecting {
                     rejected += 1;
                 } else {
@@ -562,7 +490,7 @@ impl Simulation {
                     SlotDirection::Special => self.traffic[c].next_dl_bytes() * 0.6,
                 } * surge;
                 let wl = self.traffic[c].workload_for(dir, bytes);
-                let dag = build_dag(&self.cfg.cell, cell_id, slot, t, &wl);
+                let dag = build_dag(&self.cfg.cell, c as u32, slot, t, &wl);
                 if dag.is_empty() {
                     continue;
                 }
@@ -733,157 +661,8 @@ impl Simulation {
     }
 }
 
-/// Convenience: build and run in one call.
-pub fn run_experiment(cfg: SimConfig) -> ExperimentReport {
-    Simulation::new(cfg).run()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn quick(cfg_mut: impl FnOnce(&mut SimConfig)) -> ExperimentReport {
-        let mut cfg = SimConfig::paper_20mhz();
-        cfg.duration = Nanos::from_secs(2);
-        cfg.profiling_slots = 400;
-        cfg.load = 0.25;
-        cfg_mut(&mut cfg);
-        run_experiment(cfg)
-    }
-
-    #[test]
-    fn concordia_isolated_meets_deadlines() {
-        let r = quick(|_| {});
-        assert!(r.metrics.dags > 10_000, "dags {}", r.metrics.dags);
-        assert_eq!(
-            r.metrics.violations, 0,
-            "violations {}",
-            r.metrics.violations
-        );
-        assert!(
-            r.metrics.reclaimed_fraction > 0.3,
-            "reclaimed {}",
-            r.metrics.reclaimed_fraction
-        );
-    }
-
-    #[test]
-    fn concordia_under_redis_keeps_reliability_and_reclaims() {
-        let r = quick(|c| {
-            c.colocation = Colocation::Single(WorkloadKind::Redis);
-        });
-        assert_eq!(
-            r.metrics.violations, 0,
-            "violations {}",
-            r.metrics.violations
-        );
-        assert!(r.metrics.reclaimed_fraction > 0.2);
-        let w = r.workload.as_ref().unwrap();
-        assert!(
-            w.fraction_of_ideal > 0.1,
-            "workload got {}",
-            w.fraction_of_ideal
-        );
-    }
-
-    #[test]
-    fn flexran_under_redis_violates_more_than_concordia() {
-        // Aligned boundaries (the worst case for sharing) are where the
-        // schedulers separate: staggering softens the synchronized peak
-        // enough that even FlexRan's tail looks acceptable at this load.
-        let conc = quick(|c| {
-            c.colocation = Colocation::Single(WorkloadKind::Redis);
-            c.load = 0.75;
-            c.cell_stagger = false;
-        });
-        let flex = quick(|c| {
-            c.colocation = Colocation::Single(WorkloadKind::Redis);
-            c.load = 0.75;
-            c.cell_stagger = false;
-            c.scheduler = SchedulerChoice::FlexRan;
-        });
-        let flex_p = flex.metrics.p9999_latency_us.expect("flexran p9999");
-        let conc_p = conc.metrics.p9999_latency_us.expect("concordia p9999");
-        assert!(
-            flex_p > conc_p,
-            "flexran p9999 {flex_p} vs concordia {conc_p}"
-        );
-    }
-
-    #[test]
-    fn dedicated_reclaims_nothing() {
-        let r = quick(|c| {
-            c.scheduler = SchedulerChoice::Dedicated;
-        });
-        assert!(r.metrics.reclaimed_fraction < 0.01);
-        assert_eq!(r.metrics.violations, 0);
-    }
-
-    #[test]
-    fn reports_are_deterministic() {
-        let a = quick(|c| c.seed = 42);
-        let b = quick(|c| c.seed = 42);
-        assert_eq!(a.metrics.dags, b.metrics.dags);
-        assert_eq!(a.metrics.mean_latency_us, b.metrics.mean_latency_us);
-        assert_eq!(a.metrics.reclaimed_fraction, b.metrics.reclaimed_fraction);
-    }
-
-    #[test]
-    fn higher_load_reclaims_less() {
-        let lo = quick(|c| c.load = 0.05);
-        let hi = quick(|c| c.load = 1.0);
-        assert!(
-            lo.metrics.reclaimed_fraction > hi.metrics.reclaimed_fraction + 0.05,
-            "lo {} hi {}",
-            lo.metrics.reclaimed_fraction,
-            hi.metrics.reclaimed_fraction
-        );
-    }
-
-    #[test]
-    fn per_cell_ledgers_cover_every_cell() {
-        let r = quick(|_| {});
-        assert_eq!(r.metrics.per_cell.len(), 7);
-        for (c, ledger) in r.metrics.per_cell.iter().enumerate() {
-            assert!(
-                ledger.injected > 1000,
-                "cell {c} injected {}",
-                ledger.injected
-            );
-            assert_eq!(
-                ledger.completed,
-                ledger.injected,
-                "cell {c} lost {} DAGs",
-                ledger.injected - ledger.completed
-            );
-        }
-    }
-
-    #[test]
-    fn stagger_toggle_preserves_totals_and_changes_interleave() {
-        let on = quick(|_| {});
-        let off = quick(|c| c.cell_stagger = false);
-        // Same number of slots × cells × directions either way.
-        assert_eq!(on.metrics.dags, off.metrics.dags);
-        // Aligned boundaries pile all 7 cells onto one instant; the pool's
-        // peak demand there can only be >= the staggered deployment's.
-        assert!(on.metrics.violations <= off.metrics.violations);
-    }
-
-    #[test]
-    fn staggered_cells_release_on_distinct_phases() {
-        let sim = Simulation::new({
-            let mut cfg = SimConfig::paper_20mhz();
-            cfg.duration = Nanos::from_millis(10);
-            cfg.profiling_slots = 50;
-            cfg
-        });
-        let phases: Vec<_> = sim.cells().iter().map(|c| c.phase).collect();
-        assert_eq!(phases.len(), 7);
-        let mut uniq = phases.clone();
-        uniq.sort();
-        uniq.dedup();
-        assert_eq!(uniq.len(), 7, "each cell gets its own boundary phase");
-        assert_eq!(phases[0], Nanos::ZERO, "cell 0 stays on the epoch");
-    }
+/// Runs one experiment through the legacy loop (differential oracle).
+#[doc(hidden)]
+pub fn run_legacy_experiment(cfg: SimConfig) -> ExperimentReport {
+    LegacySimulation::new(cfg).run()
 }

@@ -18,6 +18,7 @@
 
 pub mod config;
 pub mod experiments;
+pub mod legacy;
 pub mod profile;
 pub mod report;
 pub mod runner;
@@ -25,5 +26,5 @@ pub mod sim;
 
 pub use config::{Colocation, PredictorChoice, SchedulerChoice, SimConfig};
 pub use report::{ExperimentReport, FaultReport, FaultWindowReport, WorkloadReport};
-pub use runner::run_parallel;
+pub use runner::{run_parallel, run_sweep, SweepReport};
 pub use sim::{run_experiment, Simulation};

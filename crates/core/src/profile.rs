@@ -411,13 +411,15 @@ mod tests {
         let qdt = train_bank(&ds, PredictorChoice::QuantileDt, &cost);
         let pwcet = train_bank(&ds, PredictorChoice::PwcetEvt, &cost);
         let small = {
-            let mut p = concordia_ran::task::TaskParams::default();
-            p.n_cbs = 1;
-            p.cb_bits = 8448;
-            p.tb_bits = 8448;
-            p.mcs_index = 20;
-            p.snr_db = 30.0;
-            p.pool_cores = 2;
+            let p = concordia_ran::task::TaskParams {
+                n_cbs: 1,
+                cb_bits: 8448,
+                tb_bits: 8448,
+                mcs_index: 20,
+                snr_db: 30.0,
+                pool_cores: 2,
+                ..Default::default()
+            };
             extract(&p)
         };
         let q = qdt.predict(TaskKind::LdpcDecode, &small).unwrap();

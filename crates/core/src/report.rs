@@ -149,6 +149,15 @@ impl ExperimentReport {
         self.metrics.reliability >= 0.99999
     }
 
+    /// The canonical serialized form: pretty JSON with a trailing newline.
+    /// The golden-report harness byte-compares this, so its formatting must
+    /// never depend on anything but the report's content.
+    pub fn to_canonical_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("report serializes");
+        s.push('\n');
+        s
+    }
+
     /// One-line human-readable summary. Tail quantiles print as `n/a`
     /// when the run completed no DAGs (empty latency recorder).
     pub fn one_liner(&self) -> String {
@@ -204,6 +213,7 @@ mod tests {
                 tasks_requeued: 0,
                 vran_busy_ms: 24_000.0,
                 wake_hist_counts: vec![10, 5, 1],
+                per_cell: Vec::new(),
             },
             workload: None,
             fault: None,

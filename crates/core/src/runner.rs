@@ -16,6 +16,8 @@
 use crate::config::SimConfig;
 use crate::report::ExperimentReport;
 use crate::sim::run_experiment;
+use concordia_stats::chacha;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -159,6 +161,79 @@ fn collect_or_panic(
     reports
 }
 
+/// The merged outcome of a seed sweep: `repeats` runs of one base
+/// configuration, each under its own ChaCha-derived root seed, in seed
+/// (= run-index) order.
+///
+/// The report is a pure function of `(base config, master seed, repeats)`:
+/// the worker count only changes wall-clock time, never a byte of the
+/// serialized report — which is what lets CI diff `--jobs 1` against
+/// `--jobs $(nproc)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Master seed the per-run seeds were derived from.
+    pub master_seed: u64,
+    /// Number of runs in the sweep.
+    pub repeats: usize,
+    /// Per-run reports, in run-index (derivation) order.
+    pub runs: Vec<ExperimentReport>,
+}
+
+impl SweepReport {
+    /// The canonical serialized form: pretty JSON with a trailing newline.
+    /// Byte-compared by the golden harness and the CI determinism check,
+    /// so its formatting must never depend on anything but the content.
+    pub fn to_canonical_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("sweep report serializes");
+        s.push('\n');
+        s
+    }
+}
+
+/// The configurations of an `n`-run sweep of `base`: run `i` gets root
+/// seed [`chacha::derive_seed`]`(master_seed, i)`, everything else is the
+/// base configuration verbatim.
+pub fn sweep_configs(base: &SimConfig, master_seed: u64, repeats: usize) -> Vec<SimConfig> {
+    chacha::seed_stream(master_seed, repeats)
+        .into_iter()
+        .map(|seed| SimConfig {
+            seed,
+            ..base.clone()
+        })
+        .collect()
+}
+
+/// Runs an `repeats`-run sweep of `base` across up to `workers` threads
+/// and merges the reports in derivation order.
+///
+/// Panics with the aggregated failure list if any run panicked (the same
+/// policy as [`run_parallel`]).
+pub fn run_sweep(
+    base: &SimConfig,
+    master_seed: u64,
+    repeats: usize,
+    workers: usize,
+) -> SweepReport {
+    run_sweep_with_progress(base, master_seed, repeats, workers, None)
+}
+
+/// [`run_sweep`] with an optional progress callback.
+pub fn run_sweep_with_progress(
+    base: &SimConfig,
+    master_seed: u64,
+    repeats: usize,
+    workers: usize,
+    progress: Option<ProgressFn>,
+) -> SweepReport {
+    let runs =
+        run_parallel_with_progress(sweep_configs(base, master_seed, repeats), workers, progress);
+    SweepReport {
+        master_seed,
+        repeats,
+        runs,
+    }
+}
+
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -250,6 +325,26 @@ mod tests {
         assert_eq!(failure.index, 1);
         assert_eq!(failure.seed, 8);
         assert!(!failure.message.is_empty());
+    }
+
+    #[test]
+    fn sweep_seeds_come_from_the_chacha_stream() {
+        let base = tiny(0, 0.4);
+        let sweep = run_sweep(&base, 77, 3, 2);
+        assert_eq!(sweep.master_seed, 77);
+        assert_eq!(sweep.repeats, 3);
+        assert_eq!(sweep.runs.len(), 3);
+        for (i, run) in sweep.runs.iter().enumerate() {
+            assert_eq!(run.seed, concordia_stats::chacha::derive_seed(77, i as u64));
+        }
+    }
+
+    #[test]
+    fn sweep_bytes_do_not_depend_on_worker_count() {
+        let base = tiny(0, 0.5);
+        let one = run_sweep(&base, 9, 4, 1).to_canonical_json();
+        let many = run_sweep(&base, 9, 4, 4).to_canonical_json();
+        assert_eq!(one, many);
     }
 
     #[test]

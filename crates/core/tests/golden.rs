@@ -1,0 +1,89 @@
+//! Golden-report harness: three fixed (seed, config) pairs whose canonical
+//! [`concordia_core::ExperimentReport`] JSON is checked into
+//! `tests/golden/` and byte-compared on every run.
+//!
+//! Any change to the simulation's event order, RNG stream layout, float
+//! arithmetic or report serialization shows up here as a byte diff. When a
+//! divergence is intentional (a behavior change, not an accident), bless
+//! new goldens with:
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test -p concordia-core --test golden
+//! ```
+//!
+//! and review the JSON diff like any other code change.
+
+use concordia_core::{Colocation, SchedulerChoice, SimConfig};
+use concordia_platform::faults::{FaultKind, FaultPlan};
+use concordia_platform::workloads::WorkloadKind;
+use concordia_ran::time::Nanos;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn check(name: &str, cfg: SimConfig) {
+    let got = concordia_core::run_experiment(cfg).to_canonical_json();
+    let path = golden_dir().join(format!("{name}.json"));
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+        std::fs::write(&path, &got).expect("write golden");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); generate it with \
+             GOLDEN_BLESS=1 cargo test -p concordia-core --test golden",
+            path.display()
+        )
+    });
+    assert!(
+        got == want,
+        "{name}: report diverged from tests/golden/{name}.json \
+         ({} vs {} bytes). If the change is intentional, regenerate with \
+         GOLDEN_BLESS=1 cargo test -p concordia-core --test golden and \
+         review the diff.",
+        got.len(),
+        want.len()
+    );
+}
+
+fn base(cells: u32, seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::paper_20mhz();
+    cfg.n_cells = cells;
+    cfg.cores = (cells + 1).min(8);
+    cfg.duration = Nanos::from_millis(250);
+    cfg.profiling_slots = 120;
+    cfg.load = 0.5;
+    cfg.seed = seed;
+    cfg.colocation = Colocation::Isolated;
+    cfg
+}
+
+/// Pair 1: the single-cell baseline — the config the C=1 differential test
+/// pins against the legacy loop, frozen here as bytes.
+#[test]
+fn golden_single_cell_baseline() {
+    check("single_cell_baseline", base(1, 2021));
+}
+
+/// Pair 2: a staggered 4-cell deployment with a colocated workload — the
+/// multiplexing path (phase groups, per-cell guards, per-cell ledgers).
+#[test]
+fn golden_staggered_four_cells_redis() {
+    let mut cfg = base(4, 7);
+    cfg.colocation = Colocation::Single(WorkloadKind::Redis);
+    check("staggered_four_cells_redis", cfg);
+}
+
+/// Pair 3: a faulted FlexRAN run — covers the fault timeline, requeue path
+/// and the fault section of the report.
+#[test]
+fn golden_flexran_two_cells_core_loss() {
+    let mut cfg = base(2, 42);
+    cfg.scheduler = SchedulerChoice::FlexRan;
+    cfg.faults = FaultPlan::chaos(&[FaultKind::CoreOffline], cfg.duration);
+    check("flexran_two_cells_core_loss", cfg);
+}

@@ -1,0 +1,93 @@
+//! Differential and property tests for the multi-cell scale-out.
+//!
+//! * The single-cell deployment through the new multi-cell path must be
+//!   **byte-identical** to the retained legacy single-clock loop
+//!   ([`concordia_core::legacy`]) — the refactor is validated as a pure
+//!   generalization before the legacy module is deleted.
+//! * No cell may lose work while fault windows take cores offline: per
+//!   -cell conservation (`completed == injected`) over randomized
+//!   deployments.
+//! * The parallel runner's sweep reports are a pure function of the seed:
+//!   `--jobs 1` and `--jobs 8` yield the same bytes for random configs.
+
+use concordia_core::legacy::run_legacy_experiment;
+use concordia_core::runner::run_sweep;
+use concordia_core::{run_experiment, Colocation, SimConfig};
+use concordia_platform::faults::{FaultKind, FaultPlan};
+use concordia_ran::time::Nanos;
+use proptest::prelude::*;
+
+fn small(cells: u32, seed: u64, load: f64) -> SimConfig {
+    let mut cfg = SimConfig::paper_20mhz();
+    cfg.n_cells = cells;
+    cfg.cores = (cells + 1).min(8);
+    cfg.duration = Nanos::from_millis(250);
+    cfg.profiling_slots = 120;
+    cfg.load = load;
+    cfg.seed = seed;
+    cfg.colocation = Colocation::Isolated;
+    cfg
+}
+
+#[test]
+fn single_cell_new_path_matches_legacy_byte_for_byte() {
+    for seed in [42u64, 2021] {
+        let cfg = small(1, seed, 0.5);
+        let new = run_experiment(cfg.clone()).to_canonical_json();
+        let old = run_legacy_experiment(cfg).to_canonical_json();
+        assert_eq!(
+            new, old,
+            "seed {seed}: the multi-cell path diverged from the legacy loop at C=1"
+        );
+    }
+}
+
+#[test]
+fn single_cell_differential_holds_with_stagger_disabled() {
+    // `cell_stagger` is irrelevant at C=1 (cell 0 always has phase 0);
+    // both settings must stay on the legacy bytes.
+    let mut cfg = small(1, 7, 0.5);
+    cfg.cell_stagger = false;
+    let new = run_experiment(cfg.clone()).to_canonical_json();
+    let old = run_legacy_experiment(cfg).to_canonical_json();
+    assert_eq!(new, old);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn no_cell_loses_work_under_core_loss(
+        cells in 2u32..6,
+        seed in 0u64..1_000,
+        load in 0.2f64..0.8,
+    ) {
+        let mut cfg = small(cells, seed, load);
+        cfg.faults = FaultPlan::chaos(
+            &[FaultKind::CoreOffline, FaultKind::CoreStall],
+            cfg.duration,
+        );
+        let r = run_experiment(cfg);
+        prop_assert_eq!(r.metrics.per_cell.len(), cells as usize);
+        for (c, ledger) in r.metrics.per_cell.iter().enumerate() {
+            prop_assert!(ledger.injected > 0, "cell {} injected nothing", c);
+            prop_assert!(
+                ledger.completed == ledger.injected,
+                "cell {} lost {} DAGs under core loss",
+                c,
+                ledger.injected - ledger.completed
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_reports_are_jobs_invariant(
+        cells in 1u32..4,
+        master in 0u64..1_000,
+    ) {
+        let base = small(cells, 0, 0.4);
+        let serial = run_sweep(&base, master, 2, 1).to_canonical_json();
+        let threaded = run_sweep(&base, master, 2, 8).to_canonical_json();
+        prop_assert_eq!(serial, threaded);
+    }
+}

@@ -131,6 +131,31 @@ impl SlotLatencyRecorder {
     }
 }
 
+/// Per-cell DAG accounting: with several cells multiplexed onto one pool,
+/// aggregate reliability can hide a single starving cell. These counters
+/// keep the per-cell ledger (and feed the cross-cell conservation checks:
+/// every injected DAG must eventually complete, per cell).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellCounters {
+    /// DAGs released to the pool by this cell.
+    pub injected: u64,
+    /// DAGs of this cell that ran to completion.
+    pub completed: u64,
+    /// Completed DAGs of this cell that missed their deadline.
+    pub violations: u64,
+}
+
+impl CellCounters {
+    /// Fraction of this cell's completed DAGs that met their deadline.
+    pub fn reliability(&self) -> f64 {
+        if self.completed == 0 {
+            1.0
+        } else {
+            1.0 - self.violations as f64 / self.completed as f64
+        }
+    }
+}
+
 /// Aggregate platform metrics for one experiment run.
 #[derive(Debug, Clone, Default)]
 pub struct PoolMetrics {
@@ -164,12 +189,36 @@ pub struct PoolMetrics {
     pub offload_fallbacks: u64,
     /// Tasks requeued after their core went offline mid-execution.
     pub tasks_requeued: u64,
+    /// Per-cell DAG ledger, indexed by cell id (grown on first use).
+    pub per_cell: Vec<CellCounters>,
 }
 
 impl PoolMetrics {
     /// Creates zeroed metrics.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Counts one DAG released by `cell`.
+    pub fn record_injected(&mut self, cell: u32) {
+        self.cell_mut(cell).injected += 1;
+    }
+
+    /// Counts one DAG of `cell` running to completion.
+    pub fn record_completed(&mut self, cell: u32, violated: bool) {
+        let c = self.cell_mut(cell);
+        c.completed += 1;
+        if violated {
+            c.violations += 1;
+        }
+    }
+
+    fn cell_mut(&mut self, cell: u32) -> &mut CellCounters {
+        let idx = cell as usize;
+        if idx >= self.per_cell.len() {
+            self.per_cell.resize(idx + 1, CellCounters::default());
+        }
+        &mut self.per_cell[idx]
     }
 
     /// Fraction of total core-time reclaimed for best-effort work
@@ -247,6 +296,8 @@ pub struct MetricsSummary {
     /// Wake-latency log2 histogram counts (bucket 0 = 0-1 µs, 1 = 2-3 µs,
     /// 2 = 4-7 µs, … — the Fig. 10 `runqlat` layout).
     pub wake_hist_counts: Vec<u64>,
+    /// Per-cell DAG ledger, indexed by cell id.
+    pub per_cell: Vec<CellCounters>,
 }
 
 impl PoolMetrics {
@@ -271,6 +322,7 @@ impl PoolMetrics {
             tasks_requeued: self.tasks_requeued,
             vran_busy_ms: self.vran_busy_time.as_millis_f64(),
             wake_hist_counts: self.wake_hist.counts().to_vec(),
+            per_cell: self.per_cell.clone(),
         }
     }
 }
@@ -396,6 +448,32 @@ mod tests {
         m.vran_busy_time = Nanos::from_secs(1);
         assert!((m.utilization_of_held() - 0.25).abs() < 1e-12);
         assert!((m.utilization_of_pool(8, Nanos::from_secs(1)) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_cell_ledger_tracks_each_cell_independently() {
+        let mut m = PoolMetrics::new();
+        m.record_injected(0);
+        m.record_injected(2);
+        m.record_injected(2);
+        m.record_completed(0, false);
+        m.record_completed(2, true);
+        // Cell 1 never appeared but the vector is dense up to the max id.
+        assert_eq!(m.per_cell.len(), 3);
+        assert_eq!(m.per_cell[0].injected, 1);
+        assert_eq!(m.per_cell[0].completed, 1);
+        assert_eq!(m.per_cell[0].violations, 0);
+        assert_eq!(m.per_cell[1], CellCounters::default());
+        assert_eq!(m.per_cell[2].injected, 2);
+        assert_eq!(m.per_cell[2].violations, 1);
+        assert_eq!(m.per_cell[2].reliability(), 0.0);
+        assert_eq!(m.per_cell[1].reliability(), 1.0);
+        let s = m.summary(4, Nanos::from_secs(1));
+        assert_eq!(s.per_cell, m.per_cell);
+        // And it survives the report round trip.
+        let json = serde_json::to_string(&s).unwrap();
+        let back: MetricsSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.per_cell, m.per_cell);
     }
 
     #[test]

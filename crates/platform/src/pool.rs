@@ -45,6 +45,8 @@ pub struct ScheduledDag {
 /// One completed-task observation for online predictor training.
 #[derive(Debug, Clone, Copy)]
 pub struct Observation {
+    /// Cell whose DAG the task belongs to.
+    pub cell: u32,
     /// Task kind.
     pub kind: TaskKind,
     /// Features at dispatch (including the pool width actually used).
@@ -447,6 +449,7 @@ impl VranPool {
         if n == 0 {
             return;
         }
+        self.metrics.record_injected(sched.dag.cell_id);
         // Tail lengths over the topological order, reversed.
         let mut tail = vec![Nanos::ZERO; n];
         for i in (0..n).rev() {
@@ -532,6 +535,13 @@ impl VranPool {
         }));
     }
 
+    /// Cell id of an active DAG slot (0 when the slot is already freed).
+    fn cell_of(&self, dag: u32) -> u32 {
+        self.dags[dag as usize]
+            .as_ref()
+            .map_or(0, |d| d.sched.dag.cell_id)
+    }
+
     fn handle(&mut self, ev: Event) {
         match ev {
             Event::Tick => {
@@ -574,7 +584,13 @@ impl VranPool {
                 };
                 self.metrics.vran_busy_time += runtime;
                 self.running_tasks -= 1;
-                self.trace_event(TraceEvent::TaskComplete { core, dag, node });
+                let cell = self.cell_of(dag);
+                self.trace_event(TraceEvent::TaskComplete {
+                    cell,
+                    core,
+                    dag,
+                    node,
+                });
                 if offload_submit {
                     // The CPU part (submission) is done; the node itself
                     // completes when the cell's FPGA engine finishes — or
@@ -588,7 +604,8 @@ impl VranPool {
                 self.dispatch();
             }
             Event::FpgaDone { dag, node } => {
-                self.trace_event(TraceEvent::OffloadDone { dag, node });
+                let cell = self.cell_of(dag);
+                self.trace_event(TraceEvent::OffloadDone { cell, dag, node });
                 // No worker context here: a locally-kept successor would
                 // have no core to run on, so queue it like the others.
                 if let Some((ldag, lnode)) = self.complete_node(dag, node) {
@@ -666,7 +683,11 @@ impl VranPool {
         // the CPU path and requeue it. The submission cost is sunk; the
         // node re-executes as ordinary CPU work.
         self.metrics.offload_fallbacks += 1;
-        self.trace_event(TraceEvent::OffloadFallback { dag, node });
+        self.trace_event(TraceEvent::OffloadFallback {
+            cell: cell as u32,
+            dag,
+            node,
+        });
         if let Some(d) = self.dags[dag as usize].as_mut() {
             d.cpu_only[node as usize] = true;
             let deadline = d.sched.dag.deadline;
@@ -734,7 +755,13 @@ impl VranPool {
         if let CoreState::Busy { dag, node } = self.cores[core as usize].state {
             self.running_tasks -= 1;
             self.metrics.tasks_requeued += 1;
-            self.trace_event(TraceEvent::TaskRequeue { core, dag, node });
+            let cell = self.cell_of(dag);
+            self.trace_event(TraceEvent::TaskRequeue {
+                cell,
+                core,
+                dag,
+                node,
+            });
             if let Some(d) = self.dags[dag as usize].as_ref() {
                 let deadline = d.sched.dag.deadline;
                 self.enqueue_ready(dag, node, deadline);
@@ -823,11 +850,15 @@ impl VranPool {
                 self.active_dag_count -= 1;
                 let latency = self.now.saturating_sub(d.sched.dag.arrival);
                 let budget = d.sched.dag.deadline.saturating_sub(d.sched.dag.arrival);
+                let cell = d.sched.dag.cell_id;
+                let violated = latency > budget;
                 self.metrics.slots.record_at(self.now, latency, budget);
+                self.metrics.record_completed(cell, violated);
                 self.trace_event(TraceEvent::DagComplete {
+                    cell,
                     dag,
                     latency,
-                    violated: latency > budget,
+                    violated,
                 });
             }
             debug_assert!(local.is_none());
@@ -859,9 +890,14 @@ impl VranPool {
 
     fn start_task(&mut self, core: u32, dag: u32, node: u32) {
         let pool_cores = self.effective_granted();
-        let Some((kind, mut params, cpu_only)) = self.dags[dag as usize].as_ref().map(|d| {
+        let Some((cell, kind, mut params, cpu_only)) = self.dags[dag as usize].as_ref().map(|d| {
             let t = &d.sched.dag.nodes[node as usize].task;
-            (t.kind, t.params, d.cpu_only[node as usize])
+            (
+                d.sched.dag.cell_id,
+                t.kind,
+                t.params,
+                d.cpu_only[node as usize],
+            )
         }) else {
             debug_assert!(false, "ready task for a freed dag slot");
             self.cores[core as usize].state = CoreState::Spinning;
@@ -884,7 +920,7 @@ impl VranPool {
             // An engine is configured but currently lost to an outage:
             // this node would have offloaded, so the CPU run is a fallback.
             self.metrics.offload_fallbacks += 1;
-            self.trace_event(TraceEvent::OffloadFallback { dag, node });
+            self.trace_event(TraceEvent::OffloadFallback { cell, dag, node });
         }
         let (runtime, interference) = match offload_cost {
             Some(cost) => (cost, 1.0),
@@ -910,6 +946,7 @@ impl VranPool {
         self.metrics.tasks_executed += 1;
         if self.cfg.record_observations && !offload {
             self.observations.push(Observation {
+                cell,
                 kind,
                 features: extract(&params),
                 runtime_us: runtime.as_micros_f64(),
@@ -917,6 +954,7 @@ impl VranPool {
         }
 
         self.trace_event(TraceEvent::TaskStart {
+            cell,
             core,
             dag,
             node,
@@ -995,6 +1033,7 @@ impl VranPool {
                     .map(|(&t, _)| t)
                     .fold(Nanos::ZERO, Nanos::max);
                 DagProgress {
+                    cell: d.sched.dag.cell_id,
                     arrival: d.sched.dag.arrival,
                     deadline: d.sched.dag.deadline,
                     remaining_work: d.remaining_work,

@@ -11,6 +11,8 @@ use concordia_ran::time::Nanos;
 /// Progress snapshot of one active (incomplete) DAG.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DagProgress {
+    /// Cell this DAG belongs to (multi-cell deployments share one pool).
+    pub cell: u32,
     /// Release time of the DAG.
     pub arrival: Nanos,
     /// Absolute deadline.

@@ -104,6 +104,8 @@ pub enum TraceEvent {
     /// A worker started executing a node (`runtime` is the sampled
     /// duration; for `offload` starts it is the CPU submission cost).
     TaskStart {
+        /// Cell the DAG belongs to.
+        cell: u32,
         /// Executing core.
         core: u32,
         /// DAG slot index.
@@ -119,6 +121,8 @@ pub enum TraceEvent {
     },
     /// A worker finished a node's CPU execution (or its offload submission).
     TaskComplete {
+        /// Cell the DAG belongs to.
+        cell: u32,
         /// Core that ran it.
         core: u32,
         /// DAG slot index.
@@ -128,6 +132,8 @@ pub enum TraceEvent {
     },
     /// A mid-execution task was requeued because its core went offline.
     TaskRequeue {
+        /// Cell the DAG belongs to.
+        cell: u32,
         /// The failed core.
         core: u32,
         /// DAG slot index.
@@ -137,6 +143,8 @@ pub enum TraceEvent {
     },
     /// The accelerator finished an offloaded node.
     OffloadDone {
+        /// Cell the DAG belongs to.
+        cell: u32,
         /// DAG slot index.
         dag: u32,
         /// Node index.
@@ -145,6 +153,8 @@ pub enum TraceEvent {
     /// An offload fell back to the CPU path (engine absent, parked by an
     /// outage, or past its timeout budget).
     OffloadFallback {
+        /// Cell the DAG belongs to.
+        cell: u32,
         /// DAG slot index.
         dag: u32,
         /// Node index.
@@ -152,6 +162,8 @@ pub enum TraceEvent {
     },
     /// A slot DAG completed.
     DagComplete {
+        /// Cell the DAG belongs to.
+        cell: u32,
         /// DAG slot index.
         dag: u32,
         /// Arrival-to-completion latency.
@@ -471,6 +483,7 @@ pub fn export_chrome_trace(rec: &TraceRecorder) -> Value {
         let t = r.t;
         match r.ev {
             TraceEvent::TaskStart {
+                cell,
                 core,
                 dag,
                 node,
@@ -483,48 +496,64 @@ pub fn export_chrome_trace(rec: &TraceRecorder) -> Value {
                 t,
                 runtime,
                 obj(vec![
+                    ("cell", Value::U64(cell as u64)),
                     ("dag", Value::U64(dag as u64)),
                     ("node", Value::U64(node as u64)),
                     ("offload", Value::Bool(offload)),
                 ]),
             )),
-            TraceEvent::TaskComplete { core, dag, node } => events.push(instant(
+            TraceEvent::TaskComplete {
+                cell,
+                core,
+                dag,
+                node,
+            } => events.push(instant(
                 "task_complete",
                 core,
                 t,
                 obj(vec![
+                    ("cell", Value::U64(cell as u64)),
                     ("dag", Value::U64(dag as u64)),
                     ("node", Value::U64(node as u64)),
                 ]),
             )),
-            TraceEvent::TaskRequeue { core, dag, node } => events.push(instant(
+            TraceEvent::TaskRequeue {
+                cell,
+                core,
+                dag,
+                node,
+            } => events.push(instant(
                 "task_requeue",
                 core,
                 t,
                 obj(vec![
+                    ("cell", Value::U64(cell as u64)),
                     ("dag", Value::U64(dag as u64)),
                     ("node", Value::U64(node as u64)),
                 ]),
             )),
-            TraceEvent::OffloadDone { dag, node } => events.push(instant(
+            TraceEvent::OffloadDone { cell, dag, node } => events.push(instant(
                 "offload_done",
                 TID_ACCEL,
                 t,
                 obj(vec![
+                    ("cell", Value::U64(cell as u64)),
                     ("dag", Value::U64(dag as u64)),
                     ("node", Value::U64(node as u64)),
                 ]),
             )),
-            TraceEvent::OffloadFallback { dag, node } => events.push(instant(
+            TraceEvent::OffloadFallback { cell, dag, node } => events.push(instant(
                 "offload_fallback",
                 TID_ACCEL,
                 t,
                 obj(vec![
+                    ("cell", Value::U64(cell as u64)),
                     ("dag", Value::U64(dag as u64)),
                     ("node", Value::U64(node as u64)),
                 ]),
             )),
             TraceEvent::DagComplete {
+                cell,
                 dag,
                 latency,
                 violated,
@@ -537,6 +566,7 @@ pub fn export_chrome_trace(rec: &TraceRecorder) -> Value {
                 TID_SCHEDULER,
                 t,
                 obj(vec![
+                    ("cell", Value::U64(cell as u64)),
                     ("dag", Value::U64(dag as u64)),
                     ("latency_us", Value::F64(latency.as_micros_f64())),
                     ("violated", Value::Bool(violated)),
@@ -697,6 +727,7 @@ mod tests {
         r.record(
             Nanos(1_000),
             TraceEvent::TaskStart {
+                cell: 0,
                 core: 0,
                 dag: 0,
                 node: 0,
@@ -708,6 +739,7 @@ mod tests {
         r.record(
             Nanos(3_000),
             TraceEvent::TaskComplete {
+                cell: 0,
                 core: 0,
                 dag: 0,
                 node: 0,
@@ -716,6 +748,7 @@ mod tests {
         r.record(
             Nanos(3_000),
             TraceEvent::DagComplete {
+                cell: 0,
                 dag: 0,
                 latency: Nanos(3_000),
                 violated: false,

@@ -222,6 +222,39 @@ mod tests {
     }
 
     #[test]
+    fn split_boundary_value_routes_with_the_left_leaf() {
+        // Two clean clusters at x0 = 2 and x0 = 8: the fitter cuts between
+        // the adjacent distinct values, so the threshold is their midpoint,
+        // x0 <= 5 — and the tree's convention is that the boundary value
+        // itself goes LEFT. A feature vector exactly on the threshold must
+        // therefore predict the small cluster, and anything above it (by
+        // however little) the large one.
+        let samples: Vec<TrainingSample> = (0..200)
+            .map(|i| {
+                let (x0, y) = if i % 2 == 0 { (2.0, 10.0) } else { (8.0, 50.0) };
+                TrainingSample {
+                    x: fv(x0, 0.0),
+                    runtime_us: y,
+                }
+            })
+            .collect();
+        let qdt = QuantileDecisionTree::fit(&samples, &[0], &TreeConfig::default());
+        assert_eq!(qdt.n_leaves(), 2, "one split separates pure clusters");
+        assert_eq!(
+            qdt.leaf_of(&fv(5.0, 0.0)),
+            qdt.leaf_of(&fv(2.0, 0.0)),
+            "the boundary value belongs to the left leaf"
+        );
+        assert_eq!(
+            qdt.leaf_of(&fv(5.0 + 1e-9, 0.0)),
+            qdt.leaf_of(&fv(8.0, 0.0)),
+            "just past the threshold routes right"
+        );
+        assert_eq!(qdt.predict_us(&fv(5.0, 0.0)), 10.0);
+        assert_eq!(qdt.predict_us(&fv(5.0 + 1e-9, 0.0)), 50.0);
+    }
+
+    #[test]
     fn predictions_upper_bound_most_runtimes() {
         // The max-of-leaf statistic should cover essentially all in-leaf
         // samples (that is the design goal of Algorithm 2).

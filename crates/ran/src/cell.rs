@@ -109,6 +109,12 @@ impl CellConfig {
         self.numerology.slot_duration()
     }
 
+    /// Instantiates this configuration as cell `id` of a pooled deployment
+    /// of `n_cells`, with the deployment's default phase stagger.
+    pub fn instance(&self, id: u32, n_cells: u32) -> CellInstance {
+        CellInstance::staggered(id, n_cells, *self)
+    }
+
     /// Peak bytes deliverable in one downlink slot.
     pub fn peak_dl_bytes_per_slot(&self) -> f64 {
         let slot_s = self.slot_duration().as_nanos() as f64 / 1e9;
@@ -130,6 +136,60 @@ impl CellConfig {
         } else {
             self.peak_ul_mbps * 1e6 / 8.0 * slot_s / ul_frac
         }
+    }
+}
+
+/// One concrete cell of a pooled deployment: a [`CellConfig`] plus the
+/// per-cell identity the multi-cell simulator needs — a stable `id` (the
+/// `cell_id` every DAG, observation, metric bucket and trace record is
+/// tagged with) and a slot-phase offset.
+///
+/// Real co-located cells are not slot-synchronous: their frame timing is
+/// set per carrier, so their slot boundaries (and hence their compute
+/// bursts) interleave rather than coincide. The staggered constructor
+/// spreads the `C` cells' boundaries evenly across one slot, which is what
+/// lets a shared worker pool absorb the per-slot peaks of many cells with
+/// fewer cores than `C` aligned copies would need (paper §2, Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellInstance {
+    /// Stable cell identity within the deployment.
+    pub id: u32,
+    /// Radio configuration of this cell.
+    pub config: CellConfig,
+    /// Offset of this cell's slot boundaries from the deployment epoch;
+    /// always less than the cell's slot duration.
+    pub phase: Nanos,
+}
+
+impl CellInstance {
+    /// A cell whose slot boundaries sit exactly on the deployment epoch
+    /// (phase 0) — the legacy single-clock behaviour.
+    pub fn aligned(id: u32, config: CellConfig) -> CellInstance {
+        CellInstance {
+            id,
+            config,
+            phase: Nanos::ZERO,
+        }
+    }
+
+    /// Cell `id` of `n_cells`, with its slot boundaries offset by
+    /// `id / n_cells` of a slot so the deployment's boundaries interleave
+    /// evenly. Cell 0 always has phase 0.
+    pub fn staggered(id: u32, n_cells: u32, config: CellConfig) -> CellInstance {
+        let n = n_cells.max(1) as u64;
+        let phase = Nanos(config.slot_duration().as_nanos() * (id as u64 % n) / n);
+        CellInstance { id, config, phase }
+    }
+
+    /// Boundary time of this cell's slot `k` (its k-th DAG release).
+    pub fn slot_boundary(&self, k: u64) -> Nanos {
+        self.phase + Nanos(self.config.slot_duration().as_nanos() * k)
+    }
+
+    /// Number of whole slots this cell releases within `[phase, horizon)`.
+    pub fn slots_until(&self, horizon: Nanos) -> u64 {
+        let span = horizon.saturating_sub(self.phase).as_nanos();
+        span.div_ceil(self.config.slot_duration().as_nanos())
     }
 }
 
@@ -179,5 +239,53 @@ mod tests {
         let c = CellConfig::ul_only_20mhz();
         assert_eq!(c.peak_dl_bytes_per_slot(), 0.0);
         assert!(c.peak_ul_bytes_per_slot() > 0.0);
+    }
+
+    #[test]
+    fn cell_zero_has_zero_phase() {
+        let cfg = CellConfig::fdd_20mhz();
+        for n in 1..=8 {
+            assert_eq!(cfg.instance(0, n).phase, Nanos::ZERO);
+        }
+    }
+
+    #[test]
+    fn staggered_phases_interleave_within_one_slot() {
+        let cfg = CellConfig::tdd_100mhz();
+        let slot = cfg.slot_duration();
+        let n = 4;
+        let phases: Vec<Nanos> = (0..n).map(|id| cfg.instance(id, n).phase).collect();
+        for w in phases.windows(2) {
+            assert!(w[0] < w[1], "phases must be strictly increasing");
+        }
+        for p in &phases {
+            assert!(*p < slot, "phase {p} must stay inside one slot ({slot})");
+        }
+        // Even spread: cell k sits at k/n of a slot.
+        assert_eq!(phases[2], Nanos(slot.as_nanos() / 2));
+    }
+
+    #[test]
+    fn single_cell_stagger_is_aligned() {
+        let cfg = CellConfig::fdd_20mhz();
+        assert_eq!(
+            CellInstance::staggered(0, 1, cfg),
+            CellInstance::aligned(0, cfg)
+        );
+    }
+
+    #[test]
+    fn slot_boundaries_step_by_slot_duration() {
+        let cfg = CellConfig::tdd_100mhz();
+        let cell = cfg.instance(1, 4);
+        let slot = cfg.slot_duration();
+        assert_eq!(cell.slot_boundary(0), cell.phase);
+        assert_eq!(cell.slot_boundary(3), cell.phase + slot * 3);
+        // A staggered cell still fits `slots_until` whole releases before
+        // the horizon: the partial last slot counts because its boundary
+        // (the release instant) falls inside the horizon.
+        assert_eq!(cell.slots_until(cell.phase + slot * 10), 10);
+        assert_eq!(cell.slots_until(cell.phase + slot * 10 + Nanos(1)), 11);
+        assert_eq!(cell.slots_until(Nanos::ZERO), 0);
     }
 }

@@ -26,7 +26,7 @@ pub mod task;
 pub mod time;
 pub mod transport;
 
-pub use cell::{CellConfig, RanGeneration};
+pub use cell::{CellConfig, CellInstance, RanGeneration};
 pub use cost::CostModel;
 pub use dag::{build_dag, build_mac_dag, SlotDag, SlotWorkload, UeAlloc};
 pub use features::{extract, Feature, FeatureVec, NUM_FEATURES};

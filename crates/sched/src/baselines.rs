@@ -197,6 +197,7 @@ mod tests {
     fn utilization_scheduler_tracks_watermarks() {
         let mut s = UtilizationScheduler::new(0.6);
         let d = [DagProgress {
+            cell: 0,
             arrival: Nanos::ZERO,
             deadline: Nanos::from_millis(2),
             remaining_work: Nanos::from_micros(100),
@@ -219,6 +220,7 @@ mod tests {
         // does not grow the pool.
         let mut s = UtilizationScheduler::new(0.6);
         let d = [DagProgress {
+            cell: 0,
             arrival: Nanos::from_millis(1),
             deadline: Nanos::from_millis(3),
             remaining_work: Nanos::from_millis(2), // a huge burst

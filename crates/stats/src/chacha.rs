@@ -1,0 +1,187 @@
+//! ChaCha-based seed-stream derivation for the parallel experiment runner.
+//!
+//! A sweep of `N` independent runs needs `N` root seeds that are (a) a pure
+//! function of the sweep's master seed and the run index — so the report of
+//! run `i` is byte-identical no matter which worker thread executes it or in
+//! what order — and (b) statistically unrelated, so adjacent runs never
+//! share correlated RNG streams. SplitMix-style mixing (what [`crate::rng`]
+//! uses for *intra*-run forking) is fine for a handful of streams, but a
+//! sweep can burn thousands of adjacent indices; deriving them through the
+//! ChaCha block function gives full 512-bit diffusion per index at
+//! negligible cost (one block per seed, computed once per run).
+//!
+//! This is ChaCha used as a counter-mode PRF, not as a stream cipher — no
+//! security claim is made or needed; what matters is that it is a fixed,
+//! well-studied permutation that will never change under us, keeping every
+//! archived `SweepReport` reproducible forever.
+
+/// Number of double rounds (ChaCha12: 6 double rounds = 12 rounds).
+/// ChaCha8 already passes BigCrush; 12 is the common speed/diffusion
+/// compromise (the `StdRng` choice) and is far beyond what seed
+/// derivation needs.
+const DOUBLE_ROUNDS: usize = 6;
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+/// One ChaCha block: 256-bit key (here: the master seed repeated through
+/// SplitMix64 expansion), 64-bit block counter (the run index), 64-bit
+/// nonce (a domain-separation constant).
+fn chacha_block(key: [u32; 8], counter: u64, nonce: u64) -> [u32; 16] {
+    // "expand 32-byte k", the standard ChaCha constants.
+    let mut s: [u32; 16] = [
+        0x6170_7865,
+        0x3320_646e,
+        0x7962_2d32,
+        0x6b20_6574,
+        key[0],
+        key[1],
+        key[2],
+        key[3],
+        key[4],
+        key[5],
+        key[6],
+        key[7],
+        counter as u32,
+        (counter >> 32) as u32,
+        nonce as u32,
+        (nonce >> 32) as u32,
+    ];
+    let input = s;
+    for _ in 0..DOUBLE_ROUNDS {
+        // Column round.
+        quarter_round(&mut s, 0, 4, 8, 12);
+        quarter_round(&mut s, 1, 5, 9, 13);
+        quarter_round(&mut s, 2, 6, 10, 14);
+        quarter_round(&mut s, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut s, 0, 5, 10, 15);
+        quarter_round(&mut s, 1, 6, 11, 12);
+        quarter_round(&mut s, 2, 7, 8, 13);
+        quarter_round(&mut s, 3, 4, 9, 14);
+    }
+    for (o, i) in s.iter_mut().zip(input) {
+        *o = o.wrapping_add(i);
+    }
+    s
+}
+
+/// Expands a 64-bit master seed into a 256-bit ChaCha key via SplitMix64
+/// (the same expansion [`crate::rng::Rng::new`] uses for its state).
+fn expand_key(master: u64) -> [u32; 8] {
+    let mut sm = master;
+    let mut key = [0u32; 8];
+    for pair in key.chunks_mut(2) {
+        // Inline SplitMix64 step.
+        sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = sm;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        pair[0] = z as u32;
+        pair[1] = (z >> 32) as u32;
+    }
+    key
+}
+
+/// Domain-separation nonce for experiment-runner seed streams: derivations
+/// for other purposes must pick a different constant so the streams can
+/// never collide however the master seeds relate.
+const RUNNER_NONCE: u64 = 0x434f_4e43_5257_4e52; // "CONCRWNR"
+
+/// Derives the root seed for run `index` of a sweep keyed by `master`.
+///
+/// Pure function of `(master, index)`: the same pair yields the same seed
+/// on every thread, platform and execution order, which is what makes
+/// sweep reports byte-identical regardless of `--jobs`.
+pub fn derive_seed(master: u64, index: u64) -> u64 {
+    let block = chacha_block(expand_key(master), index, RUNNER_NONCE);
+    (block[0] as u64) | ((block[1] as u64) << 32)
+}
+
+/// The full seed stream for an `n`-run sweep, in run order.
+pub fn seed_stream(master: u64, n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| derive_seed(master, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_is_a_pure_function() {
+        for master in [0u64, 1, 42, u64::MAX] {
+            for index in [0u64, 1, 7, 1_000_000] {
+                assert_eq!(derive_seed(master, index), derive_seed(master, index));
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_indices_are_unrelated() {
+        // Full diffusion: seeds of adjacent runs share no obvious structure.
+        let seeds = seed_stream(1, 1000);
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 1000, "no collisions across a sweep");
+        // Hamming distance between adjacent seeds hovers around 32 bits.
+        let mean_hamming: f64 = seeds
+            .windows(2)
+            .map(|w| (w[0] ^ w[1]).count_ones() as f64)
+            .sum::<f64>()
+            / 999.0;
+        assert!(
+            (24.0..40.0).contains(&mean_hamming),
+            "mean hamming {mean_hamming}"
+        );
+    }
+
+    #[test]
+    fn different_masters_give_different_streams() {
+        let a = seed_stream(1, 64);
+        let b = seed_stream(2, 64);
+        let same = a.iter().zip(&b).filter(|(x, y)| x == y).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn master_zero_is_not_degenerate() {
+        // All-zero key material must still diffuse (the constants ensure
+        // the initial state is never all-zero).
+        let seeds = seed_stream(0, 16);
+        assert!(seeds.iter().all(|&s| s != 0));
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 16);
+    }
+
+    #[test]
+    fn stream_matches_per_index_derivation() {
+        // seed_stream is exactly the map of derive_seed — the runner may
+        // use either form and merge by index.
+        let stream = seed_stream(99, 32);
+        for (i, &s) in stream.iter().enumerate() {
+            assert_eq!(s, derive_seed(99, i as u64));
+        }
+    }
+
+    #[test]
+    fn derived_seeds_feed_decorrelated_rngs() {
+        use crate::rng::Rng;
+        let mut a = Rng::new(derive_seed(7, 0));
+        let mut b = Rng::new(derive_seed(7, 1));
+        let overlap = (0..256).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(overlap < 4, "overlap {overlap}");
+    }
+}

@@ -22,7 +22,10 @@
 //!   the linear-regression predictor baseline.
 //! * [`ring`] — the fixed-capacity ring buffer with O(1) amortized maximum
 //!   used for the 5 000-entry leaf sample buffers of Algorithm 2.
+//! * [`chacha`] — ChaCha-block seed derivation for the parallel experiment
+//!   runner (per-run root seeds as a pure function of master seed × index).
 
+pub mod chacha;
 pub mod dcor;
 pub mod evt;
 pub mod hist;

@@ -80,6 +80,23 @@ impl CellTraffic {
         }
     }
 
+    /// Creates the source for cell `cell_id` of a pooled deployment,
+    /// deriving its streams from the deployment-level `parent` generator.
+    ///
+    /// Two things decorrelate the cells: each gets its own forked stream
+    /// (keyed by id), and each is additionally warmed up by `cell_id` TTIs
+    /// so that even identically-seeded cells start at different points of
+    /// the burst process. Cell 0 performs no warm-up, so a one-cell
+    /// deployment reproduces the legacy single-cell traffic byte for byte.
+    pub fn for_cell(cell: CellConfig, cfg: TrafficConfig, cell_id: u32, parent: &Rng) -> Self {
+        let mut t = CellTraffic::new(cell, cfg, parent.fork(100 + cell_id as u64));
+        for _ in 0..cell_id {
+            t.ul_shape.next_tti();
+            t.dl_shape.next_tti();
+        }
+        t
+    }
+
     /// Demand in bytes for the next uplink slot.
     pub fn next_ul_bytes(&mut self) -> f64 {
         self.next_bytes(true)
@@ -299,6 +316,44 @@ mod tests {
             .sum::<f64>()
             / 500.0;
         assert!(large > small + 2.0, "small {small} large {large}");
+    }
+
+    #[test]
+    fn cells_with_same_seed_but_different_ids_emit_distinct_streams() {
+        let parent = Rng::new(77);
+        let cfg = TrafficConfig::default();
+        let mut a = CellTraffic::for_cell(CellConfig::fdd_20mhz(), cfg, 0, &parent);
+        let mut b = CellTraffic::for_cell(CellConfig::fdd_20mhz(), cfg, 1, &parent);
+        let n = 5_000;
+        let sa: Vec<f64> = (0..n).map(|_| a.next_ul_bytes()).collect();
+        let sb: Vec<f64> = (0..n).map(|_| b.next_ul_bytes()).collect();
+        assert_ne!(sa, sb, "two cells of one deployment must not be clones");
+        // Beyond mere inequality: unclamped nonzero demands should
+        // essentially never coincide, because the forked streams are
+        // decorrelated. (Slots pinned at the peak byte cap are excluded —
+        // saturation makes them equal by construction, not by correlation.)
+        let peak = CellConfig::fdd_20mhz().peak_ul_bytes_per_slot();
+        let coincide = sa
+            .iter()
+            .zip(&sb)
+            .filter(|(x, y)| **x > 0.0 && **x < peak && x == y)
+            .count();
+        assert!(coincide < n / 100, "{coincide} coincident nonzero slots");
+    }
+
+    #[test]
+    fn cell_zero_matches_legacy_stream_construction() {
+        // `for_cell(.., 0, parent)` must be byte-for-byte the legacy
+        // `new(.., parent.fork(100))` — the C=1 differential test and the
+        // golden reports depend on it.
+        let parent = Rng::new(42);
+        let cfg = TrafficConfig::default();
+        let mut a = CellTraffic::for_cell(CellConfig::tdd_100mhz(), cfg, 0, &parent);
+        let mut b = CellTraffic::new(CellConfig::tdd_100mhz(), cfg, parent.fork(100));
+        for _ in 0..2_000 {
+            assert_eq!(a.next_ul_bytes(), b.next_ul_bytes());
+            assert_eq!(a.next_dl_bytes(), b.next_dl_bytes());
+        }
     }
 
     #[test]
