@@ -54,6 +54,7 @@ fn motivation_configs() -> Vec<(String, SimConfig)> {
         faults: concordia_platform::faults::FaultPlan::none(),
         supervisor: None,
         trace: None,
+        reconfig: None,
     };
     vec![
         (

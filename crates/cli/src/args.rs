@@ -1,6 +1,6 @@
 //! Minimal dependency-free argument parsing for the `concordia` CLI.
 
-use concordia_core::{Colocation, PredictorChoice, SchedulerChoice, SimConfig};
+use concordia_core::{Colocation, PredictorChoice, ReconfigPlan, SchedulerChoice, SimConfig};
 use concordia_platform::faults::{FaultKind, FaultPlan};
 use concordia_platform::trace::TraceConfig;
 use concordia_platform::workloads::WorkloadKind;
@@ -42,6 +42,11 @@ OPTIONS:
   --no-stagger                align every cell's slot boundaries on one
                               global clock (default: boundaries interleave
                               evenly across one slot)
+  --reconfig PATH             apply a live reconfiguration plan (JSON
+                              ReconfigPlan) to the running experiment:
+                              typed steps land at slot boundaries under
+                              per-slot invariant checks with automatic
+                              rollback (single runs only)
   --repeat N                  run an N-run seed sweep instead of a single
                               experiment: per-run seeds derive from --seed
                               via the ChaCha stream, and --json writes a
@@ -224,6 +229,14 @@ pub fn parse(argv: &[String]) -> Result<Cli, CliError> {
             "--fpga" => cfg.fpga = true,
             "--mac" => cfg.mac_in_pool = true,
             "--peak" => cfg.peak_provisioning = true,
+            "--reconfig" => {
+                let path = value("--reconfig")?;
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| CliError(format!("--reconfig: cannot read '{path}': {e}")))?;
+                let plan: ReconfigPlan = serde_json::from_str(&text)
+                    .map_err(|e| CliError(format!("--reconfig: '{path}' is not a plan: {e}")))?;
+                cfg.reconfig = Some(plan);
+            }
             "--json" => json_path = Some(value("--json")?.clone()),
             "--trace" => {
                 trace_path = Some(value("--trace")?.clone());
@@ -251,6 +264,9 @@ pub fn parse(argv: &[String]) -> Result<Cli, CliError> {
     }
     if repeat > 1 && trace_path.is_some() {
         return err("--trace records a single run; drop it or use --repeat 1");
+    }
+    if repeat > 1 && cfg.reconfig.is_some() {
+        return err("--reconfig applies to a single run; drop it or use --repeat 1");
     }
     Ok(Cli {
         cfg,
@@ -445,6 +461,27 @@ mod tests {
         assert!(parse(&args("--repeat 0")).is_err());
         assert!(parse(&args("--jobs 0")).is_err());
         assert!(parse(&args("--repeat x")).is_err());
+    }
+
+    #[test]
+    fn reconfig_flag_loads_a_plan_file() {
+        use concordia_core::ReconfigStep;
+        let plan = ReconfigPlan::new(vec![
+            ReconfigStep::GrowPool { cores: 2 },
+            ReconfigStep::AddCell,
+        ]);
+        let path = std::env::temp_dir().join("concordia-args-reconfig-test.json");
+        std::fs::write(&path, serde_json::to_string(&plan).unwrap()).unwrap();
+        let arg = path.to_str().unwrap().to_string();
+        let Cli { cfg, .. } = parse(&["--reconfig".into(), arg.clone()]).unwrap();
+        let loaded = cfg.reconfig.expect("plan should be loaded");
+        assert_eq!(loaded.steps.len(), 2);
+        assert_eq!(loaded.steps[0], ReconfigStep::GrowPool { cores: 2 });
+        // A sweep cannot take a plan, and a missing file is a parse error.
+        assert!(parse(&["--repeat".into(), "2".into(), "--reconfig".into(), arg]).is_err());
+        assert!(parse(&args("--reconfig /nonexistent/plan.json")).is_err());
+        assert!(parse(&args("--reconfig")).is_err(), "missing value");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //!           [--load 0.0-1.0] [--secs N] [--seed N]
 //!           [--deadline-us N] [--fpga] [--mac] [--peak]
 //!           [--faults core_offline,accel_outage,...] [--json <path>]
+//!           [--reconfig <plan.json>]
 //! ```
 
 use concordia_core::runner::run_sweep_with_progress;
@@ -134,6 +135,34 @@ fn main() -> ExitCode {
                 None => String::new(),
             }
         );
+    }
+    if let Some(rc) = &report.reconfig {
+        println!(
+            "  reconfig: {}/{} steps committed | rollbacks {} | checks {} | \
+             final {} cells x {} cores{}",
+            rc.committed_steps,
+            rc.steps.len(),
+            rc.rollbacks,
+            rc.invariant_checks,
+            rc.final_cells,
+            rc.final_cores,
+            if rc.feasible {
+                ""
+            } else {
+                " | PLAN INFEASIBLE"
+            }
+        );
+        for s in rc.steps.iter().filter(|s| !s.committed) {
+            println!(
+                "    step {} NOT committed after {} attempts{}",
+                s.step,
+                s.attempts,
+                match &s.violation {
+                    Some(v) => format!(": {v}"),
+                    None => String::new(),
+                }
+            );
+        }
     }
     if !report.five_nines() {
         println!("  WARNING: below 99.999% reliability");

@@ -151,6 +151,11 @@ pub struct SimConfig {
     /// nothing and adds no hot-path work; `Some` turns on the ring-buffer
     /// recorder, which by contract never perturbs simulation results.
     pub trace: Option<TraceConfig>,
+    /// Live reconfiguration plan applied to the running simulation at slot
+    /// boundaries, under per-slot invariant checking with automatic
+    /// rollback. `None` (and an empty plan) mean a static configuration
+    /// for the whole run, byte-identical to the pre-reconfig behaviour.
+    pub reconfig: Option<crate::reconfig::ReconfigPlan>,
 }
 
 impl SimConfig {
@@ -177,6 +182,7 @@ impl SimConfig {
             faults: FaultPlan::none(),
             supervisor: None,
             trace: None,
+            reconfig: None,
         }
     }
 
@@ -236,5 +242,18 @@ mod tests {
         let back: SimConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back.n_cells, 2);
         assert_eq!(back.scheduler.name(), "concordia");
+    }
+
+    #[test]
+    fn config_without_reconfig_key_deserializes() {
+        // Pre-reconfig config files have no "reconfig" key; a missing key
+        // reads as null, which an Option maps to None.
+        let json = serde_json::to_string(&SimConfig::paper_100mhz()).unwrap();
+        let stripped = json
+            .replace(",\"reconfig\":null", "")
+            .replace(", \"reconfig\": null", "");
+        assert_ne!(json, stripped, "the reconfig key must have been present");
+        let back: SimConfig = serde_json::from_str(&stripped).unwrap();
+        assert!(back.reconfig.is_none());
     }
 }

@@ -552,6 +552,9 @@ impl LegacySimulation {
             fault: self.fault_report(),
             supervisor: self.supervisor_report(),
             trace: self.pool.trace_summary(),
+            // The legacy path predates live reconfiguration and never
+            // runs a plan.
+            reconfig: None,
         }
     }
 

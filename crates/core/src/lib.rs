@@ -11,6 +11,9 @@
 //!   (§4.2, §5).
 //! * [`sim`] — the online slot loop: traffic → DAGs → predictions →
 //!   scheduling → execution → online adaptation.
+//! * [`reconfig`] — live reconfiguration: typed step plans applied to a
+//!   running simulation under per-slot invariant checking, with automatic
+//!   rollback and safe-order search.
 //! * [`report`] — serializable experiment reports.
 //! * [`experiments`] — canned sweeps and searches used by the per-figure
 //!   bench harness (min-cores search, load sweep, deadline sweep,
@@ -20,11 +23,17 @@ pub mod config;
 pub mod experiments;
 pub mod legacy;
 pub mod profile;
+pub mod reconfig;
 pub mod report;
 pub mod runner;
 pub mod sim;
 
 pub use config::{Colocation, PredictorChoice, SchedulerChoice, SimConfig};
-pub use report::{ExperimentReport, FaultReport, FaultWindowReport, WorkloadReport};
+pub use reconfig::{
+    search_safe_order, InvariantConfig, ReconfigPlan, ReconfigStep, SearchConfig, SearchReport,
+};
+pub use report::{
+    ExperimentReport, FaultReport, FaultWindowReport, ReconfigReport, WorkloadReport,
+};
 pub use runner::{run_parallel, run_sweep, SweepReport};
 pub use sim::{run_experiment, Simulation};

@@ -108,6 +108,48 @@ pub struct SupervisorReport {
     pub lanes_on_fallback: u64,
 }
 
+/// Per-step outcome of a live reconfiguration plan, in plan order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StepOutcome {
+    /// Step name (`ReconfigStep::name`).
+    pub step: String,
+    /// Apply attempts (first try + retries after rollback).
+    pub attempts: u32,
+    /// Rollbacks of this step (invariant violations during its settle
+    /// window).
+    pub rollbacks: u32,
+    /// Whether the step ultimately committed.
+    pub committed: bool,
+    /// Global slot of the last apply attempt (0 when never applied).
+    pub applied_slot: u64,
+    /// Global slot at which the step committed, when it did.
+    pub committed_slot: Option<u64>,
+    /// Last invariant violated (or apply error) that rolled the step back.
+    pub violation: Option<String>,
+}
+
+/// Outcome of a live reconfiguration plan executed against a running
+/// simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReconfigReport {
+    /// Per-step accounting, in plan order.
+    pub steps: Vec<StepOutcome>,
+    /// Steps that committed.
+    pub committed_steps: u64,
+    /// Total rollbacks across the plan.
+    pub rollbacks: u64,
+    /// Per-slot invariant evaluations performed during settle windows.
+    pub invariant_checks: u64,
+    /// `true` when every step committed; `false` when a step exhausted its
+    /// retries (the plan is infeasible in this order) or the run ended
+    /// mid-transition.
+    pub feasible: bool,
+    /// Active cells when the run ended.
+    pub final_cells: u32,
+    /// Pool core capacity when the run ended.
+    pub final_cores: u32,
+}
+
 /// Outcome of one end-to-end experiment.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExperimentReport {
@@ -141,6 +183,10 @@ pub struct ExperimentReport {
     /// field is the only edit needed to compare a traced report against an
     /// untraced one — the metrics themselves are identical by contract.
     pub trace: Option<TraceSummary>,
+    /// Live-reconfiguration outcome, when the run executed a non-empty
+    /// [`crate::reconfig::ReconfigPlan`]. An empty (or absent) plan leaves
+    /// this `None`, which keeps such a run byte-identical to a plain one.
+    pub reconfig: Option<ReconfigReport>,
 }
 
 impl ExperimentReport {
@@ -219,6 +265,7 @@ mod tests {
             fault: None,
             supervisor: None,
             trace: None,
+            reconfig: None,
         }
     }
 
@@ -269,6 +316,35 @@ mod tests {
         assert!(w.recovered());
         w.reliability_after = 0.99;
         assert!(!w.recovered());
+    }
+
+    #[test]
+    fn reconfig_report_serializes() {
+        let mut r = dummy();
+        r.reconfig = Some(ReconfigReport {
+            steps: vec![StepOutcome {
+                step: "grow_pool".into(),
+                attempts: 2,
+                rollbacks: 1,
+                committed: true,
+                applied_slot: 120,
+                committed_slot: Some(160),
+                violation: Some("deadline_misses: 3 new in 10 slots".into()),
+            }],
+            committed_steps: 1,
+            rollbacks: 1,
+            invariant_checks: 80,
+            feasible: true,
+            final_cells: 5,
+            final_cores: 6,
+        });
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ExperimentReport = serde_json::from_str(&json).unwrap();
+        let rc = back.reconfig.expect("reconfig report survives");
+        assert_eq!(rc.steps.len(), 1);
+        assert!(rc.feasible);
+        assert_eq!(rc.steps[0].committed_slot, Some(160));
+        assert_eq!(rc.steps[0].rollbacks, 1);
     }
 
     #[test]

@@ -12,8 +12,9 @@
 //! a single cell) all cells collapse into one group and the loop is
 //! event-for-event identical to the retained [`crate::legacy`] path.
 
-use crate::config::{Colocation, SchedulerChoice, SimConfig};
-use crate::profile::{profile, train_bank, train_supervisor};
+use crate::config::{Colocation, PredictorChoice, SchedulerChoice, SimConfig};
+use crate::profile::{profile, train_bank, train_supervisor, ProfilingDataset};
+use crate::reconfig::{ReconfigEngine, ReconfigStep, SlotObservables, StepUndo};
 use crate::report::{
     BackpressureReport, ExperimentReport, FaultReport, FaultWindowReport, SupervisorReport,
     WorkloadReport,
@@ -76,6 +77,15 @@ pub struct Simulation {
     /// the ones that never reach the pool's own timeline) are currently
     /// inside an active window, for edge-detected trace events.
     workload_fault_active: [bool; 2],
+    /// The profiling dataset, retained only when a reconfiguration plan
+    /// may hot-swap the predictor (`SwapPredictor` retrains from it).
+    dataset: Option<ProfilingDataset>,
+    /// The live-reconfiguration engine; present only for a non-empty
+    /// plan, so plain runs skip the hook entirely.
+    reconfig: Option<ReconfigEngine>,
+    /// Cells configured at start; cells with ids at or above this were
+    /// added at runtime by `AddCell`.
+    initial_cells: u32,
 }
 
 /// Workload-level fault kinds the sim (not the pool) traces, paired with
@@ -213,6 +223,16 @@ impl Simulation {
         let guards = (0..cfg.n_cells.max(1))
             .map(|_| MispredictionGuard::default())
             .collect();
+        // A non-empty reconfiguration plan arms the engine and keeps the
+        // profiling dataset alive for predictor hot-swaps; otherwise both
+        // stay `None` and the slot loop is exactly the static one.
+        let reconfig = cfg
+            .reconfig
+            .clone()
+            .filter(|p| !p.steps.is_empty())
+            .map(ReconfigEngine::new);
+        let dataset = reconfig.is_some().then_some(dataset);
+        let initial_cells = cfg.n_cells;
         let mut sim = Simulation {
             cfg,
             cost,
@@ -233,6 +253,9 @@ impl Simulation {
             last_traced_inflation: 1.0,
             last_traced_admission: AdmissionLevel::Normal,
             workload_fault_active: [false; 2],
+            dataset,
+            reconfig,
+            initial_cells,
         };
         if let Some(tc) = sim.cfg.trace {
             sim.pool.enable_trace(tc);
@@ -371,9 +394,11 @@ impl Simulation {
     fn run_to_completion(&mut self) {
         let slot_dur = self.cfg.cell.slot_duration();
         let n_slots = self.cfg.duration.as_nanos() / slot_dur.as_nanos();
-        let groups = self.boundary_groups.clone();
 
         for slot in 0..n_slots {
+            // Re-snapshot per slot: a committed reconfiguration step may
+            // have changed the membership or phases since the last slot.
+            let groups = self.boundary_groups.clone();
             let t0 = Nanos(slot * slot_dur.as_nanos());
             // Within one global slot the pool advances boundary by
             // boundary: each phase group gets the full event cycle
@@ -447,11 +472,29 @@ impl Simulation {
                         .record_window_snapshot((slot + 1) / every, self.max_guard_inflation());
                 }
             }
+
+            // Live reconfiguration: the engine observes the finished slot,
+            // checks the in-flight step's invariants (rolling back on a
+            // violation) and applies/commits steps at slot boundaries.
+            if self.reconfig.is_some() {
+                self.reconfig_slot_end(slot);
+            }
         }
         // Drain the tail of the last slots.
         self.pool
             .run_until(self.cfg.duration + self.cfg.cell.deadline);
         self.pool.flush_accounting();
+        if let Some(eng) = self.reconfig.as_mut() {
+            eng.finalize();
+        }
+    }
+
+    /// Take/put dance around the engine so it can borrow the sim mutably.
+    fn reconfig_slot_end(&mut self, slot: u64) {
+        if let Some(mut eng) = self.reconfig.take() {
+            eng.on_slot_end(self, slot);
+            self.reconfig = Some(eng);
+        }
     }
 
     /// Edge-detects workload-level fault windows (predictor bias, traffic
@@ -600,6 +643,285 @@ impl Simulation {
         }
     }
 
+    // --- live-reconfiguration hooks (driven by `reconfig::ReconfigEngine`,
+    // one call per global slot boundary) ---
+
+    /// What the invariant monitor sees at a slot boundary.
+    pub(crate) fn reconfig_observe(&self) -> SlotObservables {
+        let m = self.pool.metrics();
+        let mut conservation_violation = None;
+        for (c, ledger) in m.per_cell.iter().enumerate() {
+            let in_flight = self.pool.active_dags_for_cell(c as u32) as u64;
+            if ledger.injected != ledger.completed + in_flight {
+                conservation_violation = Some(c as u32);
+                break;
+            }
+        }
+        SlotObservables {
+            violations: m.slots.violations(),
+            max_guard_inflation: self.max_guard_inflation(),
+            conservation_violation,
+        }
+    }
+
+    /// In-flight slot DAGs of one cell (gates a `DrainCell` commit).
+    pub(crate) fn cell_in_flight(&self, cell: u32) -> usize {
+        self.pool.active_dags_for_cell(cell)
+    }
+
+    /// Pre-step guard snapshot (guards are plain value types).
+    pub(crate) fn guards_snapshot(&self) -> Vec<MispredictionGuard> {
+        self.guards.clone()
+    }
+
+    /// Restores a guard snapshot after a rollback. A guard pushed since
+    /// the snapshot (a rolled-back `AddCell`) keeps its fresh state — it
+    /// belongs to the now-draining cell and starts disengaged anyway.
+    pub(crate) fn restore_guards(&mut self, snapshot: Vec<MispredictionGuard>) {
+        for (i, g) in snapshot.into_iter().enumerate() {
+            if let Some(slot) = self.guards.get_mut(i) {
+                *slot = g;
+            }
+        }
+    }
+
+    pub(crate) fn trace_reconfig(&mut self, ev: TraceEvent) {
+        if self.pool.trace_enabled() {
+            self.pool.record_trace_event(ev);
+        }
+    }
+
+    /// Applies one reconfiguration step, returning its inverse. An `Err`
+    /// means nothing changed (validation failed or the step is
+    /// unsupported in this configuration).
+    pub(crate) fn reconfig_apply(&mut self, step: &ReconfigStep) -> Result<StepUndo, String> {
+        match *step {
+            ReconfigStep::AddCell => {
+                let cell = self.add_cell();
+                Ok(StepUndo::DrainAdded { cell })
+            }
+            ReconfigStep::DrainCell { cell } => {
+                self.drain_cell(cell)?;
+                Ok(StepUndo::Resume { cell })
+            }
+            ReconfigStep::GrowPool { cores } => {
+                if cores == 0 {
+                    return Err("grow_pool: zero cores".to_string());
+                }
+                self.pool.grow_pool(cores);
+                Ok(StepUndo::ShrinkBack { cores })
+            }
+            ReconfigStep::ShrinkPool { cores } => {
+                if cores == 0 {
+                    return Err("shrink_pool: zero cores".to_string());
+                }
+                let retired = self.pool.shrink_pool(cores);
+                if retired == 0 {
+                    return Err("shrink_pool: cannot shrink below one core".to_string());
+                }
+                Ok(StepUndo::GrowBack { cores: retired })
+            }
+            ReconfigStep::SwapPredictor { predictor } => {
+                let prev = self.swap_predictor(predictor)?;
+                Ok(StepUndo::SwapBack { predictor: prev })
+            }
+            ReconfigStep::Rephase { stagger } => {
+                let (prev_stagger, phases) = self.rephase(stagger);
+                Ok(StepUndo::RestorePhases {
+                    stagger: prev_stagger,
+                    phases,
+                })
+            }
+            ReconfigStep::SetDeadline { deadline_us } => {
+                if deadline_us == 0 {
+                    return Err("set_deadline: zero deadline".to_string());
+                }
+                let (deadline, override_prev) = self.set_deadline(Nanos::from_micros(deadline_us));
+                Ok(StepUndo::RestoreDeadline {
+                    deadline,
+                    override_prev,
+                })
+            }
+        }
+    }
+
+    /// Reverts an applied step (rollback path).
+    pub(crate) fn reconfig_undo(&mut self, undo: StepUndo) {
+        match undo {
+            // The added cell drains; its in-flight DAGs flush naturally,
+            // so the rollback itself cannot lose work.
+            StepUndo::DrainAdded { cell } => {
+                let _ = self.drain_cell(cell);
+            }
+            StepUndo::Resume { cell } => self.resume_cell(cell),
+            StepUndo::ShrinkBack { cores } => {
+                self.pool.shrink_pool(cores);
+            }
+            StepUndo::GrowBack { cores } => {
+                self.pool.grow_pool(cores);
+            }
+            StepUndo::SwapBack { predictor } => {
+                let _ = self.swap_predictor(predictor);
+            }
+            StepUndo::RestorePhases { stagger, phases } => {
+                self.cfg.cell_stagger = stagger;
+                for (id, phase) in phases {
+                    if let Some(c) = self.cells.iter_mut().find(|c| c.id == id) {
+                        c.phase = phase;
+                    }
+                }
+                self.rebuild_boundary_groups();
+            }
+            StepUndo::RestoreDeadline {
+                deadline,
+                override_prev,
+            } => {
+                self.cfg.cell.deadline = deadline;
+                self.cfg.deadline_override = override_prev;
+            }
+        }
+    }
+
+    /// Recomputes the phase groups from the currently *active* cells.
+    /// Draining cells drop out (no new DAGs); everything else keeps the
+    /// id-ordered injection the groups were built with.
+    fn rebuild_boundary_groups(&mut self) {
+        let mut groups: Vec<(Nanos, Vec<u32>)> = Vec::new();
+        for cell in self.cells.iter().filter(|c| c.is_active()) {
+            match groups.iter_mut().find(|(p, _)| *p == cell.phase) {
+                Some((_, group)) => group.push(cell.id),
+                None => groups.push((cell.phase, vec![cell.id])),
+            }
+        }
+        groups.sort_by_key(|(p, _)| *p);
+        self.boundary_groups = groups;
+    }
+
+    /// Brings one more cell into the deployment and returns its id. A
+    /// previously added-then-drained cell is re-activated in place (a
+    /// rolled-back `AddCell` retried later); otherwise a new cell takes
+    /// the next id, a phase strictly between the existing stagger points
+    /// and the next slot boundary, and a traffic stream derived from the
+    /// root seed exactly as an initial cell's would be.
+    fn add_cell(&mut self) -> u32 {
+        if let Some(pos) = (0..self.cells.len())
+            .find(|&i| !self.cells[i].is_active() && self.cells[i].id >= self.initial_cells)
+        {
+            let id = self.cells[pos].id;
+            self.cells[pos].resume();
+            self.rebuild_boundary_groups();
+            return id;
+        }
+        let id = self.cells.len() as u32;
+        let inst = if self.cfg.cell_stagger {
+            // Phase id/(id+1) of a slot: strictly later than every initial
+            // cell's k/n_cells phase, still inside one slot.
+            CellInstance::staggered(id, id + 1, self.cfg.cell)
+        } else {
+            CellInstance::aligned(id, self.cfg.cell)
+        };
+        self.cells.push(inst);
+        self.guards.push(MispredictionGuard::default());
+        let root = Rng::new(self.cfg.seed);
+        self.traffic.push(CellTraffic::for_cell(
+            self.cfg.cell,
+            TrafficConfig {
+                load: self.cfg.load,
+                mean_at_full: if self.cfg.peak_provisioning {
+                    0.95
+                } else {
+                    0.5
+                },
+            },
+            id,
+            &root,
+        ));
+        self.rebuild_boundary_groups();
+        id
+    }
+
+    /// Stops releasing new DAGs for `cell`. In-flight DAGs keep running;
+    /// the engine gates the step's commit on them flushing.
+    fn drain_cell(&mut self, cell: u32) -> Result<(), String> {
+        let Some(pos) = self.cells.iter().position(|c| c.id == cell) else {
+            return Err(format!("drain_cell: cell {cell} does not exist"));
+        };
+        if !self.cells[pos].is_active() {
+            return Err(format!("drain_cell: cell {cell} is already draining"));
+        }
+        if self.cells.iter().filter(|c| c.is_active()).count() <= 1 {
+            return Err("drain_cell: cannot drain the last active cell".to_string());
+        }
+        self.cells[pos].begin_drain();
+        self.rebuild_boundary_groups();
+        Ok(())
+    }
+
+    fn resume_cell(&mut self, cell: u32) {
+        if let Some(c) = self.cells.iter_mut().find(|c| c.id == cell) {
+            c.resume();
+        }
+        self.rebuild_boundary_groups();
+    }
+
+    /// Hot-swaps the serving predictor by retraining the bank from the
+    /// retained profiling dataset. Returns the previous choice for undo.
+    fn swap_predictor(&mut self, choice: PredictorChoice) -> Result<PredictorChoice, String> {
+        if self.supervisor.is_some() {
+            return Err(
+                "swap_predictor: the supervisor control plane owns the serving models".to_string(),
+            );
+        }
+        let Some(ds) = self.dataset.as_ref() else {
+            return Err("swap_predictor: profiling dataset not retained".to_string());
+        };
+        let prev = self.cfg.predictor;
+        self.bank = train_bank(ds, choice, &self.cost);
+        self.cfg.predictor = choice;
+        // A freshly trained bank must not inherit inflation the guards
+        // earned against its predecessor (same contract as a supervisor
+        // swap).
+        for g in &mut self.guards {
+            g.reset();
+        }
+        Ok(prev)
+    }
+
+    /// Recomputes every active cell's phase: staggered evenly over one
+    /// slot by active rank, or all aligned on the epoch. Returns the
+    /// previous stagger flag and phases for undo.
+    fn rephase(&mut self, stagger: bool) -> (bool, Vec<(u32, Nanos)>) {
+        let prev_stagger = self.cfg.cell_stagger;
+        let prev: Vec<(u32, Nanos)> = self.cells.iter().map(|c| (c.id, c.phase)).collect();
+        let slot = self.cfg.cell.slot_duration().as_nanos();
+        let active: Vec<usize> = (0..self.cells.len())
+            .filter(|&i| self.cells[i].is_active())
+            .collect();
+        let n = active.len().max(1) as u64;
+        for (rank, &i) in active.iter().enumerate() {
+            self.cells[i].phase = if stagger {
+                Nanos(slot * (rank as u64 % n) / n)
+            } else {
+                Nanos::ZERO
+            };
+        }
+        self.cfg.cell_stagger = stagger;
+        self.rebuild_boundary_groups();
+        (prev_stagger, prev)
+    }
+
+    /// Changes the DAG deadline for every subsequently released DAG.
+    /// Returns the previous cell deadline and override for undo.
+    fn set_deadline(&mut self, deadline: Nanos) -> (Nanos, Option<Nanos>) {
+        let prev = self.cfg.cell.deadline;
+        let override_prev = self.cfg.deadline_override;
+        self.cfg.cell.deadline = deadline;
+        // Keep `SimConfig::deadline()` — what the report prints — in step
+        // with the live value.
+        self.cfg.deadline_override = Some(deadline);
+        (prev, override_prev)
+    }
+
     fn report(&self) -> ExperimentReport {
         let summary = self
             .pool
@@ -624,6 +946,12 @@ impl Simulation {
             fault: self.fault_report(),
             supervisor: self.supervisor_report(),
             trace: self.pool.trace_summary(),
+            reconfig: self.reconfig.as_ref().map(|e| {
+                e.report(
+                    self.cells.iter().filter(|c| c.is_active()).count() as u32,
+                    self.pool.capacity(),
+                )
+            }),
         }
     }
 

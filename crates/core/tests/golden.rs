@@ -13,7 +13,7 @@
 //!
 //! and review the JSON diff like any other code change.
 
-use concordia_core::{Colocation, SchedulerChoice, SimConfig};
+use concordia_core::{Colocation, ReconfigPlan, ReconfigStep, SchedulerChoice, SimConfig};
 use concordia_platform::faults::{FaultKind, FaultPlan};
 use concordia_platform::workloads::WorkloadKind;
 use concordia_ran::time::Nanos;
@@ -86,4 +86,35 @@ fn golden_flexran_two_cells_core_loss() {
     cfg.scheduler = SchedulerChoice::FlexRan;
     cfg.faults = FaultPlan::chaos(&[FaultKind::CoreOffline], cfg.duration);
     check("flexran_two_cells_core_loss", cfg);
+}
+
+/// Pair 4: a three-step live reconfiguration at C=4 — pins the whole
+/// transition machinery as bytes: apply/settle/commit slots, the
+/// `ReconfigReport` section, and the reshaped deployment's metrics.
+#[test]
+fn golden_reconfig_three_step_c4() {
+    let mut cfg = base(4, 13);
+    let mut plan = ReconfigPlan::new(vec![
+        ReconfigStep::GrowPool { cores: 2 },
+        ReconfigStep::AddCell,
+        ReconfigStep::DrainCell { cell: 1 },
+    ]);
+    plan.start_slot = 60;
+    plan.settle_slots = 30;
+    plan.max_retries = 1;
+    plan.backoff_slots = 10;
+    cfg.reconfig = Some(plan);
+    check("reconfig_three_step_c4", cfg);
+}
+
+/// Differential: an *empty* reconfiguration plan must not change a single
+/// byte of the report — the engine only engages for non-empty plans, so a
+/// no-op plan and a plain run are the same experiment.
+#[test]
+fn empty_reconfig_plan_is_byte_identical_to_plain_run() {
+    let plain = concordia_core::run_experiment(base(2, 7)).to_canonical_json();
+    let mut cfg = base(2, 7);
+    cfg.reconfig = Some(ReconfigPlan::new(Vec::new()));
+    let noop = concordia_core::run_experiment(cfg).to_canonical_json();
+    assert_eq!(plain, noop, "an empty plan must be a byte-level no-op");
 }

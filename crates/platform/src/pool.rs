@@ -111,6 +111,11 @@ struct Core {
     /// Taken offline by fault injection: cannot be granted until the fault
     /// window clears.
     faulted: bool,
+    /// Retired by a runtime pool shrink: permanently out of service (never
+    /// granted, never counted in capacity) until a later grow revives the
+    /// slot. Kept in place so core indices — and with them per-core
+    /// accounting, epochs and trace tracks — stay stable.
+    retired: bool,
 }
 
 #[derive(Debug)]
@@ -263,6 +268,7 @@ impl VranPool {
                 acct_since: Nanos::ZERO,
                 release_pending: false,
                 faulted: false,
+                retired: false,
             })
             .collect();
         VranPool {
@@ -395,9 +401,111 @@ impl VranPool {
         self.faults = timeline;
     }
 
-    /// Cores currently offline due to fault injection.
+    /// Cores currently offline due to fault injection. Retired cores are
+    /// already outside the capacity, so a core that is both faulted and
+    /// retired is not counted twice against the pool.
     pub fn offline_cores(&self) -> u32 {
-        self.cores.iter().filter(|c| c.faulted).count() as u32
+        self.cores
+            .iter()
+            .filter(|c| c.faulted && !c.retired)
+            .count() as u32
+    }
+
+    /// Worker cores currently in service (not retired by a runtime shrink).
+    /// Equals the configured core count until the first [`Self::shrink_pool`].
+    pub fn capacity(&self) -> u32 {
+        self.cores.iter().filter(|c| !c.retired).count() as u32
+    }
+
+    /// Runtime reconfiguration: adds `n` worker cores. Retired non-faulted
+    /// slots are revived first — index stability keeps per-core epochs,
+    /// accounting spans and trace tracks meaningful — and any remainder is
+    /// appended as fresh released cores. Returns the new capacity.
+    pub fn grow_pool(&mut self, n: u32) -> u32 {
+        let now = self.now;
+        let mut left = n;
+        for c in self.cores.iter_mut() {
+            if left == 0 {
+                break;
+            }
+            if c.retired && !c.faulted {
+                c.retired = false;
+                left -= 1;
+            }
+        }
+        for _ in 0..left {
+            self.cores.push(Core {
+                state: CoreState::Released,
+                epoch: 0,
+                held_since: now,
+                acct_since: now,
+                release_pending: false,
+                faulted: false,
+                retired: false,
+            });
+        }
+        let capacity = self.capacity();
+        self.trace_event(TraceEvent::PoolResize {
+            capacity,
+            delta: n as i32,
+        });
+        self.reallocate();
+        self.dispatch();
+        capacity
+    }
+
+    /// Runtime reconfiguration: retires up to `n` cores, never shrinking
+    /// below one usable core. Highest indices go first (low indices keep
+    /// serving, mirroring fault injection's choice). A core that is already
+    /// `Released` — including one a fault window has taken down — is
+    /// retired *in place* without a second release: the degraded-mode
+    /// interaction where shrinking a fault-lost core must not double-flush
+    /// its accounting or double-release it. Busy cores finish their current
+    /// task first through the deferred-release path. Returns how many cores
+    /// were actually retired.
+    pub fn shrink_pool(&mut self, n: u32) -> u32 {
+        let max = self.capacity().saturating_sub(1).min(n);
+        let mut retired = 0u32;
+        for i in (0..self.cores.len()).rev() {
+            if retired == max {
+                break;
+            }
+            if self.cores[i].retired {
+                continue;
+            }
+            match self.cores[i].state {
+                // Already out of service (idle or fault-lost): no release
+                // to perform, just mark the slot retired.
+                CoreState::Released => {}
+                CoreState::Busy { .. } => {
+                    self.cores[i].release_pending = true;
+                }
+                CoreState::Spinning | CoreState::Waking => {
+                    self.release_core(i as u32);
+                }
+            }
+            self.cores[i].retired = true;
+            retired += 1;
+        }
+        if retired > 0 {
+            let capacity = self.capacity();
+            self.trace_event(TraceEvent::PoolResize {
+                capacity,
+                delta: -(retired as i32),
+            });
+            self.reallocate();
+            self.dispatch();
+        }
+        retired
+    }
+
+    /// Incomplete DAGs belonging to `cell` (drain-flush bookkeeping).
+    pub fn active_dags_for_cell(&self, cell: u32) -> usize {
+        self.dags
+            .iter()
+            .flatten()
+            .filter(|d| d.sched.dag.cell_id == cell)
+            .count()
     }
 
     /// Sets the aggregate cache and kernel pressures of the active
@@ -735,9 +843,9 @@ impl VranPool {
     /// the whole pool). Highest indices go first: every index scan in the
     /// pool prefers low indices, so the survivors keep serving.
     fn take_cores_offline(&mut self, window: usize, severity: f64) {
-        let total = self.cores.len();
-        let online: Vec<u32> = (0..total)
-            .filter(|&i| !self.cores[i].faulted)
+        let total = self.capacity() as usize;
+        let online: Vec<u32> = (0..self.cores.len())
+            .filter(|&i| !self.cores[i].faulted && !self.cores[i].retired)
             .map(|i| i as u32)
             .collect();
         let want = ((severity * total as f64).ceil() as usize).max(1);
@@ -1048,7 +1156,9 @@ impl VranPool {
         let dags = self.build_progress();
         // Degraded mode: advertise only surviving cores so the scheduler
         // recomputes its federated allocation over what actually exists.
-        let surviving = self.cfg.cores.saturating_sub(self.offline_cores());
+        // Capacity (not the configured core count) is the baseline, so a
+        // runtime grow/shrink reshapes the allocation the same way.
+        let surviving = self.capacity().saturating_sub(self.offline_cores());
         let view = PoolView {
             now: self.now,
             total_cores: surviving,
@@ -1082,11 +1192,13 @@ impl VranPool {
         let mut effective = self.effective_granted();
 
         // Grow: first cancel pending releases, then wake released cores.
+        // Retired cores are out of service: their deferred releases stay
+        // deferred and they are never woken.
         while effective < target {
             if let Some(i) = self
                 .cores
                 .iter()
-                .position(|c| c.release_pending && c.state != CoreState::Released)
+                .position(|c| c.release_pending && c.state != CoreState::Released && !c.retired)
             {
                 self.cores[i].release_pending = false;
                 effective += 1;
@@ -1095,7 +1207,7 @@ impl VranPool {
             match self
                 .cores
                 .iter()
-                .position(|c| c.state == CoreState::Released && !c.faulted)
+                .position(|c| c.state == CoreState::Released && !c.faulted && !c.retired)
             {
                 Some(i) => {
                     self.wake_core(i as u32);
@@ -1194,6 +1306,7 @@ impl VranPool {
         let c = &mut self.cores[core as usize];
         debug_assert_eq!(c.state, CoreState::Released);
         debug_assert!(!c.faulted, "faulted cores are never woken");
+        debug_assert!(!c.retired, "retired cores are never woken");
         self.metrics.besteffort_core_time += now.saturating_sub(c.acct_since);
         c.acct_since = now;
         c.epoch += 1;
@@ -1247,7 +1360,7 @@ impl VranPool {
         let released = self
             .cores
             .iter()
-            .position(|c| c.state == CoreState::Released && !c.faulted);
+            .position(|c| c.state == CoreState::Released && !c.faulted && !c.retired);
         if let (Some(s), Some(r)) = (spinning, released) {
             self.release_core(s as u32);
             self.wake_core(r as u32);
@@ -1595,6 +1708,77 @@ mod tests {
         assert!(pool.offline_cores() <= 1, "whole pool taken offline");
         pool.run_until(Nanos::from_millis(40));
         assert_eq!(pool.active_dags(), 0);
+    }
+
+    #[test]
+    fn shrink_never_drops_below_one_core() {
+        let mut pool = pool_with(2);
+        assert_eq!(pool.shrink_pool(5), 1);
+        assert_eq!(pool.capacity(), 1);
+        assert_eq!(pool.shrink_pool(1), 0);
+        assert_eq!(pool.capacity(), 1);
+        pool.inject_dag(test_dag(Nanos::ZERO, 6_000, 2));
+        pool.run_until(Nanos::from_millis(20));
+        assert_eq!(pool.active_dags(), 0, "last core must still make progress");
+    }
+
+    #[test]
+    fn grow_revives_retired_slots_before_appending() {
+        let mut pool = pool_with(4);
+        assert_eq!(pool.shrink_pool(2), 2);
+        assert_eq!(pool.capacity(), 2);
+        // Growing by 3 revives the two retired slots and appends one new
+        // core; core indices stay stable throughout.
+        assert_eq!(pool.grow_pool(3), 5);
+        assert_eq!(pool.capacity(), 5);
+        pool.inject_dag(test_dag(Nanos::ZERO, 10_000, 4));
+        pool.run_until(Nanos::from_millis(20));
+        assert_eq!(pool.active_dags(), 0);
+    }
+
+    #[test]
+    fn shrink_mid_run_defers_busy_cores_and_loses_no_work() {
+        let mut pool = pool_with(4);
+        for k in 0..6 {
+            let t = Nanos::from_micros(500 * k);
+            pool.run_until(t);
+            pool.inject_dag(test_dag(t, 8_000, 3));
+        }
+        // Mid-run: busy cores get a deferred release, not a second one.
+        assert_eq!(pool.shrink_pool(2), 2);
+        assert_eq!(pool.capacity(), 2);
+        pool.run_until(Nanos::from_millis(40));
+        assert_eq!(pool.active_dags(), 0, "work lost across runtime shrink");
+        assert_eq!(pool.metrics().slots.count(), 6);
+        assert!(pool.granted_cores() <= pool.capacity());
+    }
+
+    #[test]
+    fn shrink_while_core_fault_lost_does_not_double_release() {
+        // Regression: a core taken offline by a fault is already Released;
+        // retiring it during the fault window must retire it in place
+        // rather than releasing it a second time, and the later restore
+        // must not bring a retired core back into service.
+        let mut pool = pool_with(4);
+        pool.set_fault_timeline(fixed_timeline(FaultKind::CoreOffline, 200, 30_000, 0.5));
+        for k in 0..6 {
+            let t = Nanos::from_micros(500 * k);
+            pool.run_until(t);
+            pool.inject_dag(test_dag(t, 8_000, 3));
+        }
+        pool.run_until(Nanos::from_micros(4_000));
+        assert!(pool.metrics().cores_failed >= 1, "fault window not active");
+        let retired = pool.shrink_pool(2);
+        assert_eq!(retired, 2);
+        assert_eq!(pool.capacity(), 2);
+        // Run through the fault-end restore and drain everything.
+        pool.run_until(Nanos::from_millis(80));
+        assert_eq!(pool.active_dags(), 0, "work lost across shrink + fault");
+        assert_eq!(pool.metrics().slots.count(), 6);
+        assert!(pool.granted_cores() <= pool.capacity());
+        // Growing back revives retired slots, faulted-then-restored or not.
+        assert_eq!(pool.grow_pool(2), 4);
+        assert_eq!(pool.capacity(), 4);
     }
 
     #[test]

@@ -239,6 +239,49 @@ pub enum TraceEvent {
         /// Fault class.
         kind: FaultKind,
     },
+    /// The pool's worker-core capacity changed at runtime (a reconfig
+    /// grow/shrink).
+    PoolResize {
+        /// Capacity after the change.
+        capacity: u32,
+        /// Cores added (positive) or retired (negative).
+        delta: i32,
+    },
+    /// A reconfiguration step was applied at a slot boundary (see
+    /// `reconfig_step_name` for the step codes).
+    ReconfigApply {
+        /// Step-kind code.
+        step: u8,
+        /// Position of the step in the executed plan order.
+        index: u32,
+    },
+    /// An applied reconfiguration step survived its settle window.
+    ReconfigCommit {
+        /// Position of the step in the executed plan order.
+        index: u32,
+    },
+    /// An applied reconfiguration step violated an invariant and was
+    /// reverted.
+    ReconfigRollback {
+        /// Position of the step in the executed plan order.
+        index: u32,
+    },
+}
+
+/// Human-readable name of a reconfig step code (mirrors
+/// `concordia_core::reconfig::ReconfigStep::code`; the codes exist because
+/// the platform crate cannot see the core crate's types).
+pub fn reconfig_step_name(code: u8) -> &'static str {
+    match code {
+        0 => "add_cell",
+        1 => "drain_cell",
+        2 => "grow_pool",
+        3 => "shrink_pool",
+        4 => "swap_predictor",
+        5 => "rephase",
+        6 => "set_deadline",
+        _ => "unknown",
+    }
 }
 
 /// One timestamped record in the ring.
@@ -383,6 +426,9 @@ pub const TID_SUPERVISOR: u32 = 1001;
 pub const TID_FAULTS: u32 = 1002;
 /// Track of the accelerator offload stream.
 pub const TID_ACCEL: u32 = 1003;
+/// Track of the live-reconfiguration stream (step apply/commit/rollback,
+/// pool capacity changes).
+pub const TID_RECONFIG: u32 = 1004;
 
 fn obj(entries: Vec<(&str, Value)>) -> Value {
     Value::Map(
@@ -478,6 +524,7 @@ pub fn export_chrome_trace(rec: &TraceRecorder) -> Value {
     events.push(meta_thread(TID_SUPERVISOR, "supervisor"));
     events.push(meta_thread(TID_FAULTS, "faults"));
     events.push(meta_thread(TID_ACCEL, "accel"));
+    events.push(meta_thread(TID_RECONFIG, "reconfig"));
 
     for r in rec.iter() {
         let t = r.t;
@@ -652,6 +699,36 @@ pub fn export_chrome_trace(rec: &TraceRecorder) -> Value {
                 TID_FAULTS,
                 t,
                 obj(vec![("kind", Value::Str(kind.name().into()))]),
+            )),
+            TraceEvent::PoolResize { capacity, delta } => events.push(counter(
+                "pool_capacity",
+                TID_RECONFIG,
+                t,
+                obj(vec![
+                    ("capacity", Value::U64(capacity as u64)),
+                    ("delta", Value::F64(delta as f64)),
+                ]),
+            )),
+            TraceEvent::ReconfigApply { step, index } => events.push(instant(
+                &format!("apply {}", reconfig_step_name(step)),
+                TID_RECONFIG,
+                t,
+                obj(vec![
+                    ("step", Value::Str(reconfig_step_name(step).into())),
+                    ("index", Value::U64(index as u64)),
+                ]),
+            )),
+            TraceEvent::ReconfigCommit { index } => events.push(instant(
+                "reconfig_commit",
+                TID_RECONFIG,
+                t,
+                obj(vec![("index", Value::U64(index as u64))]),
+            )),
+            TraceEvent::ReconfigRollback { index } => events.push(instant(
+                "reconfig_rollback",
+                TID_RECONFIG,
+                t,
+                obj(vec![("index", Value::U64(index as u64))]),
             )),
         }
     }

@@ -159,6 +159,22 @@ pub struct CellInstance {
     /// Offset of this cell's slot boundaries from the deployment epoch;
     /// always less than the cell's slot duration.
     pub phase: Nanos,
+    /// Runtime lifecycle state (live reconfiguration).
+    pub lifecycle: CellLifecycle,
+}
+
+/// Runtime lifecycle of a pooled cell. Cells are added to and removed from
+/// a live deployment by the reconfiguration engine; removal is a two-step
+/// drain (stop releasing new slot DAGs, let in-flight work finish) so no
+/// task is ever lost at the transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CellLifecycle {
+    /// Releasing a slot DAG at every slot boundary.
+    #[default]
+    Active,
+    /// No longer releasing new DAGs; in-flight DAGs are flushing. The cell
+    /// keeps its id (and metric buckets) and can be resumed.
+    Draining,
 }
 
 impl CellInstance {
@@ -169,6 +185,7 @@ impl CellInstance {
             id,
             config,
             phase: Nanos::ZERO,
+            lifecycle: CellLifecycle::Active,
         }
     }
 
@@ -178,7 +195,28 @@ impl CellInstance {
     pub fn staggered(id: u32, n_cells: u32, config: CellConfig) -> CellInstance {
         let n = n_cells.max(1) as u64;
         let phase = Nanos(config.slot_duration().as_nanos() * (id as u64 % n) / n);
-        CellInstance { id, config, phase }
+        CellInstance {
+            id,
+            config,
+            phase,
+            lifecycle: CellLifecycle::Active,
+        }
+    }
+
+    /// Stop releasing new slot DAGs; in-flight DAGs keep running.
+    pub fn begin_drain(&mut self) {
+        self.lifecycle = CellLifecycle::Draining;
+    }
+
+    /// Re-activate a draining cell (rollback of a `DrainCell` step, or
+    /// re-use of a previously drained slot by `AddCell`).
+    pub fn resume(&mut self) {
+        self.lifecycle = CellLifecycle::Active;
+    }
+
+    /// Whether this cell releases a DAG at its next slot boundary.
+    pub fn is_active(&self) -> bool {
+        self.lifecycle == CellLifecycle::Active
     }
 
     /// Boundary time of this cell's slot `k` (its k-th DAG release).
@@ -272,6 +310,17 @@ mod tests {
             CellInstance::staggered(0, 1, cfg),
             CellInstance::aligned(0, cfg)
         );
+    }
+
+    #[test]
+    fn lifecycle_drain_and_resume() {
+        let mut cell = CellConfig::fdd_20mhz().instance(1, 4);
+        assert!(cell.is_active());
+        cell.begin_drain();
+        assert_eq!(cell.lifecycle, CellLifecycle::Draining);
+        assert!(!cell.is_active());
+        cell.resume();
+        assert!(cell.is_active());
     }
 
     #[test]

@@ -180,6 +180,16 @@ impl PoolScheduler for ConcordiaScheduler {
         } else {
             (total.ceil() as u32).min(view.total_cores)
         };
+        // The held envelope can never exceed what exists: a live pool
+        // shrink (or a fault window) lowers `total_cores` under us, and
+        // without this clamp the envelope would bleed down one core per
+        // hysteresis window while the pool caps the actual grant anyway,
+        // leaving target and grant disagreeing for tens of slots after
+        // the capacity change.
+        if self.held_target > view.total_cores {
+            self.held_target = view.total_cores;
+            self.held_since = view.now;
+        }
         // Proactive hold: raising is immediate; shrinking releases at most
         // one core per hysteresis window. Under steady periodic slot load
         // the held envelope stays flat across slot boundaries, so workers
@@ -258,6 +268,20 @@ mod tests {
         let d = [dag(1500, 400, 100)];
         let n = s.target_cores(&view(1300, &d, 8));
         assert!(n >= 5, "cores {n}");
+    }
+
+    #[test]
+    fn held_target_clamps_to_shrunk_pool_immediately() {
+        // Build up a high held envelope against an 8-core pool, then shrink
+        // the pool to 3: the target must drop to 3 on the very next call,
+        // not bleed down one core per hysteresis window.
+        let mut s = ConcordiaScheduler::default_paper();
+        let d = [dag(1500, 400, 300)];
+        assert_eq!(s.target_cores(&view(1100, &d, 8)), 8);
+        let n = s.target_cores(&view(1101, &[], 3));
+        assert!(n <= 3, "target {n} must not exceed the shrunk pool");
+        // And the envelope can grow right back after a re-grow.
+        assert_eq!(s.target_cores(&view(1102, &d, 8)), 8);
     }
 
     #[test]
