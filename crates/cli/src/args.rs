@@ -7,6 +7,7 @@ use concordia_platform::workloads::WorkloadKind;
 use concordia_ran::{CellConfig, Nanos};
 use concordia_sched::concordia::ConcordiaConfig;
 use concordia_sched::supervisor::SupervisorConfig;
+use concordia_search::{Oracle, Strategy};
 
 /// Usage text printed on `--help` and parse errors.
 pub const USAGE: &str = "\
@@ -51,13 +52,41 @@ OPTIONS:
                               experiment: per-run seeds derive from --seed
                               via the ChaCha stream, and --json writes a
                               sweep report (byte-identical for any --jobs)
-  --jobs N                    worker threads for --repeat (default: all
-                              available cores)
+  --jobs N                    worker threads for --repeat / --search /
+                              --replay (default: all available cores)
+  --search STRAT              adversarial scenario search around the
+                              configured experiment: random | bisection |
+                              beam (optionally random:<batch>,
+                              bisection:<iters>, beam:<width>x<depth>).
+                              Found counterexamples are shrunk to minimal
+                              still-failing scenarios; --json writes the
+                              deterministic SearchReport (byte-identical
+                              for any --jobs; --seed is the search seed)
+  --oracle NAME               failure oracle for --search: sla[:floor] |
+                              task_loss | guard_inflation[:bound] |
+                              differential[:floor] | reconfig_infeasible
+                              (default sla)
+  --budget N                  simulator-run budget for the --search phase
+                              (default 64); shrinking spends up to
+                              --shrink-budget more per counterexample
+  --shrink-budget N           simulator-run budget per shrink (default 96)
+  --ce PATH                   write the first counterexample's replayable
+                              repro artifact (JSON) to PATH
+  --replay PATH               re-run a repro artifact written by --ce and
+                              compare against the recorded fingerprint;
+                              all experiment flags are ignored (the
+                              artifact is self-contained)
   --json PATH                 write the full JSON report to PATH
   --trace PATH                record a microsecond-granularity event trace
                               and write it to PATH as Chrome trace-event
                               JSON (load in Perfetto / chrome://tracing)
   -h, --help                  this text
+
+EXIT CODES (--replay):
+  0  the artifact no longer violates its oracle (bug fixed / not reproduced)
+  1  the violation is confirmed (the counterexample still fails)
+  2  the artifact is invalid (unreadable, unparseable, wrong version, or
+     out-of-range scenario)
 ";
 
 /// Parse error with a human message.
@@ -80,8 +109,28 @@ pub struct Cli {
     pub trace: Option<String>,
     /// `--repeat`: number of sweep runs (1 = a single experiment).
     pub repeat: usize,
-    /// `--jobs`: worker threads for the sweep.
+    /// `--jobs`: worker threads for the sweep / search / replay.
     pub jobs: usize,
+    /// `--search`: run an adversarial scenario search instead of one
+    /// experiment.
+    pub search: Option<SearchArgs>,
+    /// `--replay`: path to a repro artifact to re-run and check.
+    pub replay: Option<String>,
+}
+
+/// Everything `--search` resolves to.
+#[derive(Debug)]
+pub struct SearchArgs {
+    /// The search strategy (with its knobs).
+    pub strategy: Strategy,
+    /// The failure oracle (with its thresholds).
+    pub oracle: Oracle,
+    /// Simulator-run budget for the search phase.
+    pub budget: u64,
+    /// Simulator-run budget per counterexample shrink.
+    pub shrink_budget: u64,
+    /// `--ce`: where to write the first counterexample's artifact.
+    pub ce_path: Option<String>,
 }
 
 /// Parses the argument list.
@@ -101,6 +150,13 @@ pub fn parse(argv: &[String]) -> Result<Cli, CliError> {
     let mut jobs = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
+    let mut strategy: Option<Strategy> = None;
+    let mut oracle: Option<Oracle> = None;
+    let mut budget = 64u64;
+    let mut shrink_budget = 96u64;
+    let mut ce_path: Option<String> = None;
+    let mut search_knob_seen: Option<&'static str> = None;
+    let mut replay_path: Option<String> = None;
 
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -237,6 +293,35 @@ pub fn parse(argv: &[String]) -> Result<Cli, CliError> {
                     .map_err(|e| CliError(format!("--reconfig: '{path}' is not a plan: {e}")))?;
                 cfg.reconfig = Some(plan);
             }
+            "--search" => {
+                let v = value("--search")?;
+                strategy = Some(parse_strategy(v)?);
+            }
+            "--oracle" => {
+                let v = value("--oracle")?;
+                oracle = Some(parse_oracle(v)?);
+                search_knob_seen.get_or_insert("--oracle");
+            }
+            "--budget" => {
+                budget = value("--budget")?
+                    .parse()
+                    .map_err(|_| CliError("--budget must be an integer".into()))?;
+                if budget == 0 {
+                    return err("--budget must be positive");
+                }
+                search_knob_seen.get_or_insert("--budget");
+            }
+            "--shrink-budget" => {
+                shrink_budget = value("--shrink-budget")?
+                    .parse()
+                    .map_err(|_| CliError("--shrink-budget must be an integer".into()))?;
+                search_knob_seen.get_or_insert("--shrink-budget");
+            }
+            "--ce" => {
+                ce_path = Some(value("--ce")?.clone());
+                search_knob_seen.get_or_insert("--ce");
+            }
+            "--replay" => replay_path = Some(value("--replay")?.clone()),
             "--json" => json_path = Some(value("--json")?.clone()),
             "--trace" => {
                 trace_path = Some(value("--trace")?.clone());
@@ -268,13 +353,122 @@ pub fn parse(argv: &[String]) -> Result<Cli, CliError> {
     if repeat > 1 && cfg.reconfig.is_some() {
         return err("--reconfig applies to a single run; drop it or use --repeat 1");
     }
+    let search = match strategy {
+        Some(strategy) => Some(SearchArgs {
+            strategy,
+            oracle: oracle.unwrap_or(Oracle::Sla {
+                min_reliability: 0.99999,
+            }),
+            budget,
+            shrink_budget,
+            ce_path,
+        }),
+        None => {
+            if let Some(knob) = search_knob_seen {
+                return err(format!("{knob} only makes sense with --search"));
+            }
+            None
+        }
+    };
+    if search.is_some() && repeat > 1 {
+        return err("--search and --repeat are mutually exclusive");
+    }
+    if search.is_some() && trace_path.is_some() {
+        return err("--trace records a single run; drop it or drop --search");
+    }
+    if replay_path.is_some() && (search.is_some() || repeat > 1 || trace_path.is_some()) {
+        return err("--replay re-runs a self-contained artifact; it cannot combine with --search, --repeat or --trace");
+    }
     Ok(Cli {
         cfg,
         json: json_path,
         trace: trace_path,
         repeat,
         jobs,
+        search,
+        replay: replay_path,
     })
+}
+
+/// `random[:batch]` | `bisection[:iters]` | `beam[:WxD]`.
+fn parse_strategy(v: &str) -> Result<Strategy, CliError> {
+    let (name, knob) = match v.split_once(':') {
+        Some((n, k)) => (n, Some(k)),
+        None => (v, None),
+    };
+    let mut strategy = Strategy::from_name(name).ok_or_else(|| {
+        CliError(format!(
+            "unknown strategy '{name}' (random | bisection | beam)"
+        ))
+    })?;
+    if let Some(knob) = knob {
+        match &mut strategy {
+            Strategy::Random { batch } => {
+                *batch =
+                    knob.parse().ok().filter(|b| *b > 0).ok_or_else(|| {
+                        CliError("random:<batch> needs a positive integer".into())
+                    })?;
+            }
+            Strategy::Bisection { iters } => {
+                *iters =
+                    knob.parse().ok().filter(|i| *i > 0).ok_or_else(|| {
+                        CliError("bisection:<iters> needs a positive integer".into())
+                    })?;
+            }
+            Strategy::Beam { width, depth } => {
+                let (w, d) = knob
+                    .split_once('x')
+                    .ok_or_else(|| CliError("beam:<width>x<depth> (e.g. beam:4x3)".into()))?;
+                *width = w
+                    .parse()
+                    .ok()
+                    .filter(|w| *w > 0)
+                    .ok_or_else(|| CliError("beam width needs a positive integer".into()))?;
+                *depth = d
+                    .parse()
+                    .ok()
+                    .filter(|d| *d > 0)
+                    .ok_or_else(|| CliError("beam depth needs a positive integer".into()))?;
+            }
+        }
+    }
+    Ok(strategy)
+}
+
+/// `sla[:floor]` | `task_loss` | `guard_inflation[:bound]` |
+/// `differential[:floor]` | `reconfig_infeasible`.
+fn parse_oracle(v: &str) -> Result<Oracle, CliError> {
+    let (name, knob) = match v.split_once(':') {
+        Some((n, k)) => (n, Some(k)),
+        None => (v, None),
+    };
+    let mut oracle = Oracle::from_name(name).ok_or_else(|| {
+        CliError(format!(
+            "unknown oracle '{name}' (sla | task_loss | guard_inflation | \
+             differential | reconfig_infeasible)"
+        ))
+    })?;
+    if let Some(knob) = knob {
+        let threshold: f64 = knob
+            .parse()
+            .map_err(|_| CliError(format!("oracle threshold '{knob}' is not a number")))?;
+        if !threshold.is_finite() || threshold <= 0.0 {
+            return err("oracle threshold must be a positive number");
+        }
+        match &mut oracle {
+            Oracle::Sla { min_reliability } | Oracle::Differential { min_reliability } => {
+                if threshold > 1.0 {
+                    return err("a reliability floor must be in (0, 1]");
+                }
+                *min_reliability = threshold;
+            }
+            Oracle::GuardInflation { bound } => *bound = threshold,
+            Oracle::TaskLoss | Oracle::ReconfigInfeasible => {
+                return err(format!("oracle '{name}' takes no threshold"));
+            }
+        }
+    }
+    Ok(oracle)
 }
 
 fn parse_scheduler(v: &str) -> Result<SchedulerChoice, CliError> {
@@ -321,6 +515,8 @@ mod tests {
             trace,
             repeat,
             jobs,
+            search,
+            replay,
         } = parse(&[]).unwrap();
         assert_eq!(repeat, 1);
         assert!(jobs >= 1);
@@ -330,6 +526,8 @@ mod tests {
         assert_eq!(cfg.colocation.name(), "redis");
         assert!(json.is_none());
         assert!(trace.is_none());
+        assert!(search.is_none());
+        assert!(replay.is_none());
     }
 
     #[test]
@@ -482,6 +680,65 @@ mod tests {
         assert!(parse(&args("--reconfig /nonexistent/plan.json")).is_err());
         assert!(parse(&args("--reconfig")).is_err(), "missing value");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn search_flags_parse_with_knobs_and_defaults() {
+        let Cli { search, .. } = parse(&args(
+            "--search beam:6x2 --oracle sla:0.999 --budget 32 --ce ce.json",
+        ))
+        .unwrap();
+        let s = search.expect("search args");
+        assert_eq!(s.strategy, Strategy::Beam { width: 6, depth: 2 });
+        assert_eq!(
+            s.oracle,
+            Oracle::Sla {
+                min_reliability: 0.999
+            }
+        );
+        assert_eq!(s.budget, 32);
+        assert_eq!(s.shrink_budget, 96, "default shrink budget");
+        assert_eq!(s.ce_path.as_deref(), Some("ce.json"));
+
+        // Defaults: sla oracle, budget 64.
+        let Cli { search, .. } = parse(&args("--search random:16")).unwrap();
+        let s = search.unwrap();
+        assert_eq!(s.strategy, Strategy::Random { batch: 16 });
+        assert_eq!(s.oracle.name(), "sla");
+        assert_eq!(s.budget, 64);
+
+        let Cli { search, .. } =
+            parse(&args("--search bisection:7 --oracle guard_inflation:2.5")).unwrap();
+        let s = search.unwrap();
+        assert_eq!(s.strategy, Strategy::Bisection { iters: 7 });
+        assert_eq!(s.oracle, Oracle::GuardInflation { bound: 2.5 });
+    }
+
+    #[test]
+    fn search_rejects_bad_inputs() {
+        assert!(parse(&args("--search annealing")).is_err());
+        assert!(parse(&args("--search random:0")).is_err());
+        assert!(parse(&args("--search beam:4")).is_err(), "needs WxD");
+        assert!(parse(&args("--search random --oracle magic")).is_err());
+        assert!(parse(&args("--search random --oracle sla:1.5")).is_err());
+        assert!(parse(&args("--search random --oracle task_loss:3")).is_err());
+        assert!(parse(&args("--search random --budget 0")).is_err());
+        // Search knobs without --search are an error, not silently ignored.
+        assert!(parse(&args("--oracle sla")).is_err());
+        assert!(parse(&args("--budget 10")).is_err());
+        assert!(parse(&args("--ce ce.json")).is_err());
+        // Mutually exclusive modes.
+        assert!(parse(&args("--search random --repeat 3")).is_err());
+        assert!(parse(&args("--search random --trace t.json")).is_err());
+        assert!(parse(&args("--replay ce.json --search random")).is_err());
+        assert!(parse(&args("--replay ce.json --repeat 2")).is_err());
+    }
+
+    #[test]
+    fn replay_parses_a_path() {
+        let Cli { replay, .. } = parse(&args("--replay ce.json")).unwrap();
+        assert_eq!(replay.as_deref(), Some("ce.json"));
+        assert!(parse(&args("--replay")).is_err(), "missing value");
     }
 
     #[test]

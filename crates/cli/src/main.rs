@@ -15,15 +15,16 @@
 //!           [--reconfig <plan.json>]
 //! ```
 
-use concordia_core::runner::run_sweep_with_progress;
+use concordia_core::runner::{run_sweep_with_progress, ParallelEval};
 use concordia_core::{Colocation, PredictorChoice, SchedulerChoice, SimConfig, Simulation};
 use concordia_platform::trace::export_chrome_trace;
 use concordia_platform::workloads::WorkloadKind;
 use concordia_ran::{CellConfig, Nanos};
+use concordia_search::{replay, run_search, ReproArtifact, SearchSettings, SearchSpace};
 use std::process::ExitCode;
 
 mod args;
-use args::{parse, Cli, CliError};
+use args::{parse, Cli, CliError, SearchArgs};
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -37,6 +38,8 @@ fn main() -> ExitCode {
         trace: trace_path,
         repeat,
         jobs,
+        search,
+        replay: replay_path,
     } = match parse(&argv) {
         Ok(v) => v,
         Err(CliError(msg)) => {
@@ -45,6 +48,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = replay_path {
+        return run_replay_cli(&path, jobs);
+    }
+    if let Some(search) = search {
+        return run_search_cli(cfg, search, jobs, json_path);
+    }
     if repeat > 1 {
         return run_sweep_cli(cfg, repeat, jobs, json_path);
     }
@@ -244,6 +253,117 @@ fn run_sweep_cli(
         eprintln!("sweep report written to {path}");
     }
     ExitCode::SUCCESS
+}
+
+/// `--search STRAT`: adversarial scenario search around the configured
+/// experiment. The report is a pure function of (config, strategy, seed);
+/// `--jobs` only changes wall-clock.
+fn run_search_cli(
+    cfg: SimConfig,
+    search: SearchArgs,
+    jobs: usize,
+    json_path: Option<String>,
+) -> ExitCode {
+    let space = SearchSpace::around(&cfg);
+    let settings = SearchSettings {
+        seed: cfg.seed,
+        budget: search.budget,
+        shrink_budget: search.shrink_budget,
+        ..SearchSettings::default()
+    };
+    eprintln!(
+        "search: {} over {} cells x {} cores (oracle {}, budget {}, seed {}, {jobs} jobs)...",
+        search.strategy.name(),
+        cfg.n_cells,
+        cfg.cores,
+        search.oracle.name(),
+        search.budget,
+        cfg.seed
+    );
+    let mut eval = ParallelEval::new(jobs);
+    let report = run_search(
+        &cfg,
+        &space,
+        &search.oracle,
+        search.strategy,
+        &settings,
+        &mut eval,
+    );
+    println!("{}", report.one_liner());
+    for (i, ce) in report.counterexamples.iter().enumerate() {
+        println!(
+            "  ce #{i}: found {} -> minimal {} after {} shrink rounds ({} runs)",
+            ce.found.one_liner(),
+            ce.minimal.one_liner(),
+            ce.shrink_trace.len(),
+            ce.shrink_evaluations
+        );
+    }
+    if let Some(path) = &search.ce_path {
+        match report.counterexamples.first() {
+            Some(ce) => {
+                if let Err(e) = std::fs::write(path, ce.artifact.to_canonical_json()) {
+                    eprintln!("error: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("repro artifact written to {path} (re-run: concordia --replay {path})");
+            }
+            None => eprintln!("no counterexample found; {path} not written"),
+        }
+    }
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, report.to_canonical_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("search report written to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `--replay PATH`: re-run a repro artifact. Exit codes are a contract
+/// (documented in `--help`): 0 = the violation no longer reproduces,
+/// 1 = confirmed, 2 = the artifact is invalid.
+fn run_replay_cli(path: &str, jobs: usize) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let artifact = match ReproArtifact::from_json(&text) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!(
+        "replay: {} under oracle {} (recorded: {})...",
+        artifact.scenario.one_liner(),
+        artifact.oracle.name(),
+        artifact.detail
+    );
+    let outcome = replay(&artifact, &mut ParallelEval::new(jobs));
+    if outcome.verdict.failed {
+        println!(
+            "VIOLATION CONFIRMED: {} ({})",
+            outcome.verdict.detail,
+            if outcome.reproduced {
+                "byte-identical to the recorded run"
+            } else {
+                "still failing, but the reports drifted from the recording"
+            }
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "not reproduced: the scenario now passes ({})",
+            outcome.verdict.detail
+        );
+        ExitCode::SUCCESS
+    }
 }
 
 /// Small extension used by the banner above.

@@ -57,6 +57,10 @@ pub struct LegacySimulation {
     /// Last guard inflation the trace saw (change-detected so the trace
     /// carries one counter sample per change, not one per slot).
     last_traced_inflation: f64,
+    /// Worst guard inflation observed at any slot boundary (survives
+    /// guard resets and reconfig rollbacks; reported for the search
+    /// oracle).
+    peak_guard_inflation: f64,
     /// Last admission level the trace saw.
     last_traced_admission: AdmissionLevel,
     /// Which workload-level fault kinds (predictor bias, traffic surge —
@@ -193,6 +197,7 @@ impl LegacySimulation {
             win_viols: 0,
             slot: 0,
             last_traced_inflation: 1.0,
+            peak_guard_inflation: 1.0,
             last_traced_admission: AdmissionLevel::Normal,
             workload_fault_active: [false; 2],
         };
@@ -411,10 +416,13 @@ impl LegacySimulation {
 
     /// Records the guard's inflation as a trace counter whenever it moves.
     fn trace_guard_inflation(&mut self) {
+        let inflation = self.guard.inflation();
+        if inflation > self.peak_guard_inflation {
+            self.peak_guard_inflation = inflation;
+        }
         if !self.pool.trace_enabled() {
             return;
         }
-        let inflation = self.guard.inflation();
         if inflation != self.last_traced_inflation {
             self.last_traced_inflation = inflation;
             self.pool
@@ -547,6 +555,7 @@ impl LegacySimulation {
             deadline_us: self.cfg.deadline().as_micros_f64(),
             duration_s: self.cfg.duration.as_nanos() as f64 / 1e9,
             seed: self.cfg.seed,
+            peak_guard_inflation: self.peak_guard_inflation,
             metrics: summary,
             workload,
             fault: self.fault_report(),

@@ -30,10 +30,11 @@ pub mod sim;
 
 pub use config::{Colocation, PredictorChoice, SchedulerChoice, SimConfig};
 pub use reconfig::{
-    search_safe_order, InvariantConfig, ReconfigPlan, ReconfigStep, SearchConfig, SearchReport,
+    search_safe_order, InvariantConfig, ReconfigPlan, ReconfigPlanError, ReconfigStep,
+    SearchConfig, SearchReport,
 };
 pub use report::{
-    ExperimentReport, FaultReport, FaultWindowReport, ReconfigReport, WorkloadReport,
+    fnv1a_hex, ExperimentReport, FaultReport, FaultWindowReport, ReconfigReport, WorkloadReport,
 };
-pub use runner::{run_parallel, run_sweep, SweepReport};
+pub use runner::{run_parallel, run_sweep, BatchEval, ParallelEval, SweepReport};
 pub use sim::{run_experiment, Simulation};

@@ -164,7 +164,68 @@ impl ReconfigPlan {
         p.steps = order.iter().map(|&i| self.steps[i]).collect();
         p
     }
+
+    /// The plan minus step `index` (a shrinker move). Out-of-range
+    /// indices return the plan unchanged.
+    pub fn without_step(&self, index: usize) -> ReconfigPlan {
+        let mut p = self.clone();
+        if index < p.steps.len() {
+            p.steps.remove(index);
+        }
+        p
+    }
+
+    /// Rejects plans whose steps are nonsense regardless of the running
+    /// configuration (zero-core resizes, a zero deadline). Plan files and
+    /// repro artifacts are user-editable JSON, so this runs on every
+    /// externally-loaded plan; configuration-dependent problems (draining
+    /// a cell that does not exist) still surface as apply-time rollbacks.
+    pub fn validate(&self) -> Result<(), ReconfigPlanError> {
+        for (index, step) in self.steps.iter().enumerate() {
+            match step {
+                ReconfigStep::GrowPool { cores: 0 } | ReconfigStep::ShrinkPool { cores: 0 } => {
+                    return Err(ReconfigPlanError::ZeroCores {
+                        index,
+                        step: step.name().to_string(),
+                    });
+                }
+                ReconfigStep::SetDeadline { deadline_us: 0 } => {
+                    return Err(ReconfigPlanError::ZeroDeadline { index });
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
 }
+
+/// Why an externally-supplied [`ReconfigPlan`] is invalid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReconfigPlanError {
+    /// A pool resize of zero cores is a no-op that would still burn a
+    /// settle window; reject it as a typo.
+    ZeroCores { index: usize, step: String },
+    /// A zero deadline fails every DAG unconditionally.
+    ZeroDeadline { index: usize },
+}
+
+impl std::fmt::Display for ReconfigPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReconfigPlanError::ZeroCores { index, step } => {
+                write!(f, "step #{index} ({step}): resizing by zero cores")
+            }
+            ReconfigPlanError::ZeroDeadline { index } => {
+                write!(
+                    f,
+                    "step #{index} (set_deadline): deadline_us must be positive"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReconfigPlanError {}
 
 /// The inverse of an applied step, captured at apply time.
 #[derive(Debug, Clone)]
@@ -718,6 +779,48 @@ mod tests {
         // Window holds [2, 4, 6, 8]: 6 violations over 3 slots.
         assert_eq!(b.rate(), 2.0);
         assert_eq!(b.last(), 8);
+    }
+
+    #[test]
+    fn validate_rejects_zero_resizes_and_deadlines() {
+        let ok = ReconfigPlan::new(vec![
+            ReconfigStep::GrowPool { cores: 2 },
+            ReconfigStep::SetDeadline { deadline_us: 1800 },
+        ]);
+        assert!(ok.validate().is_ok());
+        let bad = ReconfigPlan::new(vec![
+            ReconfigStep::AddCell,
+            ReconfigStep::ShrinkPool { cores: 0 },
+        ]);
+        let err = bad.validate().expect_err("zero-core shrink");
+        assert_eq!(
+            err,
+            ReconfigPlanError::ZeroCores {
+                index: 1,
+                step: "shrink_pool".into()
+            }
+        );
+        assert!(err.to_string().contains("step #1"), "{err}");
+        let bad = ReconfigPlan::new(vec![ReconfigStep::SetDeadline { deadline_us: 0 }]);
+        assert!(matches!(
+            bad.validate(),
+            Err(ReconfigPlanError::ZeroDeadline { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn without_step_drops_exactly_one() {
+        let plan = ReconfigPlan::new(vec![
+            ReconfigStep::AddCell,
+            ReconfigStep::GrowPool { cores: 2 },
+            ReconfigStep::ShrinkPool { cores: 1 },
+        ]);
+        let p = plan.without_step(1);
+        assert_eq!(
+            p.steps,
+            vec![ReconfigStep::AddCell, ReconfigStep::ShrinkPool { cores: 1 }]
+        );
+        assert_eq!(plan.without_step(9), plan);
     }
 
     #[test]

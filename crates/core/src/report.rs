@@ -171,6 +171,11 @@ pub struct ExperimentReport {
     pub duration_s: f64,
     /// Root seed.
     pub seed: u64,
+    /// Worst misprediction-guard inflation observed at any slot boundary
+    /// of the run (1.0 = the guard never inflated). Unlike the guard's
+    /// final value this survives resets and rollbacks, which is what the
+    /// guard-inflation search oracle needs.
+    pub peak_guard_inflation: f64,
     /// Platform metrics.
     pub metrics: MetricsSummary,
     /// Best-effort workload outcome, when a single workload was collocated.
@@ -204,6 +209,14 @@ impl ExperimentReport {
         s
     }
 
+    /// Stable fingerprint of the canonical JSON bytes. Two reports have
+    /// the same fingerprint iff their canonical serializations are
+    /// byte-identical — what repro artifacts store to prove a replay
+    /// reproduced the *exact* failing run, not just a similar one.
+    pub fn fingerprint(&self) -> String {
+        fnv1a_hex(self.to_canonical_json().as_bytes())
+    }
+
     /// One-line human-readable summary. Tail quantiles print as `n/a`
     /// when the run completed no DAGs (empty latency recorder).
     pub fn one_liner(&self) -> String {
@@ -225,6 +238,18 @@ impl ExperimentReport {
     }
 }
 
+/// FNV-1a 64-bit hash of `bytes`, as a 16-digit lowercase hex string.
+/// Dependency-free and stable across platforms; used to fingerprint
+/// canonical report JSON in repro artifacts and search reports.
+pub fn fnv1a_hex(bytes: &[u8]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +265,7 @@ mod tests {
             deadline_us: 1500.0,
             duration_s: 10.0,
             seed: 1,
+            peak_guard_inflation: 1.0,
             metrics: MetricsSummary {
                 dags: 100_000,
                 violations: 0,
@@ -286,6 +312,19 @@ mod tests {
         let back: ExperimentReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.metrics.dags, 100_000);
         assert_eq!(back.scheduler, "concordia");
+    }
+
+    #[test]
+    fn fingerprint_tracks_canonical_bytes() {
+        let a = dummy();
+        let mut b = dummy();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.metrics.violations = 1;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint().len(), 16);
+        // Known FNV-1a vectors keep the hash stable across refactors.
+        assert_eq!(fnv1a_hex(b""), "cbf29ce484222325");
+        assert_eq!(fnv1a_hex(b"a"), "af63dc4c8601ec8c");
     }
 
     #[test]

@@ -118,6 +118,60 @@ pub fn run_parallel_results_with_progress(
         .collect()
 }
 
+/// Batch evaluation hook: anything that can turn a batch of experiment
+/// configurations into per-slot outcomes, in input order.
+///
+/// The adversarial scenario search drives *all* of its simulator runs
+/// through this trait, which buys two things: a single place to count the
+/// evaluation budget, and substitutability — tests stub it with canned
+/// reports to exercise search/shrink logic without paying for real
+/// simulations. The production implementation is [`ParallelEval`].
+pub trait BatchEval {
+    /// Evaluates every configuration, returning outcomes in input order.
+    /// Implementations must be deterministic functions of the configs —
+    /// never of thread count or timing.
+    fn eval_batch(
+        &mut self,
+        configs: Vec<SimConfig>,
+    ) -> Vec<Result<ExperimentReport, ExperimentFailure>>;
+
+    /// Total configurations evaluated through this hook so far.
+    fn evaluations(&self) -> u64;
+}
+
+/// The production [`BatchEval`]: evaluates batches through
+/// [`run_parallel_results`], so outcomes are in input order and
+/// byte-independent of the worker count.
+#[derive(Debug)]
+pub struct ParallelEval {
+    jobs: usize,
+    evaluations: u64,
+}
+
+impl ParallelEval {
+    /// An evaluator running up to `jobs` experiments concurrently.
+    pub fn new(jobs: usize) -> Self {
+        ParallelEval {
+            jobs: jobs.max(1),
+            evaluations: 0,
+        }
+    }
+}
+
+impl BatchEval for ParallelEval {
+    fn eval_batch(
+        &mut self,
+        configs: Vec<SimConfig>,
+    ) -> Vec<Result<ExperimentReport, ExperimentFailure>> {
+        self.evaluations += configs.len() as u64;
+        run_parallel_results(configs, self.jobs)
+    }
+
+    fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+}
+
 /// Runs every configuration in parallel, returning the reports in input
 /// order.
 ///
@@ -337,6 +391,23 @@ mod tests {
         for (i, run) in sweep.runs.iter().enumerate() {
             assert_eq!(run.seed, concordia_stats::chacha::derive_seed(77, i as u64));
         }
+    }
+
+    #[test]
+    fn parallel_eval_counts_and_matches_direct_runs() {
+        let mut eval = ParallelEval::new(2);
+        assert_eq!(eval.evaluations(), 0);
+        let configs = vec![tiny(3, 0.4), broken(4)];
+        let results = eval.eval_batch(configs.clone());
+        assert_eq!(eval.evaluations(), 2);
+        let direct = run_parallel_results(configs, 1);
+        assert_eq!(
+            results[0].as_ref().unwrap().to_canonical_json(),
+            direct[0].as_ref().unwrap().to_canonical_json()
+        );
+        assert!(results[1].is_err());
+        eval.eval_batch(Vec::new());
+        assert_eq!(eval.evaluations(), 2);
     }
 
     #[test]

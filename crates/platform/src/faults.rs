@@ -20,6 +20,7 @@
 use concordia_ran::time::Nanos;
 use concordia_stats::rng::Rng;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// The classes of faults the injector can schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -91,6 +92,56 @@ impl FaultKind {
         FaultKind::ALL.iter().copied().find(|k| k.name() == s)
     }
 
+    /// The hard validity bounds for this kind's severity: anything outside
+    /// is rejected by [`FaultSpec::validate`] as physically meaningless
+    /// (e.g. taking more than the whole pool offline) rather than silently
+    /// resolved into a nonsense timeline.
+    pub fn severity_bounds(&self) -> (f64, f64) {
+        match self {
+            // Fraction of the pool taken offline.
+            FaultKind::CoreOffline => (0.0, 1.0),
+            // Fractional runtime inflation.
+            FaultKind::CoreStall => (0.0, 10.0),
+            // Severity unused; keep it in the unit range.
+            FaultKind::AccelOutage => (0.0, 1.0),
+            // Timeout budget in µs: zero would fall back on every offload
+            // before it starts, which `AccelOutage` models directly.
+            FaultKind::AccelTimeout => (1.0, 100_000.0),
+            FaultKind::PredictorBias => (0.0, 10.0),
+            FaultKind::StormAmplification => (0.0, 10.0),
+            FaultKind::TrafficSurge => (0.0, 10.0),
+            FaultKind::DriftInjection => (0.0, 10.0),
+        }
+    }
+
+    /// The chaos-soak severity range for this kind (a strict subset of
+    /// [`FaultKind::severity_bounds`]); also the sampling range the
+    /// adversarial scenario search draws from.
+    pub fn chaos_severity(&self) -> (f64, f64) {
+        match self {
+            FaultKind::CoreOffline => (0.25, 0.5),
+            FaultKind::CoreStall => (0.3, 0.6),
+            FaultKind::AccelOutage => (1.0, 1.0),
+            // Timeout budget in µs: tighter than a loaded engine's queue.
+            FaultKind::AccelTimeout => (25.0, 60.0),
+            FaultKind::PredictorBias => (0.4, 0.8),
+            FaultKind::StormAmplification => (1.5, 3.0),
+            FaultKind::TrafficSurge => (0.5, 1.0),
+            FaultKind::DriftInjection => (0.5, 1.0),
+        }
+    }
+
+    /// The least-adversarial severity for this kind — what a shrinker
+    /// moves toward. For most kinds that is 0 (no effect); for
+    /// `AccelTimeout` it is the *largest* budget, since a generous timeout
+    /// never forces a fallback.
+    pub fn benign_severity(&self) -> f64 {
+        match self {
+            FaultKind::AccelTimeout => self.severity_bounds().1,
+            _ => self.severity_bounds().0,
+        }
+    }
+
     /// `true` for faults the pool simulator handles via timeline events
     /// (the rest are applied by the slot loop when building DAGs).
     pub fn is_platform_fault(&self) -> bool {
@@ -105,6 +156,88 @@ impl FaultKind {
         )
     }
 }
+
+/// Why a [`FaultSpec`] is invalid. Repro artifacts and `--reconfig` /
+/// `--replay` plan files are user-editable JSON, so a hand-tweaked spec
+/// must fail loudly with one of these instead of silently resolving to a
+/// clamped, meaningless timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultSpecError {
+    /// `latest_start` earlier than `earliest_start`.
+    InvertedStart { earliest: Nanos, latest: Nanos },
+    /// `max_duration` shorter than `min_duration`.
+    InvertedDuration { min: Nanos, max: Nanos },
+    /// `max_severity` below `min_severity`.
+    InvertedSeverity { min: f64, max: f64 },
+    /// A severity bound is NaN or infinite.
+    NonFiniteSeverity { min: f64, max: f64 },
+    /// The severity range leaves the kind's hard bounds.
+    SeverityOutOfRange {
+        kind: FaultKind,
+        min: f64,
+        max: f64,
+        lo: f64,
+        hi: f64,
+    },
+}
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSpecError::InvertedStart { earliest, latest } => write!(
+                f,
+                "latest_start {latest} is earlier than earliest_start {earliest}"
+            ),
+            FaultSpecError::InvertedDuration { min, max } => {
+                write!(f, "max_duration {max} is shorter than min_duration {min}")
+            }
+            FaultSpecError::InvertedSeverity { min, max } => {
+                write!(f, "max_severity {max} is below min_severity {min}")
+            }
+            FaultSpecError::NonFiniteSeverity { min, max } => {
+                write!(f, "severity range [{min}, {max}] is not finite")
+            }
+            FaultSpecError::SeverityOutOfRange {
+                kind,
+                min,
+                max,
+                lo,
+                hi,
+            } => write!(
+                f,
+                "severity range [{min}, {max}] leaves {}'s valid bounds [{lo}, {hi}]",
+                kind.name()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+/// A [`FaultSpecError`] located within a [`FaultPlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlanError {
+    /// Index of the offending spec in `FaultPlan::specs`.
+    pub index: usize,
+    /// Its fault class.
+    pub kind: FaultKind,
+    /// What is wrong with it.
+    pub error: FaultSpecError,
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fault spec #{} ({}): {}",
+            self.index,
+            self.kind.name(),
+            self.error
+        )
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
 
 /// One fault class with ranges for when it strikes, how long it lasts and
 /// how hard it hits. `resolve` draws the concrete values.
@@ -144,17 +277,7 @@ impl FaultSpec {
     /// the given duration: strikes somewhere in the middle third and lasts
     /// 10–20 % of the run, with a kind-appropriate severity range.
     pub fn chaos(kind: FaultKind, experiment: Nanos) -> Self {
-        let (lo, hi) = match kind {
-            FaultKind::CoreOffline => (0.25, 0.5),
-            FaultKind::CoreStall => (0.3, 0.6),
-            FaultKind::AccelOutage => (1.0, 1.0),
-            // Timeout budget in µs: tighter than a loaded engine's queue.
-            FaultKind::AccelTimeout => (25.0, 60.0),
-            FaultKind::PredictorBias => (0.4, 0.8),
-            FaultKind::StormAmplification => (1.5, 3.0),
-            FaultKind::TrafficSurge => (0.5, 1.0),
-            FaultKind::DriftInjection => (0.5, 1.0),
-        };
+        let (lo, hi) = kind.chaos_severity();
         FaultSpec {
             kind,
             earliest_start: experiment.scale(1.0 / 3.0),
@@ -163,6 +286,85 @@ impl FaultSpec {
             max_duration: experiment.scale(0.20),
             min_severity: lo,
             max_severity: hi,
+        }
+    }
+
+    /// Checks the spec's internal consistency: non-inverted start and
+    /// duration ranges, and a finite severity range inside the kind's
+    /// [`FaultKind::severity_bounds`]. [`FaultPlan::resolve`] clamps
+    /// inverted ranges defensively, but externally-supplied JSON (repro
+    /// artifacts, plan files) must be rejected with a typed error instead.
+    pub fn validate(&self) -> Result<(), FaultSpecError> {
+        if self.latest_start < self.earliest_start {
+            return Err(FaultSpecError::InvertedStart {
+                earliest: self.earliest_start,
+                latest: self.latest_start,
+            });
+        }
+        if self.max_duration < self.min_duration {
+            return Err(FaultSpecError::InvertedDuration {
+                min: self.min_duration,
+                max: self.max_duration,
+            });
+        }
+        if !self.min_severity.is_finite() || !self.max_severity.is_finite() {
+            return Err(FaultSpecError::NonFiniteSeverity {
+                min: self.min_severity,
+                max: self.max_severity,
+            });
+        }
+        if self.max_severity < self.min_severity {
+            return Err(FaultSpecError::InvertedSeverity {
+                min: self.min_severity,
+                max: self.max_severity,
+            });
+        }
+        let (lo, hi) = self.kind.severity_bounds();
+        if self.min_severity < lo || self.max_severity > hi {
+            return Err(FaultSpecError::SeverityOutOfRange {
+                kind: self.kind,
+                min: self.min_severity,
+                max: self.max_severity,
+                lo,
+                hi,
+            });
+        }
+        Ok(())
+    }
+
+    /// The same spec with both duration ends scaled by `factor` (a
+    /// shrinker move; negative factors clamp to zero).
+    pub fn scaled_duration(&self, factor: f64) -> FaultSpec {
+        FaultSpec {
+            min_duration: self.min_duration.scale(factor),
+            max_duration: self.max_duration.scale(factor),
+            ..*self
+        }
+    }
+
+    /// The same spec with both severity ends moved `frac` of the way
+    /// toward the kind's [`FaultKind::benign_severity`] — the shrinker's
+    /// "make this fault milder" move. `frac` is clamped to `[0, 1]`.
+    pub fn severity_toward_benign(&self, frac: f64) -> FaultSpec {
+        let frac = frac.clamp(0.0, 1.0);
+        let benign = self.kind.benign_severity();
+        FaultSpec {
+            min_severity: self.min_severity + (benign - self.min_severity) * frac,
+            max_severity: self.max_severity + (benign - self.max_severity) * frac,
+            ..*self
+        }
+    }
+
+    /// The same spec with its start window clamped into `[0, experiment]`
+    /// and its durations capped at the experiment length, so shortening an
+    /// experiment cannot push a fault past the end of the run.
+    pub fn clamped_to(&self, experiment: Nanos) -> FaultSpec {
+        FaultSpec {
+            earliest_start: self.earliest_start.min(experiment),
+            latest_start: self.latest_start.min(experiment),
+            min_duration: self.min_duration.min(experiment),
+            max_duration: self.max_duration.min(experiment),
+            ..*self
         }
     }
 }
@@ -214,6 +416,41 @@ impl FaultPlan {
     /// `true` when nothing is injected.
     pub fn is_empty(&self) -> bool {
         self.specs.is_empty()
+    }
+
+    /// Validates every spec, reporting the first offender by index. Call
+    /// this on any plan read from external JSON before resolving it.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        for (index, spec) in self.specs.iter().enumerate() {
+            spec.validate().map_err(|error| FaultPlanError {
+                index,
+                kind: spec.kind,
+                error,
+            })?;
+        }
+        Ok(())
+    }
+
+    /// The plan minus spec `index` (a shrinker move). Out-of-range indices
+    /// return the plan unchanged.
+    pub fn without_spec(&self, index: usize) -> FaultPlan {
+        let mut p = self.clone();
+        if index < p.specs.len() {
+            p.specs.remove(index);
+        }
+        p
+    }
+
+    /// Every spec clamped into `[0, experiment]` (see
+    /// [`FaultSpec::clamped_to`]).
+    pub fn clamped_to(&self, experiment: Nanos) -> FaultPlan {
+        FaultPlan {
+            specs: self
+                .specs
+                .iter()
+                .map(|s| s.clamped_to(experiment))
+                .collect(),
+        }
     }
 
     /// Draws concrete windows from the specs. Each spec forks its own RNG
@@ -416,5 +653,136 @@ mod tests {
         }
         assert_eq!(FaultKind::from_name("meteor_strike"), None);
         assert_eq!(FaultKind::from_name(""), None);
+    }
+
+    #[test]
+    fn chaos_ranges_sit_inside_hard_bounds() {
+        for kind in FaultKind::ALL {
+            let (lo, hi) = kind.severity_bounds();
+            let (clo, chi) = kind.chaos_severity();
+            assert!(lo <= clo && chi <= hi, "{}", kind.name());
+            assert!(clo <= chi, "{}", kind.name());
+            let benign = kind.benign_severity();
+            assert!((lo..=hi).contains(&benign), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn chaos_specs_validate_for_every_kind() {
+        for kind in FaultKind::ALL {
+            FaultSpec::chaos(kind, Nanos::from_secs(2))
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_inverted_and_out_of_range_specs() {
+        let good = FaultSpec::chaos(FaultKind::CoreOffline, Nanos::from_secs(1));
+
+        let mut s = good;
+        s.latest_start = Nanos::ZERO;
+        assert!(matches!(
+            s.validate(),
+            Err(FaultSpecError::InvertedStart { .. })
+        ));
+
+        let mut s = good;
+        s.max_duration = Nanos::ZERO;
+        assert!(matches!(
+            s.validate(),
+            Err(FaultSpecError::InvertedDuration { .. })
+        ));
+
+        let mut s = good;
+        s.min_severity = 0.9;
+        s.max_severity = 0.2;
+        assert!(matches!(
+            s.validate(),
+            Err(FaultSpecError::InvertedSeverity { .. })
+        ));
+
+        let mut s = good;
+        s.max_severity = f64::NAN;
+        assert!(matches!(
+            s.validate(),
+            Err(FaultSpecError::NonFiniteSeverity { .. })
+        ));
+
+        // Taking 150% of the pool offline is not a fault, it's a typo.
+        let mut s = good;
+        s.max_severity = 1.5;
+        let err = s.validate().expect_err("out of range");
+        assert!(matches!(err, FaultSpecError::SeverityOutOfRange { .. }));
+        assert!(err.to_string().contains("core_offline"), "{err}");
+
+        // A zero AccelTimeout budget is likewise rejected.
+        let mut s = FaultSpec::chaos(FaultKind::AccelTimeout, Nanos::from_secs(1));
+        s.min_severity = 0.0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn plan_validate_reports_the_offending_index() {
+        let mut p = plan();
+        p.specs[1].min_severity = f64::INFINITY;
+        let err = p.validate().expect_err("spec 1 is broken");
+        assert_eq!(err.index, 1);
+        assert_eq!(err.kind, FaultKind::AccelTimeout);
+        assert!(err.to_string().contains("fault spec #1"), "{err}");
+        p.specs[1] = FaultSpec::chaos(FaultKind::AccelTimeout, Nanos::from_secs(2));
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn without_spec_drops_exactly_one() {
+        let p = plan();
+        let q = p.without_spec(1);
+        assert_eq!(q.specs.len(), 2);
+        assert_eq!(q.specs[0].kind, FaultKind::CoreOffline);
+        assert_eq!(q.specs[1].kind, FaultKind::TrafficSurge);
+        // Out of range: unchanged.
+        assert_eq!(p.without_spec(99), p);
+    }
+
+    #[test]
+    fn scaled_duration_and_clamp_shrink_the_window() {
+        let s = FaultSpec::fixed(
+            FaultKind::CoreStall,
+            Nanos::from_millis(500),
+            Nanos::from_millis(200),
+            0.5,
+        );
+        let half = s.scaled_duration(0.5);
+        assert_eq!(half.min_duration, Nanos::from_millis(100));
+        assert_eq!(half.max_duration, Nanos::from_millis(100));
+        let clamped = s.clamped_to(Nanos::from_millis(300));
+        assert_eq!(clamped.earliest_start, Nanos::from_millis(300));
+        assert_eq!(clamped.max_duration, Nanos::from_millis(200));
+        assert!(clamped.validate().is_ok());
+    }
+
+    #[test]
+    fn severity_toward_benign_moves_the_right_way() {
+        let s = FaultSpec::fixed(
+            FaultKind::StormAmplification,
+            Nanos::from_millis(10),
+            Nanos::from_millis(10),
+            2.0,
+        );
+        let milder = s.severity_toward_benign(0.5);
+        assert!((milder.max_severity - 1.0).abs() < 1e-12);
+        // AccelTimeout's benign end is a *large* budget.
+        let t = FaultSpec::fixed(
+            FaultKind::AccelTimeout,
+            Nanos::from_millis(10),
+            Nanos::from_millis(10),
+            40.0,
+        );
+        let milder = t.severity_toward_benign(0.5);
+        assert!(milder.max_severity > 40.0);
+        assert!(milder.validate().is_ok());
+        // frac is clamped.
+        assert_eq!(s.severity_toward_benign(5.0).max_severity, 0.0);
     }
 }

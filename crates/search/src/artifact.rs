@@ -1,0 +1,306 @@
+//! Replayable repro artifacts.
+//!
+//! A [`ReproArtifact`] is everything needed to re-run a counterexample
+//! *exactly*: the full base configuration, the minimal scenario, the
+//! oracle (with thresholds) that judged it, and a fingerprint of the
+//! failing arm reports' canonical bytes. `concordia --replay ce.json`
+//! re-evaluates the scenario and compares fingerprints — a matching
+//! fingerprint proves the replay reproduced the recorded run byte for
+//! byte, not merely a similar failure.
+//!
+//! Artifacts are user-editable JSON (tweaking a severity by hand is a
+//! normal debugging move), so [`ReproArtifact::from_json`] validates the
+//! payload semantically — version, dimensions, fault-spec ranges, plan
+//! steps — and rejects nonsense with a typed [`ArtifactError`] instead of
+//! feeding it to the simulator.
+
+use crate::oracle::{evaluate_scenarios, Oracle, Verdict};
+use crate::scenario::Scenario;
+use concordia_core::config::SimConfig;
+use concordia_core::reconfig::ReconfigPlanError;
+use concordia_core::runner::BatchEval;
+use concordia_platform::faults::FaultPlanError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Artifact format version; bump on breaking layout changes.
+pub const ARTIFACT_VERSION: u32 = 1;
+
+/// A self-contained, replayable counterexample.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReproArtifact {
+    /// Format version ([`ARTIFACT_VERSION`]).
+    pub format_version: u32,
+    /// The oracle (with thresholds) that judged the scenario failing.
+    pub oracle: Oracle,
+    /// The full base experiment configuration the scenario applies to.
+    pub base: SimConfig,
+    /// The (minimal) failing scenario.
+    pub scenario: Scenario,
+    /// The oracle's evidence at record time.
+    pub detail: String,
+    /// FNV-1a fingerprint of the failing arm reports' canonical bytes.
+    pub fingerprint: String,
+}
+
+impl ReproArtifact {
+    /// Packages a counterexample.
+    pub fn new(
+        oracle: Oracle,
+        base: SimConfig,
+        scenario: Scenario,
+        detail: String,
+        fingerprint: String,
+    ) -> Self {
+        ReproArtifact {
+            format_version: ARTIFACT_VERSION,
+            oracle,
+            base,
+            scenario,
+            detail,
+            fingerprint,
+        }
+    }
+
+    /// The canonical serialized form: pretty JSON with a trailing newline.
+    pub fn to_canonical_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("artifact serializes");
+        s.push('\n');
+        s
+    }
+
+    /// Parses and validates an externally-supplied artifact.
+    pub fn from_json(json: &str) -> Result<ReproArtifact, ArtifactError> {
+        let artifact: ReproArtifact =
+            serde_json::from_str(json).map_err(|e| ArtifactError::Parse(e.to_string()))?;
+        artifact.validate()?;
+        Ok(artifact)
+    }
+
+    /// Semantic validation: version, scenario dimensions, fault-spec
+    /// ranges, reconfiguration-plan steps.
+    pub fn validate(&self) -> Result<(), ArtifactError> {
+        if self.format_version != ARTIFACT_VERSION {
+            return Err(ArtifactError::Version {
+                found: self.format_version,
+                expected: ARTIFACT_VERSION,
+            });
+        }
+        let sc = &self.scenario;
+        if sc.n_cells == 0 {
+            return Err(ArtifactError::Scenario("n_cells must be at least 1".into()));
+        }
+        if sc.cores == 0 {
+            return Err(ArtifactError::Scenario("cores must be at least 1".into()));
+        }
+        if sc.duration.as_nanos() == 0 {
+            return Err(ArtifactError::Scenario("duration must be positive".into()));
+        }
+        if !sc.load.is_finite() || sc.load <= 0.0 {
+            return Err(ArtifactError::Scenario(format!(
+                "load {} is not a positive finite fraction",
+                sc.load
+            )));
+        }
+        sc.faults.validate().map_err(ArtifactError::Faults)?;
+        if let Some(plan) = &sc.reconfig {
+            plan.validate().map_err(ArtifactError::Plan)?;
+        }
+        Ok(())
+    }
+}
+
+/// Why an externally-supplied artifact was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArtifactError {
+    /// Not parseable as artifact JSON.
+    Parse(String),
+    /// Format version mismatch.
+    Version {
+        /// Version in the file.
+        found: u32,
+        /// Version this build reads.
+        expected: u32,
+    },
+    /// A scenario dimension is out of range.
+    Scenario(String),
+    /// A fault spec is invalid.
+    Faults(FaultPlanError),
+    /// A reconfiguration step is invalid.
+    Plan(ReconfigPlanError),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Parse(e) => write!(f, "artifact does not parse: {e}"),
+            ArtifactError::Version { found, expected } => write!(
+                f,
+                "artifact format version {found} (this build reads {expected})"
+            ),
+            ArtifactError::Scenario(e) => write!(f, "scenario out of range: {e}"),
+            ArtifactError::Faults(e) => write!(f, "fault plan invalid: {e}"),
+            ArtifactError::Plan(e) => write!(f, "reconfiguration plan invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+/// The outcome of replaying an artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayOutcome {
+    /// The oracle's verdict on the replayed scenario.
+    pub verdict: Verdict,
+    /// Fingerprint of the replayed arm reports.
+    pub fingerprint: String,
+    /// `true` when the replay produced byte-identical arm reports to the
+    /// recorded run (fingerprints match).
+    pub reproduced: bool,
+}
+
+/// Re-runs an artifact's scenario under its recorded oracle and base
+/// configuration, and checks the outcome against the recorded
+/// fingerprint.
+pub fn replay(artifact: &ReproArtifact, eval: &mut dyn BatchEval) -> ReplayOutcome {
+    let outcomes = evaluate_scenarios(
+        &artifact.base,
+        &artifact.oracle,
+        std::slice::from_ref(&artifact.scenario),
+        eval,
+    );
+    let outcome = outcomes
+        .into_iter()
+        .next()
+        .expect("one scenario in, one out");
+    ReplayOutcome {
+        reproduced: outcome.fingerprint == artifact.fingerprint,
+        verdict: outcome.verdict,
+        fingerprint: outcome.fingerprint,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::SearchSpace;
+    use crate::testutil::ThresholdEval;
+    use concordia_core::reconfig::{ReconfigPlan, ReconfigStep};
+
+    fn artifact() -> ReproArtifact {
+        let base = SimConfig::paper_20mhz();
+        let scenario = SearchSpace::around(&base).extreme();
+        ReproArtifact::new(
+            Oracle::Sla {
+                min_reliability: 0.99999,
+            },
+            base,
+            scenario,
+            "reliability 0.99 vs floor 0.99999".into(),
+            "0123456789abcdef".into(),
+        )
+    }
+
+    #[test]
+    fn canonical_json_round_trips() {
+        let a = artifact();
+        let json = a.to_canonical_json();
+        assert!(json.ends_with('\n'));
+        let back = ReproArtifact::from_json(&json).expect("valid artifact");
+        assert_eq!(json, back.to_canonical_json());
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut a = artifact();
+        a.format_version = 99;
+        let err = ReproArtifact::from_json(&a.to_canonical_json()).expect_err("bad version");
+        assert!(matches!(err, ArtifactError::Version { found: 99, .. }));
+        assert!(err.to_string().contains("99"), "{err}");
+    }
+
+    #[test]
+    fn nonsense_dimensions_are_rejected() {
+        for (patch, needle) in [
+            (
+                Box::new(|a: &mut ReproArtifact| a.scenario.n_cells = 0)
+                    as Box<dyn Fn(&mut ReproArtifact)>,
+                "n_cells",
+            ),
+            (
+                Box::new(|a: &mut ReproArtifact| a.scenario.cores = 0),
+                "cores",
+            ),
+            (
+                Box::new(|a: &mut ReproArtifact| {
+                    a.scenario.duration = concordia_ran::time::Nanos(0)
+                }),
+                "duration",
+            ),
+            (
+                Box::new(|a: &mut ReproArtifact| a.scenario.load = -0.5),
+                "load",
+            ),
+        ] {
+            let mut a = artifact();
+            patch(&mut a);
+            let err = ReproArtifact::from_json(&a.to_canonical_json()).expect_err(needle);
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn invalid_fault_specs_and_plans_are_rejected_with_typed_errors() {
+        // A hand-edited severity outside the kind's hard bounds.
+        let mut a = artifact();
+        a.scenario.faults.specs[0].max_severity = 1e9;
+        let err = ReproArtifact::from_json(&a.to_canonical_json()).expect_err("severity");
+        assert!(matches!(err, ArtifactError::Faults(_)), "{err}");
+
+        // A zero-core pool resize.
+        let mut a = artifact();
+        a.scenario.reconfig = Some(ReconfigPlan::new(vec![ReconfigStep::GrowPool { cores: 0 }]));
+        let err = ReproArtifact::from_json(&a.to_canonical_json()).expect_err("plan");
+        assert!(matches!(err, ArtifactError::Plan(_)), "{err}");
+    }
+
+    #[test]
+    fn garbage_does_not_parse() {
+        assert!(matches!(
+            ReproArtifact::from_json("{ not json").expect_err("garbage"),
+            ArtifactError::Parse(_)
+        ));
+    }
+
+    #[test]
+    fn replay_reports_reproduction_via_the_fingerprint() {
+        let base = SimConfig::paper_20mhz();
+        let scenario = SearchSpace::around(&base).extreme();
+        let oracle = Oracle::Sla {
+            min_reliability: 0.99999,
+        };
+        // Record with the stub, then replay with an identical stub: the
+        // fingerprints must match and the verdict must still fail.
+        let mut eval = ThresholdEval::storms_above(1.0);
+        let recorded =
+            evaluate_scenarios(&base, &oracle, std::slice::from_ref(&scenario), &mut eval)
+                .remove(0);
+        assert!(recorded.verdict.failed);
+        let a = ReproArtifact::new(
+            oracle,
+            base,
+            scenario,
+            recorded.verdict.detail.clone(),
+            recorded.fingerprint.clone(),
+        );
+        let mut replay_eval = ThresholdEval::storms_above(1.0);
+        let outcome = replay(&a, &mut replay_eval);
+        assert!(outcome.reproduced);
+        assert!(outcome.verdict.failed);
+        // A behavioural change (different threshold) breaks reproduction.
+        let mut drifted_eval = ThresholdEval::storms_above(1e9);
+        let outcome = replay(&a, &mut drifted_eval);
+        assert!(!outcome.verdict.failed);
+        assert!(!outcome.reproduced);
+    }
+}

@@ -1,0 +1,157 @@
+//! The deterministic search report.
+
+use crate::artifact::ReproArtifact;
+use crate::oracle::Oracle;
+use crate::scenario::{Scenario, ScenarioSize};
+use crate::shrink::ShrinkStep;
+use serde::{Deserialize, Serialize};
+
+/// One found-and-shrunk counterexample.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CounterExample {
+    /// The scenario as the strategy found it.
+    pub found: Scenario,
+    /// Its size.
+    pub found_size: ScenarioSize,
+    /// The oracle's evidence on the found scenario.
+    pub found_detail: String,
+    /// The minimal still-failing scenario after shrinking.
+    pub minimal: Scenario,
+    /// Its size.
+    pub minimal_size: ScenarioSize,
+    /// The oracle's evidence on the minimal scenario.
+    pub minimal_detail: String,
+    /// Accepted shrink steps, in order.
+    pub shrink_trace: Vec<ShrinkStep>,
+    /// Simulator runs the shrink spent.
+    pub shrink_evaluations: u64,
+    /// The self-contained replayable artifact (`--replay` input).
+    pub artifact: ReproArtifact,
+}
+
+/// The outcome of one adversarial search: a pure function of
+/// `(base config, space, oracle, strategy, settings)` — never of worker
+/// count, wall-clock or iteration order of any hash map. CI byte-compares
+/// the canonical form across `--jobs` values.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchReport {
+    /// Strategy name.
+    pub strategy: String,
+    /// The oracle searched against (with its thresholds).
+    pub oracle: Oracle,
+    /// Master seed.
+    pub seed: u64,
+    /// Simulator-run budget the search phase was given.
+    pub budget: u64,
+    /// Simulator runs actually spent (search + shrinking).
+    pub evaluations: u64,
+    /// Scenarios the search phase judged.
+    pub scenarios_evaluated: u64,
+    /// Counterexamples found, in discovery order, each shrunk.
+    pub counterexamples: Vec<CounterExample>,
+}
+
+impl SearchReport {
+    /// `true` when the search found at least one counterexample.
+    pub fn found(&self) -> bool {
+        !self.counterexamples.is_empty()
+    }
+
+    /// The canonical serialized form: pretty JSON with a trailing newline.
+    /// Byte-compared by CI (`--jobs 1` vs `--jobs $(nproc)`), so its
+    /// formatting must never depend on anything but the content.
+    pub fn to_canonical_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("search report serializes");
+        s.push('\n');
+        s
+    }
+
+    /// One-line human-readable summary.
+    pub fn one_liner(&self) -> String {
+        match self.counterexamples.first() {
+            None => format!(
+                "{}/{}: no counterexample in {} scenarios ({} runs)",
+                self.strategy,
+                self.oracle.name(),
+                self.scenarios_evaluated,
+                self.evaluations
+            ),
+            Some(ce) => format!(
+                "{}/{}: counterexample after {} scenarios, shrunk {} -> {} fault windows ({}; {})",
+                self.strategy,
+                self.oracle.name(),
+                self.scenarios_evaluated,
+                ce.found_size.fault_windows,
+                ce.minimal_size.fault_windows,
+                ce.minimal.one_liner(),
+                ce.minimal_detail
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concordia_core::config::SimConfig;
+
+    fn dummy() -> SearchReport {
+        let base = SimConfig::paper_20mhz();
+        let space = crate::scenario::SearchSpace::around(&base);
+        let found = space.extreme();
+        let minimal = space.baseline();
+        SearchReport {
+            strategy: "random".into(),
+            oracle: Oracle::Sla {
+                min_reliability: 0.99999,
+            },
+            seed: 7,
+            budget: 64,
+            evaluations: 40,
+            scenarios_evaluated: 32,
+            counterexamples: vec![CounterExample {
+                found: found.clone(),
+                found_size: found.size(),
+                found_detail: "reliability 0.99 vs floor 0.99999".into(),
+                minimal: minimal.clone(),
+                minimal_size: minimal.size(),
+                minimal_detail: "reliability 0.99 vs floor 0.99999".into(),
+                shrink_trace: vec![ShrinkStep {
+                    round: 1,
+                    action: "drop fault window #0 (core_offline)".into(),
+                    size: minimal.size(),
+                    detail: "reliability 0.99 vs floor 0.99999".into(),
+                }],
+                shrink_evaluations: 12,
+                artifact: ReproArtifact::new(
+                    Oracle::Sla {
+                        min_reliability: 0.99999,
+                    },
+                    base,
+                    minimal.clone(),
+                    "reliability 0.99 vs floor 0.99999".into(),
+                    "0123456789abcdef".into(),
+                ),
+            }],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_and_is_canonical() {
+        let r = dummy();
+        let json = r.to_canonical_json();
+        assert!(json.ends_with('\n'));
+        let back: SearchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(json, back.to_canonical_json());
+        assert!(r.found());
+    }
+
+    #[test]
+    fn one_liner_covers_both_outcomes() {
+        let r = dummy();
+        assert!(r.one_liner().contains("counterexample"));
+        let mut none = r.clone();
+        none.counterexamples.clear();
+        assert!(none.one_liner().contains("no counterexample"));
+    }
+}

@@ -1,0 +1,649 @@
+//! Search strategies and the top-level search loop.
+//!
+//! Three ways of walking the space:
+//!
+//! * **Random** — seeded uniform sampling. Scenario `i` is drawn from
+//!   `Rng::new(derive_seed(seed, i))`, so the stream is independent of
+//!   batch boundaries and of everything drawn before it.
+//! * **Bisection** — start at the space's most adversarial corner and
+//!   coordinate-bisect the numeric knobs (cores, load, severity) toward
+//!   benign, keeping the failing side. Cheap when failures are monotone
+//!   in the knobs, which overload failures usually are.
+//! * **Beam** — greedy beam over fault × traffic × reconfig combinations:
+//!   grow adversarial components one at a time onto the nominal scenario,
+//!   keeping the `width` most failure-adjacent candidates per level.
+//!
+//! Every simulator run flows through one [`BatchEval`], which enforces
+//! the evaluation budget and keeps the whole search — including every
+//! shrink — a pure function of `(base, space, oracle, strategy,
+//! settings)`. `--jobs` never changes a byte of the report.
+
+use crate::artifact::ReproArtifact;
+use crate::oracle::{evaluate_scenarios, Oracle, Outcome};
+use crate::report::{CounterExample, SearchReport};
+use crate::scenario::{Scenario, SearchSpace};
+use crate::shrink::shrink;
+use concordia_core::config::SimConfig;
+use concordia_core::runner::BatchEval;
+use concordia_stats::chacha::derive_seed;
+use concordia_stats::rng::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Which search strategy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Seeded uniform sampling, evaluated `batch` scenarios at a time.
+    Random {
+        /// Scenarios per evaluation batch.
+        batch: usize,
+    },
+    /// Coordinate bisection from the adversarial corner, `iters` binary
+    ///-search probes per axis.
+    Bisection {
+        /// Probes per numeric axis.
+        iters: usize,
+    },
+    /// Greedy beam search, `width` candidates kept per level, `depth`
+    /// levels of component composition.
+    Beam {
+        /// Beam width.
+        width: usize,
+        /// Composition depth.
+        depth: usize,
+    },
+}
+
+impl Strategy {
+    /// Stable display name (CLI `--strategy` argument, report field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Random { .. } => "random",
+            Strategy::Bisection { .. } => "bisection",
+            Strategy::Beam { .. } => "beam",
+        }
+    }
+
+    /// Parses a CLI name back to a strategy with its default shape.
+    pub fn from_name(s: &str) -> Option<Strategy> {
+        match s {
+            "random" => Some(Strategy::Random { batch: 8 }),
+            "bisection" => Some(Strategy::Bisection { iters: 5 }),
+            "beam" => Some(Strategy::Beam { width: 4, depth: 3 }),
+            _ => None,
+        }
+    }
+}
+
+/// Knobs of one search run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchSettings {
+    /// Master seed; every sampled scenario derives its own stream.
+    pub seed: u64,
+    /// Simulator-run budget for the search phase.
+    pub budget: u64,
+    /// Simulator-run budget for shrinking *each* counterexample.
+    pub shrink_budget: u64,
+    /// Stop after this many counterexamples (each is shrunk).
+    pub max_counterexamples: usize,
+    /// Scenarios evaluated before the strategy runs — planted probes,
+    /// regression corpora, last session's minimal counterexamples.
+    pub corpus: Vec<Scenario>,
+}
+
+impl Default for SearchSettings {
+    fn default() -> Self {
+        SearchSettings {
+            seed: 1,
+            budget: 64,
+            shrink_budget: 96,
+            max_counterexamples: 1,
+            corpus: Vec::new(),
+        }
+    }
+}
+
+/// Book-keeping shared by the three strategy loops.
+struct SearchState<'a> {
+    base: &'a SimConfig,
+    oracle: &'a Oracle,
+    settings: &'a SearchSettings,
+    start_evals: u64,
+    scenarios_evaluated: u64,
+    counterexamples: Vec<CounterExample>,
+}
+
+impl<'a> SearchState<'a> {
+    /// Scenario evaluations (not simulator runs) still affordable.
+    fn affordable(&self, eval: &dyn BatchEval) -> usize {
+        let spent = eval.evaluations() - self.start_evals;
+        let remaining = self.settings.budget.saturating_sub(spent);
+        (remaining / self.oracle.arms() as u64) as usize
+    }
+
+    fn done(&self) -> bool {
+        self.counterexamples.len() >= self.settings.max_counterexamples
+    }
+
+    /// Evaluates `scenarios` (truncated to the remaining budget) and
+    /// shrinks every failing one. Returns the outcomes of the evaluated
+    /// prefix — strategies use them to steer.
+    fn evaluate(
+        &mut self,
+        mut scenarios: Vec<Scenario>,
+        eval: &mut dyn BatchEval,
+    ) -> (Vec<Scenario>, Vec<Outcome>) {
+        let affordable = self.affordable(eval);
+        if scenarios.len() > affordable {
+            scenarios.truncate(affordable);
+        }
+        if scenarios.is_empty() {
+            return (scenarios, Vec::new());
+        }
+        let outcomes = evaluate_scenarios(self.base, self.oracle, &scenarios, eval);
+        self.scenarios_evaluated += scenarios.len() as u64;
+        for (sc, outcome) in scenarios.iter().zip(&outcomes) {
+            if !outcome.verdict.failed || self.done() {
+                continue;
+            }
+            self.counterexamples.push(minimize(
+                self.base,
+                self.oracle,
+                sc,
+                outcome,
+                self.settings.shrink_budget,
+                eval,
+            ));
+        }
+        (scenarios, outcomes)
+    }
+}
+
+/// Shrinks one failing scenario and packages it as a counterexample.
+fn minimize(
+    base: &SimConfig,
+    oracle: &Oracle,
+    found: &Scenario,
+    outcome: &Outcome,
+    shrink_budget: u64,
+    eval: &mut dyn BatchEval,
+) -> CounterExample {
+    let shrunk = shrink(
+        base,
+        oracle,
+        found,
+        &outcome.verdict.detail,
+        &outcome.fingerprint,
+        shrink_budget,
+        eval,
+    );
+    let artifact = ReproArtifact::new(
+        oracle.clone(),
+        base.clone(),
+        shrunk.minimal.clone(),
+        shrunk.minimal_detail.clone(),
+        shrunk.minimal_fingerprint.clone(),
+    );
+    CounterExample {
+        found: found.clone(),
+        found_size: found.size(),
+        found_detail: outcome.verdict.detail.clone(),
+        minimal: shrunk.minimal.clone(),
+        minimal_size: shrunk.minimal.size(),
+        minimal_detail: shrunk.minimal_detail,
+        shrink_trace: shrunk.trace,
+        shrink_evaluations: shrunk.evaluations,
+        artifact,
+    }
+}
+
+/// Runs one adversarial search. Every simulator run — corpus probes,
+/// strategy exploration, shrinking — goes through `eval` and counts
+/// against the budgets in `settings`.
+pub fn run_search(
+    base: &SimConfig,
+    space: &SearchSpace,
+    oracle: &Oracle,
+    strategy: Strategy,
+    settings: &SearchSettings,
+    eval: &mut dyn BatchEval,
+) -> SearchReport {
+    let mut state = SearchState {
+        base,
+        oracle,
+        settings,
+        start_evals: eval.evaluations(),
+        scenarios_evaluated: 0,
+        counterexamples: Vec::new(),
+    };
+
+    // Planted probes first: a corpus hit costs nothing to find.
+    if !settings.corpus.is_empty() && !state.done() {
+        state.evaluate(settings.corpus.clone(), eval);
+    }
+
+    match strategy {
+        Strategy::Random { batch } => random_loop(&mut state, space, batch.max(1), eval),
+        Strategy::Bisection { iters } => bisection_loop(&mut state, space, iters.max(1), eval),
+        Strategy::Beam { width, depth } => {
+            beam_loop(&mut state, space, width.max(1), depth.max(1), eval)
+        }
+    }
+
+    SearchReport {
+        strategy: strategy.name().to_string(),
+        oracle: oracle.clone(),
+        seed: settings.seed,
+        budget: settings.budget,
+        evaluations: eval.evaluations() - state.start_evals,
+        scenarios_evaluated: state.scenarios_evaluated,
+        counterexamples: state.counterexamples,
+    }
+}
+
+/// Seeded uniform sampling: scenario `i` comes from stream `i` of the
+/// master seed regardless of batch size.
+fn random_loop(
+    state: &mut SearchState,
+    space: &SearchSpace,
+    batch: usize,
+    eval: &mut dyn BatchEval,
+) {
+    let mut index: u64 = 0;
+    while !state.done() && state.affordable(eval) > 0 {
+        let n = batch.min(state.affordable(eval));
+        let scenarios: Vec<Scenario> = (0..n)
+            .map(|k| {
+                let mut rng = Rng::new(derive_seed(state.settings.seed, index + k as u64));
+                space.sample(&mut rng)
+            })
+            .collect();
+        index += n as u64;
+        state.evaluate(scenarios, eval);
+    }
+}
+
+/// Coordinate bisection: establish that the adversarial corner fails,
+/// then walk each numeric axis toward benign with `iters` binary-search
+/// probes, keeping the failing side. The surviving scenario is the
+/// counterexample (the shrinker then minimizes its structure too).
+fn bisection_loop(
+    state: &mut SearchState,
+    space: &SearchSpace,
+    iters: usize,
+    eval: &mut dyn BatchEval,
+) {
+    if state.done() || state.affordable(eval) == 0 {
+        return;
+    }
+    let corner = space.extreme();
+    let (evaluated, outcomes) = probe(state, vec![corner.clone()], eval);
+    if evaluated.is_empty() || !outcomes[0].verdict.failed {
+        // The corner survives: nothing on the benign side of it can fail
+        // monotonically; report no counterexample from this strategy.
+        return;
+    }
+    let mut failing = corner;
+    let mut failing_outcome = outcomes[0].clone();
+
+    // t = 0 keeps the axis at its adversarial end, t = 1 moves it all the
+    // way to benign. For each axis, bisect for the largest still-failing t.
+    type Axis = fn(&SearchSpace, &Scenario, f64) -> Scenario;
+    let axes: [(&str, Axis); 3] = [
+        ("cores", axis_cores),
+        ("load", axis_load),
+        ("severity", axis_severity),
+    ];
+    'axes: for (_, apply_axis) in axes {
+        let mut lo = 0.0_f64; // known failing
+        let mut hi = 1.0_f64; // presumed passing
+        for _ in 0..iters {
+            // Out of budget mid-walk: stop refining, but still report the
+            // failing survivor below — a found counterexample is never
+            // discarded for running out of probes.
+            if state.done() || state.affordable(eval) == 0 {
+                break 'axes;
+            }
+            let mid = (lo + hi) / 2.0;
+            let cand = apply_axis(space, &failing, mid);
+            if cand == failing {
+                break;
+            }
+            let (evaluated, outcomes) = probe(state, vec![cand.clone()], eval);
+            if evaluated.is_empty() {
+                break 'axes;
+            }
+            if outcomes[0].verdict.failed {
+                lo = mid;
+                failing = cand;
+                failing_outcome = outcomes[0].clone();
+            } else {
+                hi = mid;
+            }
+        }
+    }
+    if !state.done() {
+        let ce = minimize(
+            state.base,
+            state.oracle,
+            &failing,
+            &failing_outcome,
+            state.settings.shrink_budget,
+            eval,
+        );
+        state.counterexamples.push(ce);
+    }
+}
+
+/// Evaluate scenarios *without* auto-shrinking (bisection probes steer the
+/// axis walk; only the final survivor becomes a counterexample).
+fn probe(
+    state: &mut SearchState,
+    scenarios: Vec<Scenario>,
+    eval: &mut dyn BatchEval,
+) -> (Vec<Scenario>, Vec<Outcome>) {
+    let affordable = state.affordable(eval);
+    let mut scenarios = scenarios;
+    if scenarios.len() > affordable {
+        scenarios.truncate(affordable);
+    }
+    if scenarios.is_empty() {
+        return (scenarios, Vec::new());
+    }
+    let outcomes = evaluate_scenarios(state.base, state.oracle, &scenarios, eval);
+    state.scenarios_evaluated += scenarios.len() as u64;
+    (scenarios, outcomes)
+}
+
+fn axis_cores(space: &SearchSpace, sc: &Scenario, t: f64) -> Scenario {
+    let (lo, hi) = space.cores; // lo = adversarial, hi = benign
+    let cores = lo + ((hi - lo) as f64 * t).round() as u32;
+    Scenario {
+        cores: cores.clamp(lo, hi),
+        ..sc.clone()
+    }
+}
+
+fn axis_load(space: &SearchSpace, sc: &Scenario, t: f64) -> Scenario {
+    let (lo, hi) = space.load; // hi = adversarial, lo = benign
+    Scenario {
+        load: hi + (lo - hi) * t,
+        ..sc.clone()
+    }
+}
+
+fn axis_severity(_space: &SearchSpace, sc: &Scenario, t: f64) -> Scenario {
+    let mut faults = sc.faults.clone();
+    for spec in &mut faults.specs {
+        *spec = spec.severity_toward_benign(t);
+    }
+    Scenario {
+        faults,
+        ..sc.clone()
+    }
+}
+
+/// Greedy beam: grow adversarial components onto the nominal scenario,
+/// keeping the `width` highest-scoring candidates per level.
+fn beam_loop(
+    state: &mut SearchState,
+    space: &SearchSpace,
+    width: usize,
+    depth: usize,
+    eval: &mut dyn BatchEval,
+) {
+    let mut seen: HashSet<String> = HashSet::new();
+    let root = space.nominal(state.base);
+    seen.insert(scenario_key(&root));
+    let mut beam: Vec<Scenario> = vec![root];
+    for _ in 0..depth {
+        if state.done() || state.affordable(eval) == 0 {
+            return;
+        }
+        // Expansion order is deterministic: beam order × move order.
+        let mut level: Vec<Scenario> = Vec::new();
+        for sc in &beam {
+            for cand in beam_moves(space, sc) {
+                if seen.insert(scenario_key(&cand)) {
+                    level.push(cand);
+                }
+            }
+        }
+        if level.is_empty() {
+            return;
+        }
+        let (evaluated, outcomes) = state.evaluate(level, eval);
+        if state.done() || evaluated.is_empty() {
+            return;
+        }
+        // Keep the `width` best by score; ties go to the earlier candidate
+        // (stable sort), which keeps the report jobs- and HashMap-free.
+        let mut ranked: Vec<(usize, f64)> = outcomes.iter().map(|o| o.score).enumerate().collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        beam = ranked
+            .into_iter()
+            .take(width)
+            .map(|(i, _)| evaluated[i].clone())
+            .collect();
+    }
+}
+
+/// Single-component adversarial moves from `sc`, in a fixed order.
+fn beam_moves(space: &SearchSpace, sc: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    // One more fault window, per kind.
+    if sc.faults.specs.len() < space.max_windows.max(space.fault_kinds.len()) {
+        for &kind in &space.fault_kinds {
+            let mut faults = sc.faults.clone();
+            faults
+                .specs
+                .push(concordia_platform::faults::FaultSpec::fixed(
+                    kind,
+                    sc.duration.scale(0.30),
+                    sc.duration.scale(space.window_frac.1),
+                    SearchSpace::adversarial_severity(kind),
+                ));
+            out.push(Scenario {
+                faults,
+                ..sc.clone()
+            });
+        }
+    }
+    // More traffic.
+    let bumped = (sc.load + 0.15).min(space.load.1);
+    if bumped > sc.load {
+        out.push(Scenario {
+            load: bumped,
+            ..sc.clone()
+        });
+    }
+    // Fewer cores.
+    if sc.cores > space.cores.0 {
+        out.push(Scenario {
+            cores: sc.cores - 1,
+            ..sc.clone()
+        });
+    }
+    // More cells.
+    if sc.n_cells < space.cells.1 {
+        out.push(Scenario {
+            n_cells: sc.n_cells + 1,
+            ..sc.clone()
+        });
+    }
+    // One more plan step.
+    let have = sc.reconfig.as_ref().map_or(0, |p| p.steps.len());
+    if have < space.max_plan_steps {
+        for &step in &space.plan_steps {
+            let mut steps = sc
+                .reconfig
+                .as_ref()
+                .map_or_else(Vec::new, |p| p.steps.clone());
+            steps.push(step);
+            out.push(Scenario {
+                reconfig: Some(concordia_core::reconfig::ReconfigPlan::new(steps)),
+                ..sc.clone()
+            });
+        }
+    }
+    out
+}
+
+/// Dedup key: the serialized scenario. Only used for set membership —
+/// never iterated — so the `HashSet` cannot perturb determinism.
+fn scenario_key(sc: &Scenario) -> String {
+    serde_json::to_string(sc).expect("scenario serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::ThresholdEval;
+
+    fn base() -> SimConfig {
+        SimConfig::paper_20mhz()
+    }
+
+    fn settings(budget: u64) -> SearchSettings {
+        SearchSettings {
+            seed: 42,
+            budget,
+            shrink_budget: 400,
+            max_counterexamples: 1,
+            corpus: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn every_strategy_finds_the_storm_with_a_stub() {
+        let b = base();
+        let space = SearchSpace::around(&b);
+        for strategy in [
+            Strategy::Random { batch: 8 },
+            Strategy::Bisection { iters: 4 },
+            Strategy::Beam { width: 3, depth: 3 },
+        ] {
+            let mut eval = ThresholdEval::storms_above(1.0);
+            let report = run_search(
+                &b,
+                &space,
+                &eval.oracle(),
+                strategy,
+                &settings(400),
+                &mut eval,
+            );
+            assert_eq!(
+                report.counterexamples.len(),
+                1,
+                "{} found nothing",
+                strategy.name()
+            );
+            let ce = &report.counterexamples[0];
+            assert!(
+                ce.minimal_size <= ce.found_size,
+                "{}: shrink grew the scenario",
+                strategy.name()
+            );
+            assert!(ce
+                .minimal
+                .faults
+                .specs
+                .iter()
+                .any(|s| { s.kind == concordia_platform::faults::FaultKind::StormAmplification }));
+            assert_eq!(report.evaluations, eval.evaluations());
+            assert!(report.evaluations <= 400 + 400);
+        }
+    }
+
+    #[test]
+    fn corpus_probe_is_found_first_and_shrunk() {
+        let b = base();
+        let space = SearchSpace::around(&b);
+        let mut eval = ThresholdEval::storms_above(1.0);
+        let mut s = settings(100);
+        s.corpus = vec![space.extreme()];
+        let report = run_search(
+            &b,
+            &space,
+            &eval.oracle(),
+            Strategy::Random { batch: 8 },
+            &s,
+            &mut eval,
+        );
+        assert_eq!(report.counterexamples.len(), 1);
+        assert_eq!(report.counterexamples[0].found, space.extreme());
+        assert!(report.counterexamples[0].minimal_size < space.extreme().size());
+    }
+
+    #[test]
+    fn clean_stub_reports_no_counterexample() {
+        // Threshold above every drawable severity: nothing fails.
+        let b = base();
+        let space = SearchSpace::around(&b);
+        for strategy in [
+            Strategy::Random { batch: 8 },
+            Strategy::Bisection { iters: 4 },
+            Strategy::Beam { width: 3, depth: 2 },
+        ] {
+            let mut eval = ThresholdEval::storms_above(1e9);
+            let report = run_search(
+                &b,
+                &space,
+                &eval.oracle(),
+                strategy,
+                &settings(60),
+                &mut eval,
+            );
+            assert!(
+                report.counterexamples.is_empty(),
+                "{} hallucinated",
+                strategy.name()
+            );
+            assert!(report.evaluations <= 60);
+        }
+    }
+
+    #[test]
+    fn search_respects_the_budget_exactly() {
+        let b = base();
+        let space = SearchSpace::around(&b);
+        let mut eval = ThresholdEval::storms_above(1e9);
+        let report = run_search(
+            &b,
+            &space,
+            &eval.oracle(),
+            Strategy::Random { batch: 7 },
+            &settings(20),
+            &mut eval,
+        );
+        assert_eq!(report.evaluations, 20);
+        assert_eq!(report.scenarios_evaluated, 20);
+    }
+
+    #[test]
+    fn search_report_is_deterministic() {
+        let b = base();
+        let space = SearchSpace::around(&b);
+        let run = || {
+            let mut eval = ThresholdEval::storms_above(1.0);
+            run_search(
+                &b,
+                &space,
+                &eval.oracle(),
+                Strategy::Beam { width: 3, depth: 3 },
+                &settings(300),
+                &mut eval,
+            )
+            .to_canonical_json()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn strategy_names_round_trip() {
+        for name in ["random", "bisection", "beam"] {
+            assert_eq!(Strategy::from_name(name).expect(name).name(), name);
+        }
+        assert!(Strategy::from_name("oracle").is_none());
+    }
+}

@@ -22,6 +22,10 @@
 //! * [`sched`] — the Concordia federated mixed-criticality scheduler and
 //!   the FlexRAN / Shenango / utilization baselines.
 //! * [`core`] — the end-to-end experiment engine.
+//! * [`search`] — adversarial scenario search: strategies that hunt for
+//!   SLA-breaking fault × traffic × reconfiguration schedules, shrink
+//!   them to minimal counterexamples, and package replayable repro
+//!   artifacts.
 //!
 //! ## Quickstart
 //!
@@ -43,5 +47,6 @@ pub use concordia_platform as platform;
 pub use concordia_predictor as predictor;
 pub use concordia_ran as ran;
 pub use concordia_sched as sched;
+pub use concordia_search as search;
 pub use concordia_stats as stats;
 pub use concordia_traffic as traffic;
