@@ -55,6 +55,7 @@ fn motivation_configs() -> Vec<(String, SimConfig)> {
         supervisor: None,
         trace: None,
         reconfig: None,
+        engine: concordia_platform::events::EngineChoice::default(),
     };
     vec![
         (

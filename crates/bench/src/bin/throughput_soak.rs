@@ -1,0 +1,426 @@
+//! Throughput soak — the first engine benchmark: simulated slots/sec of
+//! the per-slot hot path at C ∈ {1, 16, 100} pooled 100 MHz cells, run
+//! under both event engines (`legacy` binary heap vs `wheel` calendar
+//! queue + allocation-free hot path).
+//!
+//! Two outputs:
+//!
+//! - `throughput_soak.json` (under `bench-results/` or
+//!   `CONCORDIA_RESULTS_DIR`): the *deterministic* soak results — per-C
+//!   DAG counts, violations, reliability and report fingerprints. These
+//!   bytes are identical for both engines (the engines are byte-identical
+//!   by contract) and independent of `--jobs` and of the host, so CI can
+//!   diff the file across engine and jobs settings.
+//! - `BENCH_throughput.json` in the working directory: the *timing*
+//!   figures — wall-clock, simulated cell-slots/sec per engine, and the
+//!   wheel/legacy speedup per C. Machine-dependent, committed at the repo
+//!   root as the reference measurement.
+//!
+//! Two throughput figures appear per pool size, and they answer different
+//! questions:
+//!
+//! - *end-to-end* slots/sec: the whole simulation under each engine. The
+//!   slot physics (traffic draws, cost sampling, per-node WCET
+//!   prediction, metrics) is byte-identical between engines by contract,
+//!   so it bounds this ratio well below the engines' own gap — the
+//!   honest number for "how much faster are my experiments" (~1.2–1.4×).
+//! - *engine hot loop* slots/sec: the C-cell slot-boundary event pattern
+//!   (pushes of jittered task completions, in-order drains at every
+//!   boundary) replayed through each queue implementation in isolation.
+//!   This measures the event engine itself — the thing this benchmark
+//!   gates — where the calendar queue's O(1) operations beat the binary
+//!   heap's O(log n) on a thousands-deep queue.
+//!
+//! `--check` turns the run into a CI gate:
+//!
+//! - legacy and wheel canonical reports must be byte-identical at every C;
+//! - the wheel engine's hot loop must sustain ≥ 2× the legacy hot-loop
+//!   slots/sec on the C = 16 event pattern (both replays must also agree
+//!   on a drain-order checksum — same events, same order);
+//! - every scenario must complete DAGs (a silent no-op run is a failure).
+//!
+//! Runs are sequential by design — each engine's wall-clock is measured
+//! in isolation, so `--jobs` is accepted (CLI symmetry with the other
+//! soaks) but never changes scheduling or a single output byte.
+
+use concordia_bench::{
+    banner, bool_flag, f64_flag, seed_from_args, u64_flag, write_json, RunLength,
+};
+use concordia_core::{Colocation, SimConfig, Simulation};
+use concordia_platform::events::{EngineChoice, EngineQueue};
+use concordia_ran::time::Nanos;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Task-completion events pushed per cell-slot in the hot-loop replay —
+/// the node count of a typical 100 MHz load-0.5 slot pair.
+const EVENTS_PER_SLOT: u64 = 40;
+
+/// Replays `slots` slot boundaries of a `cells`-cell staggered deployment
+/// through one event-queue implementation: at every boundary the due
+/// events are drained in time order, then the boundary's task completions
+/// are pushed at deterministically jittered offsets up to three slots
+/// ahead (the deadline window), keeping the queue thousands of entries
+/// deep at C = 16 — the same pressure the simulation applies, minus the
+/// simulation. Returns cell-slots/sec and a drain-order checksum that
+/// must agree across engines.
+fn engine_hot_loop(engine: EngineChoice, cells: u64, slots: u64) -> (f64, u64) {
+    let mut q: EngineQueue<u64> = EngineQueue::new(engine);
+    let slot_ns: u64 = 500_000; // 100 MHz numerology: 0.5 ms slots
+    let stagger = slot_ns / cells.max(1);
+    let mut jitter: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut payload: u64 = 0;
+    let mut checksum: u64 = 0;
+    let drain = |q: &mut EngineQueue<u64>, t_end: Nanos, sum: &mut u64| {
+        while let Some((t, p)) = q.pop_due(t_end) {
+            *sum = sum.wrapping_mul(31).wrapping_add(t.as_nanos() ^ p);
+        }
+    };
+    let t0 = Instant::now();
+    for s in 0..slots {
+        for c in 0..cells {
+            let boundary = Nanos(s * slot_ns + c * stagger);
+            drain(&mut q, boundary, &mut checksum);
+            for _ in 0..EVENTS_PER_SLOT {
+                // xorshift64: cheap, deterministic completion jitter.
+                jitter ^= jitter << 13;
+                jitter ^= jitter >> 7;
+                jitter ^= jitter << 17;
+                let offset = 10_000 + jitter % (3 * slot_ns);
+                q.push(boundary + Nanos(offset), payload);
+                payload += 1;
+            }
+        }
+    }
+    drain(&mut q, Nanos(u64::MAX), &mut checksum);
+    let rate = (slots * cells) as f64 / t0.elapsed().as_secs_f64();
+    (rate, checksum)
+}
+
+/// One pooled-deployment size of the sweep.
+struct Scenario {
+    cells: u32,
+    cores: u32,
+    /// Simulated online duration in milliseconds for this run length.
+    sim_millis: u64,
+}
+
+/// Timing row for `BENCH_throughput.json` (one per scenario × engine).
+#[derive(Serialize)]
+struct TimingRow {
+    engine: &'static str,
+    cells: u32,
+    cores: u32,
+    sim_secs: f64,
+    cell_slots: u64,
+    build_secs: f64,
+    run_secs: f64,
+    slots_per_sec: f64,
+}
+
+/// Wheel-over-legacy throughput ratio at one pool size.
+#[derive(Serialize)]
+struct SpeedupRow {
+    cells: u32,
+    speedup: f64,
+}
+
+/// Hot-loop replay row for `BENCH_throughput.json` (one per pool size ×
+/// engine).
+#[derive(Serialize)]
+struct HotLoopRow {
+    engine: &'static str,
+    cells: u32,
+    slots: u64,
+    slots_per_sec: f64,
+}
+
+/// Deterministic row for the soak JSON (one per scenario; engine-free —
+/// both engines produce these exact values by the byte-identity contract).
+#[derive(Serialize)]
+struct SoakRow {
+    cells: u32,
+    cores: u32,
+    sim_secs: f64,
+    cell_slots: u64,
+    dags: usize,
+    violations: u64,
+    reliability: f64,
+    fingerprint: String,
+}
+
+fn scenarios(len: RunLength) -> Vec<Scenario> {
+    // ~3.2 cores/cell at load 0.5 keeps every size feasible; durations
+    // shrink with C so the largest pool stays runnable on CI while the
+    // long preset still covers minutes of simulated time in total.
+    let (c1, c16, c100) = match len {
+        RunLength::Quick => (2_000, 1_000, 200),
+        RunLength::Standard => (10_000, 6_000, 1_000),
+        RunLength::Long => (90_000, 60_000, 6_000),
+    };
+    vec![
+        Scenario {
+            cells: 1,
+            cores: 6,
+            sim_millis: c1,
+        },
+        Scenario {
+            cells: 16,
+            cores: 52,
+            sim_millis: c16,
+        },
+        Scenario {
+            cells: 100,
+            cores: 320,
+            sim_millis: c100,
+        },
+    ]
+}
+
+fn config(s: &Scenario, seed: u64, len: RunLength, engine: EngineChoice) -> SimConfig {
+    let mut cfg = SimConfig::paper_100mhz();
+    cfg.n_cells = s.cells;
+    cfg.cores = s.cores;
+    cfg.load = f64_flag("--load", 0.5);
+    cfg.cell_stagger = !bool_flag("--no-stagger");
+    cfg.duration = Nanos::from_millis(s.sim_millis);
+    cfg.profiling_slots = len.profiling_slots();
+    cfg.seed = seed;
+    cfg.colocation = Colocation::Isolated;
+    cfg.engine = engine;
+    cfg
+}
+
+fn main() {
+    let len = RunLength::from_args();
+    let seed = seed_from_args();
+    let check = bool_flag("--check");
+    // `--engine legacy|wheel` restricts the sweep to one engine (for
+    // cross-process byte diffs and profiling); default runs both and
+    // byte-compares inline. `--cells N` restricts to one pool size;
+    // `--secs N` overrides every scenario's simulated duration.
+    let engines: Vec<EngineChoice> = match std::env::args()
+        .skip_while(|a| a != "--engine")
+        .nth(1)
+        .as_deref()
+    {
+        Some("legacy") => vec![EngineChoice::Legacy],
+        Some("wheel") => vec![EngineChoice::Wheel],
+        _ => vec![EngineChoice::Legacy, EngineChoice::Wheel],
+    };
+    let only_cells = u64_flag("--cells", 0) as u32;
+    let secs_override = u64_flag("--secs", 0);
+
+    banner(
+        "engine throughput (slots/sec)",
+        "the calendar-queue engine sustains >=2x the legacy slots/sec at C=16, \
+         byte-identical reports",
+    );
+
+    let mut timing: Vec<TimingRow> = Vec::new();
+    let mut soak: Vec<SoakRow> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    let mut speedups: Vec<SpeedupRow> = Vec::new();
+
+    println!(
+        "\n{:>6} {:>6} {:>7} {:>8} {:>11} {:>9} {:>9} {:>12}",
+        "engine", "cells", "cores", "sim_s", "cell_slots", "build_s", "run_s", "slots/sec"
+    );
+    let mut sweep = scenarios(len);
+    if only_cells > 0 {
+        sweep.retain(|s| s.cells == only_cells);
+    }
+    if secs_override > 0 {
+        for s in &mut sweep {
+            s.sim_millis = secs_override * 1_000;
+        }
+    }
+    for s in &sweep {
+        let sim_secs = s.sim_millis as f64 / 1e3;
+        let mut jsons: Vec<String> = Vec::new();
+        let mut rates: Vec<f64> = Vec::new();
+        for &engine in &engines {
+            let cfg = config(s, seed, len, engine);
+            let slot = cfg.cell.slot_duration().as_nanos();
+            let cell_slots = cfg.duration.as_nanos() / slot * s.cells as u64;
+
+            let t = Instant::now();
+            let sim = Simulation::new(cfg);
+            let build_secs = t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            let report = sim.run();
+            let run_secs = t.elapsed().as_secs_f64();
+            let slots_per_sec = cell_slots as f64 / run_secs;
+
+            println!(
+                "{:>6} {:>6} {:>7} {:>8.1} {:>11} {:>9.2} {:>9.2} {:>12.0}",
+                engine.name(),
+                s.cells,
+                s.cores,
+                sim_secs,
+                cell_slots,
+                build_secs,
+                run_secs,
+                slots_per_sec
+            );
+            if report.metrics.dags == 0 {
+                failures.push(format!(
+                    "C={} {}: run completed no DAGs",
+                    s.cells,
+                    engine.name()
+                ));
+            }
+            if engine == *engines.last().unwrap() {
+                soak.push(SoakRow {
+                    cells: s.cells,
+                    cores: s.cores,
+                    sim_secs,
+                    cell_slots,
+                    dags: report.metrics.dags,
+                    violations: report.metrics.violations,
+                    reliability: report.metrics.reliability,
+                    fingerprint: report.fingerprint(),
+                });
+            }
+            jsons.push(report.to_canonical_json());
+            rates.push(slots_per_sec);
+            timing.push(TimingRow {
+                engine: engine.name(),
+                cells: s.cells,
+                cores: s.cores,
+                sim_secs,
+                cell_slots,
+                build_secs,
+                run_secs,
+                slots_per_sec,
+            });
+        }
+        if jsons.len() == 2 {
+            if jsons[0] != jsons[1] {
+                failures.push(format!(
+                    "C={}: legacy and wheel reports diverged ({} vs {} bytes)",
+                    s.cells,
+                    jsons[0].len(),
+                    jsons[1].len()
+                ));
+            }
+            let speedup = rates[1] / rates[0];
+            println!(
+                "        C={:<3} end-to-end wheel/legacy speedup: {:.2}x",
+                s.cells, speedup
+            );
+            speedups.push(SpeedupRow {
+                cells: s.cells,
+                speedup,
+            });
+        }
+    }
+
+    // Engine hot loop: the queue implementations replaying the same slot
+    // pattern head to head. This is the gated figure — the engines do
+    // identical event work here, so the ratio is theirs alone.
+    let hot_slots = match len {
+        RunLength::Quick => 5_000,
+        RunLength::Standard => 20_000,
+        RunLength::Long => 60_000,
+    };
+    let mut hot_rows: Vec<HotLoopRow> = Vec::new();
+    let mut hot_speedups: Vec<SpeedupRow> = Vec::new();
+    println!(
+        "\n{:>6} {:>6} {:>8} {:>14}   (engine hot loop, {} events/slot)",
+        "engine", "cells", "slots", "slots/sec", EVENTS_PER_SLOT
+    );
+    for s in &sweep {
+        let mut rates: Vec<f64> = Vec::new();
+        let mut sums: Vec<u64> = Vec::new();
+        for &engine in &engines {
+            // Best of three replays: the replay is deterministic, so the
+            // fastest run is the one least perturbed by background load.
+            let (mut rate, sum) = engine_hot_loop(engine, s.cells as u64, hot_slots);
+            for _ in 0..2 {
+                let (r, s2) = engine_hot_loop(engine, s.cells as u64, hot_slots);
+                assert_eq!(s2, sum, "deterministic replay must repeat exactly");
+                rate = rate.max(r);
+            }
+            println!(
+                "{:>6} {:>6} {:>8} {:>14.0}",
+                engine.name(),
+                s.cells,
+                hot_slots,
+                rate
+            );
+            hot_rows.push(HotLoopRow {
+                engine: engine.name(),
+                cells: s.cells,
+                slots: hot_slots,
+                slots_per_sec: rate,
+            });
+            rates.push(rate);
+            sums.push(sum);
+        }
+        if sums.len() == 2 {
+            if sums[0] != sums[1] {
+                failures.push(format!(
+                    "C={}: hot-loop drain checksums diverged (the queues \
+                     popped different event orders)",
+                    s.cells
+                ));
+            }
+            let speedup = rates[1] / rates[0];
+            println!(
+                "        C={:<3} hot-loop wheel/legacy speedup: {:.2}x",
+                s.cells, speedup
+            );
+            hot_speedups.push(SpeedupRow {
+                cells: s.cells,
+                speedup,
+            });
+            if check && s.cells == 16 && speedup < 2.0 {
+                failures.push(format!(
+                    "C=16: wheel hot loop is only {speedup:.2}x legacy \
+                     (gate: >=2x slots/sec on the engine hot loop)"
+                ));
+            }
+        }
+    }
+
+    write_json(
+        "throughput_soak",
+        &serde_json::json!({
+            "bench": "throughput_soak",
+            "seed": seed,
+            "load": f64_flag("--load", 0.5),
+            "cell": "tdd_100mhz",
+            "rows": soak,
+        }),
+    );
+
+    std::fs::write(
+        "BENCH_throughput.json",
+        serde_json::to_string_pretty(&serde_json::json!({
+            "bench": "throughput_soak",
+            "mode": format!("{len:?}").to_lowercase(),
+            "seed": seed,
+            "rows": timing,
+            "end_to_end_speedup": speedups,
+            "engine_hot_loop": hot_rows,
+            "hot_loop_speedup": hot_speedups,
+        }))
+        .expect("serialize timing")
+            + "\n",
+    )
+    .expect("write BENCH_throughput.json");
+    println!("[timing written to BENCH_throughput.json]");
+
+    if failures.is_empty() {
+        println!("\nthroughput_soak: all checks passed");
+    } else {
+        println!("\nthroughput_soak: FAILURES");
+        for f in &failures {
+            println!("  - {f}");
+        }
+        if check {
+            std::process::exit(1);
+        }
+    }
+}

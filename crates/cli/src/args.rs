@@ -1,6 +1,7 @@
 //! Minimal dependency-free argument parsing for the `concordia` CLI.
 
 use concordia_core::{Colocation, PredictorChoice, ReconfigPlan, SchedulerChoice, SimConfig};
+use concordia_platform::events::EngineChoice;
 use concordia_platform::faults::{FaultKind, FaultPlan};
 use concordia_platform::trace::TraceConfig;
 use concordia_platform::workloads::WorkloadKind;
@@ -43,6 +44,10 @@ OPTIONS:
   --no-stagger                align every cell's slot boundaries on one
                               global clock (default: boundaries interleave
                               evenly across one slot)
+  --engine legacy|wheel       event-engine implementation (default wheel:
+                              calendar queue + allocation-free hot path;
+                              legacy: the binary-heap differential oracle
+                              — both produce byte-identical reports)
   --reconfig PATH             apply a live reconfiguration plan (JSON
                               ReconfigPlan) to the running experiment:
                               typed steps land at slot boundaries under
@@ -320,6 +325,13 @@ pub fn parse(argv: &[String]) -> Result<Cli, CliError> {
             "--ce" => {
                 ce_path = Some(value("--ce")?.clone());
                 search_knob_seen.get_or_insert("--ce");
+            }
+            "--engine" => {
+                cfg.engine = match value("--engine")?.as_str() {
+                    "legacy" => EngineChoice::Legacy,
+                    "wheel" => EngineChoice::Wheel,
+                    other => return err(format!("unknown engine '{other}'")),
+                };
             }
             "--replay" => replay_path = Some(value("--replay")?.clone()),
             "--json" => json_path = Some(value("--json")?.clone()),
@@ -606,6 +618,18 @@ mod tests {
         assert!(cfg.trace.is_none());
         assert!(trace.is_none());
         assert!(parse(&args("--trace")).is_err(), "missing value");
+    }
+
+    #[test]
+    fn engine_flag_selects_the_event_engine() {
+        let Cli { cfg, .. } = parse(&args("--engine legacy")).unwrap();
+        assert_eq!(cfg.engine, EngineChoice::Legacy);
+        let Cli { cfg, .. } = parse(&args("--engine wheel")).unwrap();
+        assert_eq!(cfg.engine, EngineChoice::Wheel);
+        let Cli { cfg, .. } = parse(&[]).unwrap();
+        assert_eq!(cfg.engine, EngineChoice::Wheel, "wheel is the default");
+        assert!(parse(&args("--engine")).is_err(), "missing value");
+        assert!(parse(&args("--engine heap")).is_err(), "unknown engine");
     }
 
     #[test]

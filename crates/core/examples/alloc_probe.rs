@@ -1,0 +1,142 @@
+//! Dev diagnostic: attribute steady-state heap allocations to call sites.
+//!
+//! Runs the wheel (or legacy, with `--engine legacy`) simulation twice —
+//! short and long — and samples a backtrace for every Nth allocation that
+//! happens only in the longer run's online phase, aggregating by the
+//! first in-crate frame. This is how the hot-path allocation residue in
+//! `tests/hotpath_alloc.rs` gets chased: run the probe, fix the top
+//! site, repeat.
+//!
+//! ```text
+//! cargo run --release -p concordia-core --example alloc_probe
+//! ```
+
+use concordia_core::{Colocation, SimConfig, Simulation};
+use concordia_platform::events::EngineChoice;
+use concordia_ran::time::Nanos;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static SAMPLING: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    /// Re-entrancy guard: capturing a backtrace allocates.
+    static IN_HOOK: Cell<bool> = const { Cell::new(false) };
+    static SAMPLES: std::cell::RefCell<Vec<String>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+const SAMPLE_EVERY: u64 = 7;
+
+/// Allocation count of the short run's online phase: the long run repeats
+/// it verbatim (same seed, same prefix), so sampling only beyond this
+/// index isolates the *marginal* steady-state sites.
+static WARM_CUTOFF: AtomicU64 = AtomicU64::new(u64::MAX);
+static BASE: AtomicU64 = AtomicU64::new(0);
+
+struct ProbeAlloc;
+
+// SAFETY: delegates to `System`; the sampling hook is re-entrancy-guarded
+// so its own allocations are never sampled.
+unsafe impl GlobalAlloc for ProbeAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        let n = ALLOCS.fetch_add(1, Ordering::Relaxed);
+        if SAMPLING.load(Ordering::Relaxed)
+            && n - BASE.load(Ordering::Relaxed) > WARM_CUTOFF.load(Ordering::Relaxed)
+            && n % SAMPLE_EVERY == 0
+        {
+            IN_HOOK.with(|f| {
+                if !f.get() {
+                    f.set(true);
+                    let bt = std::backtrace::Backtrace::force_capture().to_string();
+                    SAMPLES.with(|s| s.borrow_mut().push(bt));
+                    f.set(false);
+                }
+            });
+        }
+        unsafe { System.alloc(l) }
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        unsafe { System.dealloc(p, l) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: ProbeAlloc = ProbeAlloc;
+
+fn cfg(engine: EngineChoice, millis: u64) -> SimConfig {
+    let mut cfg = SimConfig::paper_20mhz();
+    cfg.n_cells = 4;
+    cfg.cores = 5;
+    cfg.load = 0.5;
+    cfg.duration = Nanos::from_millis(millis);
+    cfg.profiling_slots = 120;
+    cfg.seed = 2021;
+    cfg.colocation = Colocation::Isolated;
+    cfg.engine = engine;
+    cfg
+}
+
+/// First frame inside this workspace below the allocator machinery.
+fn blame(bt: &str) -> String {
+    for line in bt.lines() {
+        let l = line.trim();
+        if let Some(path) = l.strip_prefix("at ") {
+            if path.contains("/crates/") && !path.contains("alloc_probe.rs") {
+                return path.rsplit('/').next().unwrap_or(path).to_string();
+            }
+        }
+    }
+    "<outside workspace>".to_string()
+}
+
+fn main() {
+    let engine = if std::env::args().any(|a| a == "--engine")
+        && std::env::args().skip_while(|a| a != "--engine").nth(1) == Some("legacy".into())
+    {
+        EngineChoice::Legacy
+    } else {
+        EngineChoice::Wheel
+    };
+
+    // Warm run: everything up to the short duration's allocation pattern
+    // is setup/warmup noise we don't want attributed. Its online count
+    // doubles as the long run's sampling cutoff, because the long run
+    // repeats the short one's allocation sequence verbatim.
+    let short = Simulation::new(cfg(engine, 100));
+    let b = ALLOCS.load(Ordering::Relaxed);
+    let _ = short.run();
+    WARM_CUTOFF.store(ALLOCS.load(Ordering::Relaxed) - b, Ordering::Relaxed);
+
+    let long = Simulation::new(cfg(engine, 200));
+    let before = ALLOCS.load(Ordering::Relaxed);
+    BASE.store(before, Ordering::Relaxed);
+    SAMPLING.store(true, Ordering::Relaxed);
+    let report = long.run();
+    SAMPLING.store(false, Ordering::Relaxed);
+    let marginal = ALLOCS.load(Ordering::Relaxed) - before;
+    assert!(report.metrics.dags > 0);
+
+    let mut hist: BTreeMap<String, u64> = BTreeMap::new();
+    SAMPLES.with(|s| {
+        for bt in s.borrow().iter() {
+            *hist.entry(blame(bt)).or_insert(0) += 1;
+        }
+    });
+    let mut rows: Vec<(u64, String)> = hist.into_iter().map(|(k, v)| (v, k)).collect();
+    rows.sort_unstable_by(|a, b| b.cmp(a));
+
+    println!(
+        "engine={} online allocs={} (sampled 1/{SAMPLE_EVERY})",
+        match engine {
+            EngineChoice::Legacy => "legacy",
+            EngineChoice::Wheel => "wheel",
+        },
+        marginal
+    );
+    for (count, site) in rows {
+        println!("{:>8}  {}", count * SAMPLE_EVERY, site);
+    }
+}

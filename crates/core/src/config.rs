@@ -1,5 +1,6 @@
 //! Experiment configuration.
 
+use concordia_platform::events::EngineChoice;
 use concordia_platform::faults::FaultPlan;
 use concordia_platform::trace::TraceConfig;
 use concordia_platform::workloads::WorkloadKind;
@@ -156,6 +157,11 @@ pub struct SimConfig {
     /// rollback. `None` (and an empty plan) mean a static configuration
     /// for the whole run, byte-identical to the pre-reconfig behaviour.
     pub reconfig: Option<crate::reconfig::ReconfigPlan>,
+    /// Event-engine implementation (`wheel` by default; `legacy` keeps
+    /// the pre-engine binary heap as a differential oracle). Skipped when
+    /// default so existing serialized configs stay byte-identical.
+    #[serde(default, skip_serializing_if = "EngineChoice::is_default")]
+    pub engine: EngineChoice,
 }
 
 impl SimConfig {
@@ -183,6 +189,7 @@ impl SimConfig {
             supervisor: None,
             trace: None,
             reconfig: None,
+            engine: EngineChoice::default(),
         }
     }
 
@@ -242,6 +249,25 @@ mod tests {
         let back: SimConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back.n_cells, 2);
         assert_eq!(back.scheduler.name(), "concordia");
+    }
+
+    #[test]
+    fn engine_field_skips_default_and_round_trips() {
+        let c = SimConfig::paper_100mhz();
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(
+            !json.contains("\"engine\""),
+            "default engine must not serialize (golden bytes): {json}"
+        );
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.engine, EngineChoice::Wheel);
+
+        let mut legacy = SimConfig::paper_100mhz();
+        legacy.engine = EngineChoice::Legacy;
+        let json = serde_json::to_string(&legacy).unwrap();
+        assert!(json.contains("\"engine\""));
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.engine, EngineChoice::Legacy);
     }
 
     #[test]

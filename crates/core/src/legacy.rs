@@ -32,6 +32,7 @@ use concordia_sched::guard::MispredictionGuard;
 use concordia_sched::supervisor::{AdmissionLevel, LaneState, PredictorSupervisor};
 use concordia_stats::rng::Rng;
 use concordia_traffic::gen5g::{CellTraffic, TrafficConfig};
+use std::sync::Arc;
 
 /// The pre-multi-cell simulation: one global slot clock, one guard.
 #[doc(hidden)]
@@ -43,7 +44,7 @@ pub struct LegacySimulation {
     traffic: Vec<CellTraffic>,
     mix: Option<MixSchedule>,
     static_pressure: (f64, f64),
-    faults: FaultTimeline,
+    faults: Arc<FaultTimeline>,
     guard: MispredictionGuard,
     /// The predictor control plane; when present it replaces the bare
     /// model bank as the prediction source.
@@ -179,7 +180,7 @@ impl LegacySimulation {
         // Resolve the fault plan on its own seed stream: the same (seed,
         // plan) always yields the same windows, and a fault-free plan
         // leaves every other stream untouched.
-        let faults = cfg.faults.resolve(cfg.seed ^ 0xFA17);
+        let faults = Arc::new(cfg.faults.resolve(cfg.seed ^ 0xFA17));
 
         let mut sim = LegacySimulation {
             cfg,
@@ -209,7 +210,7 @@ impl LegacySimulation {
                 .enable_fpga(concordia_ran::accel::FpgaModel::default());
         }
         if !sim.faults.is_empty() {
-            sim.pool.set_fault_timeline(sim.faults.clone());
+            sim.pool.set_fault_timeline(Arc::clone(&sim.faults));
         }
         let (c0, k0) = sim.pressure_at(Nanos::ZERO);
         sim.pool.set_pressure(c0, k0);

@@ -19,6 +19,7 @@ use crate::report::{
     BackpressureReport, ExperimentReport, FaultReport, FaultWindowReport, SupervisorReport,
     WorkloadReport,
 };
+use concordia_platform::events::EngineChoice;
 use concordia_platform::faults::{FaultKind, FaultTimeline};
 use concordia_platform::pool::{PoolConfig, ScheduledDag, VranPool};
 use concordia_platform::sched_api::{DedicatedScheduler, PoolScheduler};
@@ -27,7 +28,7 @@ use concordia_platform::workloads::{MixSchedule, WorkloadKind};
 use concordia_predictor::api::ModelBank;
 use concordia_ran::cell::CellInstance;
 use concordia_ran::cost::CostModel;
-use concordia_ran::dag::build_dag;
+use concordia_ran::dag::{build_dag_into, DagScratch, SlotWorkload};
 use concordia_ran::features::{extract, FeatureVec};
 use concordia_ran::numerology::SlotDirection;
 use concordia_ran::task::TaskKind;
@@ -38,6 +39,7 @@ use concordia_sched::guard::MispredictionGuard;
 use concordia_sched::supervisor::{AdmissionLevel, LaneState, PredictorSupervisor};
 use concordia_stats::rng::Rng;
 use concordia_traffic::gen5g::{CellTraffic, TrafficConfig};
+use std::sync::Arc;
 
 /// A fully assembled simulation, ready to run.
 pub struct Simulation {
@@ -51,10 +53,16 @@ pub struct Simulation {
     /// is one injection instant per slot; staggered cells get one group
     /// each, aligned cells share a single group at phase 0.
     boundary_groups: Vec<(Nanos, Vec<u32>)>,
+    /// Configuration epoch of `boundary_groups`: bumped only when a
+    /// reconfiguration step changes membership or phases. The slot loop
+    /// iterates the cached groups by index — they are stable within a
+    /// slot because rebuilds only happen at slot end — so steady state
+    /// touches no heap at all.
+    boundary_epoch: u64,
     traffic: Vec<CellTraffic>,
     mix: Option<MixSchedule>,
     static_pressure: (f64, f64),
-    faults: FaultTimeline,
+    faults: Arc<FaultTimeline>,
     /// One misprediction guard per cell: a cell whose channel turns
     /// pathological inflates only its own WCETs instead of taxing every
     /// cell in the pool.
@@ -90,6 +98,12 @@ pub struct Simulation {
     /// Cells configured at start; cells with ids at or above this were
     /// added at runtime by `AddCell`.
     initial_cells: u32,
+    /// Slot-workload scratch reused across injections under the wheel
+    /// engine (legacy overwrites it with a freshly allocated workload, so
+    /// its allocation profile is untouched).
+    wl_scratch: SlotWorkload,
+    /// DAG-builder index scratch, reused across every built DAG.
+    dag_scratch: DagScratch,
 }
 
 /// Workload-level fault kinds the sim (not the pool) traces, paired with
@@ -163,6 +177,7 @@ impl Simulation {
         let pool = VranPool::new(
             PoolConfig {
                 cores: cfg.cores,
+                engine: cfg.engine,
                 ..PoolConfig::default()
             },
             cost.clone(),
@@ -222,7 +237,7 @@ impl Simulation {
         // Resolve the fault plan on its own seed stream: the same (seed,
         // plan) always yields the same windows, and a fault-free plan
         // leaves every other stream untouched.
-        let faults = cfg.faults.resolve(cfg.seed ^ 0xFA17);
+        let faults = Arc::new(cfg.faults.resolve(cfg.seed ^ 0xFA17));
 
         let guards = (0..cfg.n_cells.max(1))
             .map(|_| MispredictionGuard::default())
@@ -244,6 +259,7 @@ impl Simulation {
             bank,
             cells,
             boundary_groups,
+            boundary_epoch: 0,
             traffic,
             mix,
             static_pressure,
@@ -261,6 +277,11 @@ impl Simulation {
             dataset,
             reconfig,
             initial_cells,
+            wl_scratch: SlotWorkload {
+                direction: SlotDirection::Uplink,
+                ues: Vec::new(),
+            },
+            dag_scratch: DagScratch::default(),
         };
         if let Some(tc) = sim.cfg.trace {
             sim.pool.enable_trace(tc);
@@ -270,7 +291,7 @@ impl Simulation {
                 .enable_fpga(concordia_ran::accel::FpgaModel::default());
         }
         if !sim.faults.is_empty() {
-            sim.pool.set_fault_timeline(sim.faults.clone());
+            sim.pool.set_fault_timeline(Arc::clone(&sim.faults));
         }
         let (c0, k0) = sim.pressure_at(Nanos::ZERO);
         sim.pool.set_pressure(c0, k0);
@@ -401,16 +422,17 @@ impl Simulation {
         let n_slots = self.cfg.duration.as_nanos() / slot_dur.as_nanos();
 
         for slot in 0..n_slots {
-            // Re-snapshot per slot: a committed reconfiguration step may
-            // have changed the membership or phases since the last slot.
-            let groups = self.boundary_groups.clone();
             let t0 = Nanos(slot * slot_dur.as_nanos());
             // Within one global slot the pool advances boundary by
             // boundary: each phase group gets the full event cycle
             // (execute → pressure → inject → adapt) at its own instant.
+            // The cached groups are iterated by index instead of cloned:
+            // reconfiguration (the only thing that rebuilds them) runs
+            // strictly at slot end, so membership is stable in here.
             let mut t_last = t0;
-            for (phase, group) in &groups {
-                let t = t0 + *phase;
+            for gi in 0..self.boundary_groups.len() {
+                let phase = self.boundary_groups[gi].0;
+                let t = t0 + phase;
                 t_last = t;
                 self.pool.run_until(t);
                 self.slot = slot;
@@ -426,7 +448,7 @@ impl Simulation {
                 }
 
                 self.trace_workload_fault_edges(t);
-                self.inject_cells(t, slot, group);
+                self.inject_cells(t, slot, gi);
 
                 // Online adaptation (§4.2): feed observed runtimes back.
                 // Each cell's misprediction guard watches the error stream
@@ -437,7 +459,8 @@ impl Simulation {
                         .faults
                         .severity_at(FaultKind::PredictorBias, t)
                         .unwrap_or(0.0);
-                for obs in self.pool.drain_observations() {
+                let drained = self.pool.drain_observations();
+                for obs in &drained {
                     if let Some(pred) = self.predict_us(obs.kind, &obs.features) {
                         if let Some(guard) = self.guards.get_mut(obs.cell as usize) {
                             guard.observe(pred / bias, obs.runtime_us);
@@ -453,6 +476,11 @@ impl Simulation {
                         }
                         None => {}
                     }
+                }
+                if self.cfg.engine == EngineChoice::Wheel {
+                    // Double-buffer: the drained vector becomes the pool's
+                    // next observation buffer instead of a fresh allocation.
+                    self.pool.recycle_observations(drained);
                 }
 
                 self.trace_guard_inflation();
@@ -542,9 +570,11 @@ impl Simulation {
         }
     }
 
-    /// Injects the slot-`slot` DAGs of one phase group's cells (in cell-id
-    /// order) at their shared boundary instant `t`.
-    fn inject_cells(&mut self, t: Nanos, slot: u64, group: &[u32]) {
+    /// Injects the slot-`slot` DAGs of phase group `gi`'s cells (in
+    /// cell-id order) at their shared boundary instant `t`. The group is
+    /// addressed by index into the epoch-cached `boundary_groups` so the
+    /// hot path never clones the membership table.
+    fn inject_cells(&mut self, t: Nanos, slot: u64, gi: usize) {
         let granted = self.pool.granted_cores().max(1);
         // Workload-level faults land here: a predictor-bias window divides
         // every prediction (a corrupted model systematically
@@ -571,7 +601,8 @@ impl Simulation {
             .as_ref()
             .is_some_and(|s| s.admission() == AdmissionLevel::Reject);
         let mut rejected = 0u64;
-        for &cell_id in group {
+        for k in 0..self.boundary_groups[gi].1.len() {
+            let cell_id = self.boundary_groups[gi].1[k];
             let c = cell_id as usize;
             let wcet_factor = self.guards[c].inflation() / bias;
             // §7 extension: MAC scheduling for the *next* slot runs in the
@@ -612,8 +643,47 @@ impl Simulation {
                     // The special slot carries a reduced DL volume.
                     SlotDirection::Special => self.traffic[c].next_dl_bytes() * 0.6,
                 } * surge;
-                let wl = self.traffic[c].workload_for(dir, bytes);
-                let dag = build_dag(&self.cfg.cell, cell_id, slot, t, &wl);
+                // Under the wheel engine the whole injection recycles: the
+                // workload expands into a persistent scratch, and the DAG
+                // is rebuilt into the node buffer of a previously
+                // completed one (salvaged by the pool), so its `preds`/
+                // `succs`/WCET allocations survive from slot to slot.
+                // Legacy allocates a fresh workload and gets empty
+                // buffers, which reproduces the pre-wheel allocating
+                // build exactly; both paths draw the same RNG values in
+                // the same order, so the reports stay byte-identical.
+                let wheel = self.cfg.engine == EngineChoice::Wheel;
+                if wheel {
+                    self.traffic[c].workload_into(dir, bytes, &mut self.wl_scratch);
+                } else {
+                    self.wl_scratch = self.traffic[c].workload_for(dir, bytes);
+                }
+                let (buf, mut node_wcet) = if wheel {
+                    match self.pool.take_dag_buffer() {
+                        Some(s) => (s.dag.nodes, s.node_wcet),
+                        None => (Vec::new(), Vec::new()),
+                    }
+                } else {
+                    (Vec::new(), Vec::new())
+                };
+                // Legacy gets a throwaway scratch so its node allocations
+                // stay on the historical pattern; the wheel's persistent
+                // scratch additionally pools spare nodes across DAGs.
+                let mut fresh = DagScratch::default();
+                let scratch = if wheel {
+                    &mut self.dag_scratch
+                } else {
+                    &mut fresh
+                };
+                let dag = build_dag_into(
+                    &self.cfg.cell,
+                    cell_id,
+                    slot,
+                    t,
+                    &self.wl_scratch,
+                    buf,
+                    scratch,
+                );
                 if dag.is_empty() {
                     continue;
                 }
@@ -621,21 +691,18 @@ impl Simulation {
                     rejected += 1;
                     continue;
                 }
-                let node_wcet = dag
-                    .nodes
-                    .iter()
-                    .map(|n| {
-                        let mut params = n.task.params;
-                        params.pool_cores = granted;
-                        self.predict_wcet(n.task.kind, &extract(&params))
-                            .unwrap_or_else(|| {
-                                self.cost
-                                    .expected_cost_on_pool(n.task.kind, &params)
-                                    .scale(1.5)
-                            })
-                            .scale(wcet_factor)
-                    })
-                    .collect();
+                node_wcet.clear();
+                node_wcet.extend(dag.nodes.iter().map(|n| {
+                    let mut params = n.task.params;
+                    params.pool_cores = granted;
+                    self.predict_wcet(n.task.kind, &extract(&params))
+                        .unwrap_or_else(|| {
+                            self.cost
+                                .expected_cost_on_pool(n.task.kind, &params)
+                                .scale(1.5)
+                        })
+                        .scale(wcet_factor)
+                }));
                 self.pool.inject_dag(ScheduledDag { dag, node_wcet });
             }
         }
@@ -803,6 +870,15 @@ impl Simulation {
         }
         groups.sort_by_key(|(p, _)| *p);
         self.boundary_groups = groups;
+        self.boundary_epoch += 1;
+    }
+
+    /// Configuration epoch of the cached boundary groups: 0 for the
+    /// initial deployment, bumped once per reconfiguration-driven
+    /// rebuild. A steady-state run ends at epoch 0 — the regression
+    /// guard against re-cloning the table per slot.
+    pub fn boundary_epoch(&self) -> u64 {
+        self.boundary_epoch
     }
 
     /// Brings one more cell into the deployment and returns its id. A
@@ -1205,6 +1281,58 @@ mod tests {
         // Aligned boundaries pile all 7 cells onto one instant; the pool's
         // peak demand there can only be >= the staggered deployment's.
         assert!(on.metrics.violations <= off.metrics.violations);
+    }
+
+    #[test]
+    fn boundary_groups_stay_epoch_cached_across_slots() {
+        // Regression for the per-slot `boundary_groups.clone()`: a plain
+        // run must never rebuild (or even reallocate) the group table.
+        let mut sim = Simulation::new({
+            let mut cfg = SimConfig::paper_20mhz();
+            cfg.duration = Nanos::from_millis(50);
+            cfg.profiling_slots = 50;
+            cfg.load = 0.25;
+            cfg
+        });
+        let ptr_before = sim.boundary_groups.as_ptr();
+        let inner_ptrs: Vec<_> = sim
+            .boundary_groups
+            .iter()
+            .map(|(_, g)| g.as_ptr())
+            .collect();
+        assert_eq!(sim.boundary_epoch(), 0);
+        sim.run_to_completion();
+        assert_eq!(sim.boundary_epoch(), 0, "plain run must not rebuild groups");
+        assert_eq!(
+            sim.boundary_groups.as_ptr(),
+            ptr_before,
+            "group table was reallocated during the slot loop"
+        );
+        let inner_after: Vec<_> = sim
+            .boundary_groups
+            .iter()
+            .map(|(_, g)| g.as_ptr())
+            .collect();
+        assert_eq!(inner_ptrs, inner_after, "a phase group was reallocated");
+    }
+
+    #[test]
+    fn boundary_epoch_bumps_only_on_membership_change() {
+        let mut sim = Simulation::new({
+            let mut cfg = SimConfig::paper_20mhz();
+            cfg.duration = Nanos::from_millis(10);
+            cfg.profiling_slots = 50;
+            cfg
+        });
+        assert_eq!(sim.boundary_epoch(), 0);
+        let added = sim.add_cell();
+        assert_eq!(sim.boundary_epoch(), 1);
+        sim.drain_cell(added).expect("drain the added cell");
+        assert_eq!(sim.boundary_epoch(), 2);
+        assert!(
+            !sim.boundary_groups.iter().any(|(_, g)| g.contains(&added)),
+            "drained cell must drop out of the cached groups"
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! and review the JSON diff like any other code change.
 
 use concordia_core::{Colocation, ReconfigPlan, ReconfigStep, SchedulerChoice, SimConfig};
+use concordia_platform::events::EngineChoice;
 use concordia_platform::faults::{FaultKind, FaultPlan};
 use concordia_platform::workloads::WorkloadKind;
 use concordia_ran::time::Nanos;
@@ -105,6 +106,42 @@ fn golden_reconfig_three_step_c4() {
     plan.backoff_slots = 10;
     cfg.reconfig = Some(plan);
     check("reconfig_three_step_c4", cfg);
+}
+
+/// Differential: the legacy binary-heap engine and the calendar-queue
+/// wheel engine are two implementations of one simulation — every golden
+/// config must produce byte-identical reports under both. This is the
+/// oracle that licenses the wheel's allocation-free hot path.
+#[test]
+fn legacy_and_wheel_engines_are_byte_identical() {
+    let configs: Vec<(&str, SimConfig)> = vec![
+        ("single_cell", base(1, 2021)),
+        ("staggered_redis", {
+            let mut c = base(4, 7);
+            c.colocation = Colocation::Single(WorkloadKind::Redis);
+            c
+        }),
+        ("faulted_flexran", {
+            let mut c = base(2, 42);
+            c.scheduler = SchedulerChoice::FlexRan;
+            c.faults = FaultPlan::chaos(&[FaultKind::CoreOffline], c.duration);
+            c
+        }),
+    ];
+    for (name, cfg) in configs {
+        let mut legacy_cfg = cfg.clone();
+        legacy_cfg.engine = EngineChoice::Legacy;
+        let legacy = concordia_core::run_experiment(legacy_cfg).to_canonical_json();
+        let mut wheel_cfg = cfg;
+        wheel_cfg.engine = EngineChoice::Wheel;
+        let wheel = concordia_core::run_experiment(wheel_cfg).to_canonical_json();
+        assert!(
+            legacy == wheel,
+            "{name}: legacy and wheel reports diverged ({} vs {} bytes)",
+            legacy.len(),
+            wheel.len()
+        );
+    }
 }
 
 /// Differential: an *empty* reconfiguration plan must not change a single

@@ -1,0 +1,82 @@
+//! Allocation accounting for the per-slot hot path.
+//!
+//! The wheel engine's contract is not just speed but *allocation
+//! freedom*: once the pool's scratch buffers and salvage pools are warm,
+//! the steady-state slot loop should touch the heap orders of magnitude
+//! less often than the legacy loop, which allocates DAG nodes, WCET
+//! vectors and observation buffers afresh every slot. This test pins that
+//! property with a counting global allocator: it measures the *marginal*
+//! allocation count of extending a run (so setup, profiling and report
+//! costs cancel out) and asserts the wheel's marginal rate is a small
+//! fraction of the legacy rate. A regression that reintroduces per-slot
+//! allocation into the wheel path shows up here as a ratio collapse.
+
+use concordia_core::{Colocation, SimConfig, Simulation};
+use concordia_platform::events::EngineChoice;
+use concordia_ran::time::Nanos;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates verbatim to `System`; the counter is a relaxed
+// atomic with no effect on allocation behaviour.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(l) }
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        unsafe { System.dealloc(p, l) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn cfg(engine: EngineChoice, millis: u64) -> SimConfig {
+    let mut cfg = SimConfig::paper_20mhz();
+    cfg.n_cells = 4;
+    cfg.cores = 5;
+    cfg.load = 0.5;
+    cfg.duration = Nanos::from_millis(millis);
+    cfg.profiling_slots = 120;
+    cfg.seed = 2021;
+    cfg.colocation = Colocation::Isolated;
+    cfg.engine = engine;
+    cfg
+}
+
+/// Allocations attributable to one extra `extra_ms` of simulated time:
+/// run short and long experiments and difference the counts taken around
+/// the online phase only, so build/training allocations cancel.
+fn marginal_allocs(engine: EngineChoice, base_ms: u64, extra_ms: u64) -> u64 {
+    let online = |millis: u64| {
+        let sim = Simulation::new(cfg(engine, millis));
+        let before = ALLOCS.load(Ordering::Relaxed);
+        let report = sim.run();
+        assert!(report.metrics.dags > 0, "run must complete DAGs");
+        ALLOCS.load(Ordering::Relaxed) - before
+    };
+    let short = online(base_ms);
+    let long = online(base_ms + extra_ms);
+    long.saturating_sub(short)
+}
+
+#[test]
+fn wheel_steady_state_allocates_far_less_than_legacy() {
+    let legacy = marginal_allocs(EngineChoice::Legacy, 100, 100);
+    let wheel = marginal_allocs(EngineChoice::Wheel, 100, 100);
+    // 100 ms at 20 MHz is 100 slots x 4 cells x ~2 DAGs; legacy allocates
+    // dozens of times per DAG, so its marginal count is O(100k). The
+    // wheel recycles DAG nodes, WCET vectors, aux state and observation
+    // buffers — demand at least a 10x gap so scratch-pool regressions
+    // trip loudly, while leaving room for cold-start warmup and report
+    // assembly, which still allocate under both engines.
+    assert!(
+        wheel * 10 <= legacy,
+        "wheel marginal allocations too high: wheel={wheel} legacy={legacy}"
+    );
+}

@@ -1,11 +1,20 @@
-//! Deterministic discrete-event queue.
+//! Deterministic discrete-event queues.
 //!
-//! A binary-heap priority queue ordered by time with a monotonically
-//! increasing sequence number as tie-breaker, so two events at the same
-//! instant always pop in push order — a requirement for bit-reproducible
-//! simulations.
+//! Two implementations with the same contract — events ordered by time
+//! with a monotonically increasing sequence number as tie-breaker, so two
+//! events at the same instant always pop in push order (a requirement for
+//! bit-reproducible simulations):
+//!
+//! - [`EventQueue`]: the original binary-heap queue, kept verbatim as the
+//!   differential oracle and as the `--engine legacy` baseline.
+//! - [`CalendarQueue`]: a calendar queue (one rotation of fixed-width time
+//!   buckets plus an overflow heap) whose push/pop are O(1) amortized for
+//!   the dense near-horizon events the slot hot path generates.
+//!
+//! [`EngineChoice`] selects between them; [`EngineQueue`] dispatches.
 
 use concordia_ran::time::Nanos;
+use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -94,6 +103,251 @@ impl<E> Default for EventQueue<E> {
     }
 }
 
+/// Which event-engine implementation a run uses.
+///
+/// `Wheel` (the default) is the calendar-queue engine with the
+/// allocation-free hot path; `Legacy` keeps the pre-engine binary heap and
+/// per-slot allocation behavior verbatim, serving as the differential
+/// oracle and the honest denominator for the throughput gate. Both must
+/// produce byte-identical reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EngineChoice {
+    /// Binary-heap queue plus the original per-slot allocations.
+    Legacy,
+    /// Calendar queue plus scratch/recycling on the hot path.
+    #[default]
+    Wheel,
+}
+
+impl EngineChoice {
+    /// True for the default engine — lets configs skip serializing the
+    /// field so existing golden bytes stay unchanged.
+    pub fn is_default(v: &EngineChoice) -> bool {
+        *v == EngineChoice::Wheel
+    }
+
+    /// Stable lowercase name (CLI value / bench labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineChoice::Legacy => "legacy",
+            EngineChoice::Wheel => "wheel",
+        }
+    }
+}
+
+/// log2 of the calendar bucket width in nanoseconds (16.384 µs). Sized so
+/// one rotation (`N_BUCKETS` × width ≈ 16.8 ms) comfortably covers a slot
+/// horizon of task completions at every supported numerology.
+const WIDTH_SHIFT: u32 = 14;
+/// Buckets per rotation (power of two so the index is a mask).
+const N_BUCKETS: usize = 1024;
+const BUCKET_MASK: u64 = (N_BUCKETS as u64) - 1;
+
+/// A calendar queue: the current bucket is kept sorted (descending, popped
+/// from the back), near-future events sit unsorted in their rotation
+/// bucket, and everything beyond one rotation — or scheduled in the past —
+/// falls back to a small binary heap. Pop compares the current bucket's
+/// head with the overflow head by `(time, seq)`, so the FIFO contract is
+/// exactly [`EventQueue`]'s.
+///
+/// All absolute bucket indices are `time >> WIDTH_SHIFT` (≤ 2^50 for any
+/// `u64` time), so cursor arithmetic cannot overflow.
+#[derive(Debug)]
+pub struct CalendarQueue<E> {
+    /// Entries of the cursor bucket, sorted descending by `(time, seq)`.
+    current: Vec<Entry<E>>,
+    /// One rotation of unsorted future buckets; an entry with absolute
+    /// index `a` lives in `buckets[a & BUCKET_MASK]` iff
+    /// `cursor_abs < a < cursor_abs + N_BUCKETS`.
+    buckets: Vec<Vec<Entry<E>>>,
+    /// Events beyond one rotation, or pushed into the past.
+    overflow: BinaryHeap<Reverse<Entry<E>>>,
+    /// Absolute bucket index of `current`.
+    cursor_abs: u64,
+    /// Entries currently in `buckets` (not `current`, not `overflow`).
+    in_buckets: usize,
+    len: usize,
+    seq: u64,
+}
+
+impl<E> CalendarQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        CalendarQueue {
+            current: Vec::new(),
+            buckets: (0..N_BUCKETS).map(|_| Vec::new()).collect(),
+            overflow: BinaryHeap::new(),
+            cursor_abs: 0,
+            in_buckets: 0,
+            len: 0,
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: Nanos, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.len += 1;
+        let entry = Entry { time, seq, event };
+        let abs = time.as_nanos() >> WIDTH_SHIFT;
+        if abs == self.cursor_abs {
+            // Into the sorted current bucket. New entries carry the
+            // largest seq, so among equal times they land closest to the
+            // front (popped last — FIFO).
+            let key = (entry.time, entry.seq);
+            let at = self.current.partition_point(|e| (e.time, e.seq) > key);
+            self.current.insert(at, entry);
+        } else if abs > self.cursor_abs && abs - self.cursor_abs < N_BUCKETS as u64 {
+            self.buckets[(abs & BUCKET_MASK) as usize].push(entry);
+            self.in_buckets += 1;
+        } else {
+            // Beyond one rotation, or scheduled before the cursor (a
+            // "past" push — the heap keeps it poppable in order).
+            self.overflow.push(Reverse(entry));
+        }
+    }
+
+    /// Moves the cursor forward until `current` holds the earliest
+    /// in-bucket events (or no bucket events remain). Every non-empty
+    /// bucket holds entries of exactly one absolute index, so the first
+    /// one found becomes the new current bucket wholesale.
+    fn advance(&mut self) {
+        while self.current.is_empty() && self.in_buckets > 0 {
+            self.cursor_abs += 1;
+            let b = (self.cursor_abs & BUCKET_MASK) as usize;
+            if !self.buckets[b].is_empty() {
+                std::mem::swap(&mut self.current, &mut self.buckets[b]);
+                self.in_buckets -= self.current.len();
+                self.current
+                    .sort_unstable_by_key(|e| std::cmp::Reverse((e.time, e.seq)));
+            }
+        }
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        self.advance();
+        // The earliest pending event is either the current bucket's head
+        // or the overflow head; bucket entries are strictly later than
+        // everything in `current`.
+        let take_overflow = match (self.current.last(), self.overflow.peek()) {
+            (Some(c), Some(Reverse(o))) => (o.time, o.seq) < (c.time, c.seq),
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (None, None) => return None,
+        };
+        self.len -= 1;
+        if take_overflow {
+            self.overflow.pop().map(|Reverse(e)| (e.time, e.event))
+        } else {
+            self.current.pop().map(|e| (e.time, e.event))
+        }
+    }
+
+    /// Pops the earliest event only if it is due at or before `t_end`.
+    pub fn pop_due(&mut self, t_end: Nanos) -> Option<(Nanos, E)> {
+        if self.peek_time()? > t_end {
+            return None;
+        }
+        self.pop()
+    }
+
+    /// Time of the earliest pending event. Takes `&mut self` because the
+    /// cursor may need to advance to expose the next bucket.
+    pub fn peek_time(&mut self) -> Option<Nanos> {
+        self.advance();
+        match (self.current.last(), self.overflow.peek()) {
+            (Some(c), Some(Reverse(o))) => Some(c.time.min(o.time)),
+            (Some(c), None) => Some(c.time),
+            (None, Some(Reverse(o))) => Some(o.time),
+            (None, None) => None,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Engine-dispatching queue: the one type the pool holds, so a run's
+/// [`EngineChoice`] picks the implementation at construction and the hot
+/// path pays a single predictable branch per operation.
+#[derive(Debug)]
+pub enum EngineQueue<E> {
+    /// The binary-heap oracle.
+    Legacy(EventQueue<E>),
+    /// The calendar-queue engine.
+    Wheel(CalendarQueue<E>),
+}
+
+impl<E> EngineQueue<E> {
+    /// An empty queue for `engine`.
+    pub fn new(engine: EngineChoice) -> Self {
+        match engine {
+            EngineChoice::Legacy => EngineQueue::Legacy(EventQueue::new()),
+            EngineChoice::Wheel => EngineQueue::Wheel(CalendarQueue::new()),
+        }
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: Nanos, event: E) {
+        match self {
+            EngineQueue::Legacy(q) => q.push(time, event),
+            EngineQueue::Wheel(q) => q.push(time, event),
+        }
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        match self {
+            EngineQueue::Legacy(q) => q.pop(),
+            EngineQueue::Wheel(q) => q.pop(),
+        }
+    }
+
+    /// Pops the earliest event only if it is due at or before `t_end`.
+    pub fn pop_due(&mut self, t_end: Nanos) -> Option<(Nanos, E)> {
+        match self {
+            EngineQueue::Legacy(q) => q.pop_due(t_end),
+            EngineQueue::Wheel(q) => q.pop_due(t_end),
+        }
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&mut self) -> Option<Nanos> {
+        match self {
+            EngineQueue::Legacy(q) => q.peek_time(),
+            EngineQueue::Wheel(q) => q.peek_time(),
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        match self {
+            EngineQueue::Legacy(q) => q.len(),
+            EngineQueue::Wheel(q) => q.len(),
+        }
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,5 +408,157 @@ mod tests {
         q.push(Nanos(75), 2);
         assert_eq!(q.pop(), Some((Nanos(75), 2)));
         assert_eq!(q.pop(), Some((Nanos(100), 1)));
+    }
+
+    #[test]
+    fn calendar_pops_in_time_order_across_buckets() {
+        let mut q = CalendarQueue::new();
+        // One rotation is 1024 × 16.384 µs ≈ 16.8 ms; cover current
+        // bucket, near buckets, and overflow in one go.
+        q.push(Nanos(30_000_000), "overflow");
+        q.push(Nanos(100), "current");
+        q.push(Nanos(20_000), "near");
+        q.push(Nanos(1_000_000), "far-bucket");
+        assert_eq!(q.pop(), Some((Nanos(100), "current")));
+        assert_eq!(q.pop(), Some((Nanos(20_000), "near")));
+        assert_eq!(q.pop(), Some((Nanos(1_000_000), "far-bucket")));
+        assert_eq!(q.pop(), Some((Nanos(30_000_000), "overflow")));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn calendar_ties_break_in_push_order_across_homes() {
+        // Same timestamp, some entries pushed before the cursor reached
+        // their bucket (unsorted bucket) and some after (sorted current).
+        let mut q = CalendarQueue::new();
+        for i in 0..5 {
+            q.push(Nanos(50_000), i);
+        }
+        q.push(Nanos(10), -1);
+        assert_eq!(q.pop(), Some((Nanos(10), -1)));
+        for i in 5..10 {
+            q.push(Nanos(50_000), i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some((Nanos(50_000), i)));
+        }
+    }
+
+    #[test]
+    fn calendar_handles_past_pushes_and_u64_boundary() {
+        let mut q = CalendarQueue::new();
+        q.push(Nanos(5_000_000), "late");
+        assert_eq!(q.pop(), Some((Nanos(5_000_000), "late")));
+        // Cursor is now deep into the calendar; push into the past.
+        q.push(Nanos(7), "past");
+        q.push(Nanos(u64::MAX), "max");
+        q.push(Nanos(u64::MAX - 1), "near-max");
+        assert_eq!(q.pop(), Some((Nanos(7), "past")));
+        assert_eq!(q.peek_time(), Some(Nanos(u64::MAX - 1)));
+        assert_eq!(q.pop(), Some((Nanos(u64::MAX - 1), "near-max")));
+        assert_eq!(q.pop(), Some((Nanos(u64::MAX), "max")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn calendar_pop_due_matches_legacy_contract() {
+        let mut q = CalendarQueue::new();
+        q.push(Nanos(10), "a");
+        q.push(Nanos(20), "b");
+        assert_eq!(q.pop_due(Nanos(5)), None);
+        assert_eq!(q.pop_due(Nanos(10)), Some((Nanos(10), "a"))); // inclusive
+        assert_eq!(q.pop_due(Nanos(15)), None);
+        assert_eq!(q.pop_due(Nanos(25)), Some((Nanos(20), "b")));
+        assert_eq!(q.pop_due(Nanos(u64::MAX)), None); // empty queue
+    }
+
+    #[test]
+    fn engine_queue_dispatches_both_ways() {
+        for engine in [EngineChoice::Legacy, EngineChoice::Wheel] {
+            let mut q = EngineQueue::new(engine);
+            q.push(Nanos(2), "b");
+            q.push(Nanos(1), "a");
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.peek_time(), Some(Nanos(1)));
+            assert_eq!(q.pop(), Some((Nanos(1), "a")));
+            assert_eq!(q.pop_due(Nanos(1)), None);
+            assert_eq!(q.pop_due(Nanos(2)), Some((Nanos(2), "b")));
+            assert!(q.is_empty());
+        }
+    }
+
+    /// Differential property: under any interleaving of pushes and pops —
+    /// same-timestamp bursts, u64-boundary times, past pushes — the wheel
+    /// pops the exact `(timestamp, FIFO-order)` sequence the legacy heap
+    /// does.
+    mod differential {
+        use super::*;
+        use proptest::prelude::*;
+
+        #[derive(Debug, Clone)]
+        enum Op {
+            Push(u64),
+            Pop,
+            PopDue(u64),
+        }
+
+        /// Times drawn from regimes that stress every queue home: dense
+        /// near-horizon, bucket boundaries, beyond-rotation overflow,
+        /// u64-boundary timestamps, and a fixed burst magnet for
+        /// same-timestamp FIFO ordering.
+        fn time_from(tsel: u8, raw: u64) -> u64 {
+            match tsel {
+                0 => raw % 2_000_000,
+                1 => ((raw % 200) << 14).saturating_sub(1),
+                2 => (raw % 200) << 14,
+                3 => 20_000_000 + raw % 80_000_000,
+                4 => u64::MAX - (raw % 3),
+                _ => 65_536,
+            }
+        }
+
+        fn op_strategy() -> impl Strategy<Value = Op> {
+            (0u8..7, 0u8..6, 0u64..u64::MAX).prop_map(|(sel, tsel, raw)| match sel {
+                0..=3 => Op::Push(time_from(tsel, raw)),
+                4..=5 => Op::Pop,
+                _ => Op::PopDue(time_from(tsel, raw)),
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+            #[test]
+            fn wheel_matches_legacy_pop_sequence(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+                let mut legacy = EventQueue::new();
+                let mut wheel = CalendarQueue::new();
+                let mut id = 0u32;
+                for op in &ops {
+                    match *op {
+                        Op::Push(t) => {
+                            legacy.push(Nanos(t), id);
+                            wheel.push(Nanos(t), id);
+                            id += 1;
+                        }
+                        Op::Pop => {
+                            prop_assert_eq!(legacy.pop(), wheel.pop());
+                        }
+                        Op::PopDue(t) => {
+                            prop_assert_eq!(legacy.pop_due(Nanos(t)), wheel.pop_due(Nanos(t)));
+                        }
+                    }
+                    prop_assert_eq!(legacy.len(), wheel.len());
+                    prop_assert_eq!(legacy.peek_time(), wheel.peek_time());
+                }
+                // Drain both to the end: full sequences must agree.
+                loop {
+                    let (a, b) = (legacy.pop(), wheel.pop());
+                    prop_assert_eq!(a, b);
+                    if a.is_none() {
+                        break;
+                    }
+                }
+            }
+        }
     }
 }

@@ -26,6 +26,11 @@ pub struct SlotLatencyRecorder {
     /// Full sorts performed — the regression guard that the summary path
     /// sorts at most once per batch of recordings.
     sorts: Cell<u64>,
+    /// NaN latency samples seen. A NaN is counted here and *excluded* from
+    /// the latency series (it has no place in a quantile or a mean) instead
+    /// of aborting the run — a multi-minute soak must not die on one
+    /// poisoned sample.
+    nan_samples: u64,
 }
 
 /// One completed DAG's timing outcome.
@@ -51,9 +56,25 @@ impl SlotLatencyRecorder {
     /// Records one completed DAG together with its completion time, so
     /// fault-window accounting can attribute it to a timeline phase.
     pub fn record_at(&mut self, completed_at: Nanos, latency: Nanos, deadline_budget: Nanos) {
-        self.latencies_us.push(latency.as_micros_f64());
+        self.record_sample(
+            completed_at,
+            latency.as_micros_f64(),
+            latency > deadline_budget,
+        );
+    }
+
+    /// Raw-µs entry point for external recorders. A NaN latency is counted
+    /// in [`Self::nan_samples`] and otherwise dropped (no outcome, no
+    /// violation): it carries no ordering information, and the historical
+    /// behaviour — a `partial_cmp().expect()` panic on the next quantile
+    /// query — turned one bad sample into a dead soak.
+    pub fn record_sample(&mut self, completed_at: Nanos, latency_us: f64, violated: bool) {
+        if latency_us.is_nan() {
+            self.nan_samples += 1;
+            return;
+        }
+        self.latencies_us.push(latency_us);
         self.sorted_valid.set(false);
-        let violated = latency > deadline_budget;
         if violated {
             self.violations += 1;
         }
@@ -107,7 +128,10 @@ impl SlotLatencyRecorder {
             let mut s = self.sorted.borrow_mut();
             s.clear();
             s.extend_from_slice(&self.latencies_us);
-            s.sort_by(|a, b| a.partial_cmp(b).expect("NaN latency recorded"));
+            // total_cmp: NaN can no longer reach this series (record_sample
+            // filters it), but a total order keeps the sort panic-free even
+            // if a future caller slips one through.
+            s.sort_by(f64::total_cmp);
             drop(s);
             self.sorted_valid.set(true);
             self.sorts.set(self.sorts.get() + 1);
@@ -118,6 +142,11 @@ impl SlotLatencyRecorder {
     /// Full sorts performed so far (regression guard for the cached view).
     pub fn sorts_performed(&self) -> u64 {
         self.sorts.get()
+    }
+
+    /// NaN latency samples counted (and excluded) so far.
+    pub fn nan_samples(&self) -> u64 {
+        self.nan_samples
     }
 
     /// Raw latencies (µs) for downstream analysis.
@@ -298,6 +327,15 @@ pub struct MetricsSummary {
     pub wake_hist_counts: Vec<u64>,
     /// Per-cell DAG ledger, indexed by cell id.
     pub per_cell: Vec<CellCounters>,
+    /// NaN latency samples counted (and excluded from the latency series)
+    /// instead of aborting the run. Skipped when zero so reports from
+    /// NaN-free runs — every golden — keep their exact historical bytes.
+    #[serde(default, skip_serializing_if = "u64_is_zero")]
+    pub nan_samples: u64,
+}
+
+fn u64_is_zero(v: &u64) -> bool {
+    *v == 0
 }
 
 impl PoolMetrics {
@@ -323,6 +361,7 @@ impl PoolMetrics {
             vran_busy_ms: self.vran_busy_time.as_millis_f64(),
             wake_hist_counts: self.wake_hist.counts().to_vec(),
             per_cell: self.per_cell.clone(),
+            nan_samples: self.slots.nan_samples(),
         }
     }
 }
@@ -418,6 +457,47 @@ mod tests {
         assert!(r.quantile_us(0.5).unwrap() < 150.0);
         assert!(r.quantile_us(0.99999).unwrap() > 1_000.0);
         assert!(r.quantile_us(1.0).unwrap() == 5_000.0);
+    }
+
+    #[test]
+    fn nan_latency_is_counted_not_fatal() {
+        let mut r = SlotLatencyRecorder::new();
+        let budget = Nanos::from_millis(1);
+        for i in 0..100 {
+            r.record(Nanos::from_micros(100 + i), budget);
+        }
+        r.record_sample(Nanos::from_millis(1), f64::NAN, false);
+        // The poisoned sample is ledgered, not stored: quantiles stay
+        // panic-free and finite, and the series length is unchanged.
+        assert_eq!(r.nan_samples(), 1);
+        assert_eq!(r.count(), 100);
+        assert_eq!(r.outcomes().len(), 100);
+        let q = r.quantile_us(0.9999).unwrap();
+        assert!(q.is_finite(), "quantile over NaN-free series: {q}");
+        assert_eq!(r.quantile_us(1.0), Some(199.0));
+    }
+
+    #[test]
+    fn nan_counter_surfaces_in_summary_only_when_nonzero() {
+        let mut m = PoolMetrics::new();
+        m.slots
+            .record(Nanos::from_micros(100), Nanos::from_millis(1));
+        let clean = serde_json::to_string(&m.summary(4, Nanos::from_secs(1))).unwrap();
+        assert!(
+            !clean.contains("nan_samples"),
+            "a NaN-free run must keep its historical report bytes: {clean}"
+        );
+        // The key appears once a NaN was seen, and old reports without the
+        // key still deserialize (defaulting to zero).
+        m.slots.record_sample(Nanos::ZERO, f64::NAN, false);
+        let s = m.summary(4, Nanos::from_secs(1));
+        assert_eq!(s.nan_samples, 1);
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"nan_samples\""));
+        let back: MetricsSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.nan_samples, 1);
+        let old: MetricsSummary = serde_json::from_str(&clean).unwrap();
+        assert_eq!(old.nan_samples, 0);
     }
 
     #[test]

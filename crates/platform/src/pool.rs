@@ -15,7 +15,7 @@
 
 use crate::accel_state::FpgaState;
 use crate::cache::{CacheModel, WARMUP};
-use crate::events::EventQueue;
+use crate::events::{EngineChoice, EngineQueue};
 use crate::faults::{FaultKind, FaultTimeline};
 use crate::metrics::PoolMetrics;
 use crate::oslat::OsLatencyModel;
@@ -30,6 +30,7 @@ use concordia_ran::time::Nanos;
 use concordia_stats::rng::Rng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// A DAG released to the pool together with its per-node WCET predictions
 /// (what the Concordia predictor computed at the slot boundary; baselines
@@ -69,6 +70,11 @@ pub struct PoolConfig {
     pub keep_local_successor: bool,
     /// Record per-task observations for online training.
     pub record_observations: bool,
+    /// Event-engine implementation. `Wheel` additionally enables the
+    /// allocation-free hot path (scratch buffers, recycled DAG state);
+    /// `Legacy` reproduces the pre-engine allocation behavior verbatim so
+    /// it stays an honest differential oracle and throughput baseline.
+    pub engine: EngineChoice,
 }
 
 impl Default for PoolConfig {
@@ -79,6 +85,7 @@ impl Default for PoolConfig {
             utilization_alpha: 0.05,
             keep_local_successor: true,
             record_observations: true,
+            engine: EngineChoice::default(),
         }
     }
 }
@@ -174,6 +181,21 @@ struct ActiveDag {
     cpu_only: Vec<bool>,
 }
 
+/// The per-DAG bookkeeping vectors, salvaged from completed DAGs and
+/// reused by the wheel engine so steady-state injection allocates nothing.
+#[derive(Default)]
+struct DagAux {
+    pred_left: Vec<u16>,
+    done: Vec<bool>,
+    tail: Vec<Nanos>,
+    cpu_only: Vec<bool>,
+}
+
+/// Upper bound on retained spare buffers (DAG aux state, scheduled-DAG
+/// shells): enough for every in-flight DAG of a C=100 deployment's phase
+/// window without hoarding memory after a burst.
+const SPARE_CAP: usize = 64;
+
 /// The vRAN pool simulator.
 pub struct VranPool {
     cfg: PoolConfig,
@@ -188,7 +210,7 @@ pub struct VranPool {
     fpga: Option<(FpgaModel, Vec<FpgaState>)>,
 
     now: Nanos,
-    events: EventQueue<Event>,
+    events: EngineQueue<Event>,
     cores: Vec<Core>,
     ready: BinaryHeap<Reverse<ReadyTask>>,
     ready_seq: u64,
@@ -217,8 +239,26 @@ pub struct VranPool {
     metrics: PoolMetrics,
     observations: Vec<Observation>,
 
-    /// Resolved fault windows (empty for a fault-free run).
-    faults: FaultTimeline,
+    // --- wheel-engine scratch state (all unused under `Legacy`) ---
+    /// Newly-ready successor scratch for `complete_node`.
+    scratch_ready: Vec<u32>,
+    /// Source-node scratch for `inject_dag`.
+    scratch_sources: Vec<u32>,
+    /// Reused `DagProgress` buffer for `reallocate`.
+    progress_scratch: Vec<DagProgress>,
+    /// Drained observation buffer handed back via
+    /// [`Self::recycle_observations`] (double-buffering).
+    spare_obs: Vec<Observation>,
+    /// Bookkeeping vectors salvaged from completed DAGs.
+    spare_aux: Vec<DagAux>,
+    /// Scheduled-DAG shells salvaged from completed DAGs, for callers that
+    /// rebuild DAGs in place via [`Self::take_dag_buffer`].
+    spare_scheds: Vec<ScheduledDag>,
+
+    /// Resolved fault windows (empty for a fault-free run). Shared with
+    /// the simulation that resolved them: a C=100 sweep keeps one copy of
+    /// the fault plan, not one clone per pool.
+    faults: Arc<FaultTimeline>,
     /// Which timeline windows are currently in effect.
     fault_active: Vec<bool>,
     /// Cores each CoreOffline window took down, for restoration at its end.
@@ -255,7 +295,7 @@ impl VranPool {
     ) -> Self {
         assert!(cfg.cores > 0);
         let root = Rng::new(seed);
-        let mut events = EventQueue::new();
+        let mut events = EngineQueue::new(cfg.engine);
         events.push(Nanos::ZERO, Event::Tick);
         if let Some(rot) = cfg.rotation {
             events.push(rot, Event::Rotate);
@@ -297,7 +337,13 @@ impl VranPool {
             rng_os: root.fork(2),
             metrics: PoolMetrics::new(),
             observations: Vec::new(),
-            faults: FaultTimeline::empty(),
+            scratch_ready: Vec::new(),
+            scratch_sources: Vec::new(),
+            progress_scratch: Vec::new(),
+            spare_obs: Vec::new(),
+            spare_aux: Vec::new(),
+            spare_scheds: Vec::new(),
+            faults: Arc::new(FaultTimeline::empty()),
             fault_active: Vec::new(),
             offline_by_window: Vec::new(),
             stall_factor: 1.0,
@@ -387,7 +433,7 @@ impl VranPool {
 
     /// Installs the resolved fault timeline and schedules start/end events
     /// for every platform-level window. Call once, before running.
-    pub fn set_fault_timeline(&mut self, timeline: FaultTimeline) {
+    pub fn set_fault_timeline(&mut self, timeline: Arc<FaultTimeline>) {
         self.fault_active = vec![false; timeline.windows.len()];
         self.offline_by_window = vec![Vec::new(); timeline.windows.len()];
         for (idx, w) in timeline.windows.iter().enumerate() {
@@ -544,8 +590,18 @@ impl VranPool {
     }
 
     /// Takes the buffered task observations (for online predictor training).
+    /// Under the wheel engine the caller hands the buffer back via
+    /// [`Self::recycle_observations`] and the two vectors double-buffer;
+    /// a caller that never recycles gets the pre-engine take-and-drop
+    /// behavior (the spare stays empty).
     pub fn drain_observations(&mut self) -> Vec<Observation> {
-        std::mem::take(&mut self.observations)
+        std::mem::replace(&mut self.observations, std::mem::take(&mut self.spare_obs))
+    }
+
+    /// Returns a drained observation buffer for reuse.
+    pub fn recycle_observations(&mut self, mut v: Vec<Observation>) {
+        v.clear();
+        self.spare_obs = v;
     }
 
     /// Releases a DAG to the pool at the current time. The DAG's `arrival`
@@ -557,40 +613,62 @@ impl VranPool {
         if n == 0 {
             return;
         }
+        let wheel = self.wheel();
         self.metrics.record_injected(sched.dag.cell_id);
+        // Wheel: rebuild bookkeeping into vectors salvaged from completed
+        // DAGs; legacy allocates fresh ones per injection (on an empty
+        // default `DagAux` the resize/extend calls below allocate exactly
+        // like the pre-engine `vec![..; n]`/`collect()` did).
+        let mut aux = if wheel {
+            self.spare_aux.pop().unwrap_or_default()
+        } else {
+            DagAux::default()
+        };
         // Tail lengths over the topological order, reversed.
-        let mut tail = vec![Nanos::ZERO; n];
+        aux.tail.clear();
+        aux.tail.resize(n, Nanos::ZERO);
         for i in (0..n).rev() {
             let succ_max = sched.dag.nodes[i]
                 .succs
                 .iter()
-                .map(|&s| tail[s as usize])
+                .map(|&s| aux.tail[s as usize])
                 .fold(Nanos::ZERO, Nanos::max);
-            tail[i] = sched.node_wcet[i] + succ_max;
+            aux.tail[i] = sched.node_wcet[i] + succ_max;
         }
         let remaining_work = sched.node_wcet.iter().fold(Nanos::ZERO, |a, &b| a + b);
-        let pred_left: Vec<u16> = sched
-            .dag
-            .nodes
-            .iter()
-            .map(|nd| nd.preds.len() as u16)
-            .collect();
+        aux.pred_left.clear();
+        aux.pred_left
+            .extend(sched.dag.nodes.iter().map(|nd| nd.preds.len() as u16));
+        aux.done.clear();
+        aux.done.resize(n, false);
+        aux.cpu_only.clear();
+        aux.cpu_only.resize(n, false);
         let deadline = sched.dag.deadline;
+        let DagAux {
+            pred_left,
+            done,
+            tail,
+            cpu_only,
+        } = aux;
         let active = ActiveDag {
             sched,
             pred_left,
-            done: vec![false; n],
+            done,
             remaining: n,
             tail,
             remaining_work,
-            cpu_only: vec![false; n],
+            cpu_only,
         };
         // Collect the source nodes *before* the DAG moves into its slot:
         // no re-borrow of `self.dags`, so a concurrent degraded-mode
         // shrink can never leave this read looking at a freed slot.
-        let sources: Vec<u32> = (0..n as u32)
-            .filter(|&i| active.pred_left[i as usize] == 0)
-            .collect();
+        let mut sources: Vec<u32> = if wheel {
+            std::mem::take(&mut self.scratch_sources)
+        } else {
+            Vec::new()
+        };
+        sources.clear();
+        sources.extend((0..n as u32).filter(|&i| active.pred_left[i as usize] == 0));
         let slot = match self.free_dags.pop() {
             Some(s) => {
                 debug_assert!(
@@ -606,8 +684,11 @@ impl VranPool {
             }
         };
         self.active_dag_count += 1;
-        for node in sources {
+        for &node in &sources {
             self.enqueue_ready(slot, node, deadline);
+        }
+        if wheel {
+            self.scratch_sources = sources;
         }
         // Arrival triggers a scheduling decision (§3: predictions are sent
         // to the scheduler at the beginning of each TTI slot).
@@ -905,15 +986,33 @@ impl VranPool {
         self.trace_event(TraceEvent::CoreRestore { core });
     }
 
+    /// True when the calendar-queue engine (and with it the
+    /// allocation-free hot path) is active.
+    #[inline]
+    fn wheel(&self) -> bool {
+        self.cfg.engine == EngineChoice::Wheel
+    }
+
     /// Marks a node complete; queues newly-ready successors except an
     /// optional locally-kept one, which is returned for immediate dispatch.
     fn complete_node(&mut self, dag: u32, node: u32) -> Option<(u32, u32)> {
+        let wheel = self.wheel();
+        // Wheel: reuse the scratch buffer; legacy: allocate per completion
+        // exactly like the pre-engine loop did.
+        let mut newly_ready: Vec<u32> = if wheel {
+            std::mem::take(&mut self.scratch_ready)
+        } else {
+            Vec::new()
+        };
+        newly_ready.clear();
         let deadline;
-        let mut newly_ready: Vec<u32> = Vec::new();
         let finished;
         {
             let Some(d) = self.dags[dag as usize].as_mut() else {
                 debug_assert!(false, "completion for a freed dag slot");
+                if wheel {
+                    self.scratch_ready = newly_ready;
+                }
                 return None;
             };
             debug_assert!(!d.done[node as usize]);
@@ -923,12 +1022,27 @@ impl VranPool {
                 .remaining_work
                 .saturating_sub(d.sched.node_wcet[node as usize]);
             deadline = d.sched.dag.deadline;
-            let succs = d.sched.dag.nodes[node as usize].succs.clone();
-            for s in succs {
-                let pl = &mut d.pred_left[s as usize];
-                *pl -= 1;
-                if *pl == 0 {
-                    newly_ready.push(s);
+            if wheel {
+                // Disjoint field borrows let the successor list be walked
+                // in place instead of cloned once per completed task.
+                let ActiveDag {
+                    sched, pred_left, ..
+                } = d;
+                for &s in &sched.dag.nodes[node as usize].succs {
+                    let pl = &mut pred_left[s as usize];
+                    *pl -= 1;
+                    if *pl == 0 {
+                        newly_ready.push(s);
+                    }
+                }
+            } else {
+                let succs = d.sched.dag.nodes[node as usize].succs.clone();
+                for s in succs {
+                    let pl = &mut d.pred_left[s as usize];
+                    *pl -= 1;
+                    if *pl == 0 {
+                        newly_ready.push(s);
+                    }
                 }
             }
             finished = d.remaining == 0;
@@ -948,8 +1062,11 @@ impl VranPool {
                 }
             }
         }
-        for s in newly_ready {
+        for &s in &newly_ready {
             self.enqueue_ready(dag, s, deadline);
+        }
+        if wheel {
+            self.scratch_ready = newly_ready;
         }
 
         if finished {
@@ -968,10 +1085,44 @@ impl VranPool {
                     latency,
                     violated,
                 });
+                if wheel {
+                    self.salvage(d);
+                }
             }
             debug_assert!(local.is_none());
         }
         local
+    }
+
+    /// Banks a completed DAG's buffers for reuse: the bookkeeping vectors
+    /// feed the next `inject_dag`, the scheduled-DAG shell feeds callers
+    /// that rebuild DAGs in place via [`Self::take_dag_buffer`].
+    fn salvage(&mut self, d: ActiveDag) {
+        let ActiveDag {
+            sched,
+            pred_left,
+            done,
+            tail,
+            cpu_only,
+            ..
+        } = d;
+        if self.spare_aux.len() < SPARE_CAP {
+            self.spare_aux.push(DagAux {
+                pred_left,
+                done,
+                tail,
+                cpu_only,
+            });
+        }
+        if self.spare_scheds.len() < SPARE_CAP {
+            self.spare_scheds.push(sched);
+        }
+    }
+
+    /// A salvaged scheduled-DAG shell whose vectors can be rebuilt in
+    /// place (wheel engine), or `None` when none is banked.
+    pub fn take_dag_buffer(&mut self) -> Option<ScheduledDag> {
+        self.spare_scheds.pop()
     }
 
     /// After a worker finishes (or submits an offload): run the local
@@ -1086,6 +1237,13 @@ impl VranPool {
 
     /// Assigns ready tasks to spinning cores (EDF order).
     fn dispatch(&mut self) {
+        if self.wheel() && self.ready.is_empty() {
+            // Behavior-identical early exit: with an empty ready queue the
+            // loop below always clears the marker and returns without
+            // touching any core, whichever branch it takes.
+            self.queue_nonempty_since = None;
+            return;
+        }
         loop {
             let core = match self
                 .cores
@@ -1128,32 +1286,37 @@ impl VranPool {
         self.utilization_ema = a * inst + (1.0 - a) * self.utilization_ema;
     }
 
-    fn build_progress(&self) -> Vec<DagProgress> {
-        self.dags
-            .iter()
-            .flatten()
-            .map(|d| {
-                let remaining_cp = d
-                    .tail
-                    .iter()
-                    .zip(&d.done)
-                    .filter(|(_, &done)| !done)
-                    .map(|(&t, _)| t)
-                    .fold(Nanos::ZERO, Nanos::max);
-                DagProgress {
-                    cell: d.sched.dag.cell_id,
-                    arrival: d.sched.dag.arrival,
-                    deadline: d.sched.dag.deadline,
-                    remaining_work: d.remaining_work,
-                    remaining_critical_path: remaining_cp,
-                }
-            })
-            .collect()
+    fn fill_progress(&self, out: &mut Vec<DagProgress>) {
+        out.extend(self.dags.iter().flatten().map(|d| {
+            let remaining_cp = d
+                .tail
+                .iter()
+                .zip(&d.done)
+                .filter(|(_, &done)| !done)
+                .map(|(&t, _)| t)
+                .fold(Nanos::ZERO, Nanos::max);
+            DagProgress {
+                cell: d.sched.dag.cell_id,
+                arrival: d.sched.dag.arrival,
+                deadline: d.sched.dag.deadline,
+                remaining_work: d.remaining_work,
+                remaining_critical_path: remaining_cp,
+            }
+        }));
     }
 
     /// Consults the scheduler and applies the target core count.
     fn reallocate(&mut self) {
-        let dags = self.build_progress();
+        let wheel = self.wheel();
+        // Wheel: the progress snapshot reuses one buffer across calls;
+        // legacy rebuilds it fresh (the pre-engine `collect()`).
+        let mut dags = if wheel {
+            std::mem::take(&mut self.progress_scratch)
+        } else {
+            Vec::new()
+        };
+        dags.clear();
+        self.fill_progress(&mut dags);
         // Degraded mode: advertise only surviving cores so the scheduler
         // recomputes its federated allocation over what actually exists.
         // Capacity (not the configured core count) is the baseline, so a
@@ -1184,6 +1347,9 @@ impl VranPool {
                 granted,
                 ready,
             });
+        }
+        if wheel {
+            self.progress_scratch = dags;
         }
         self.apply_target(target);
     }
@@ -1670,7 +1836,21 @@ mod tests {
 
     use crate::faults::{FaultKind, FaultPlan, FaultSpec, FaultTimeline};
 
-    fn fixed_timeline(kind: FaultKind, start_us: u64, end_us: u64, severity: f64) -> FaultTimeline {
+    fn fixed_timeline(
+        kind: FaultKind,
+        start_us: u64,
+        end_us: u64,
+        severity: f64,
+    ) -> Arc<FaultTimeline> {
+        Arc::new(fixed_timeline_inner(kind, start_us, end_us, severity))
+    }
+
+    fn fixed_timeline_inner(
+        kind: FaultKind,
+        start_us: u64,
+        end_us: u64,
+        severity: f64,
+    ) -> FaultTimeline {
         FaultPlan {
             specs: vec![FaultSpec::fixed(
                 kind,
@@ -1813,7 +1993,7 @@ mod tests {
 
     #[test]
     fn core_stall_inflates_runtimes() {
-        let run = |stall: Option<FaultTimeline>| {
+        let run = |stall: Option<Arc<FaultTimeline>>| {
             let mut pool = pool_with(2);
             if let Some(tl) = stall {
                 pool.set_fault_timeline(tl);
@@ -1832,7 +2012,7 @@ mod tests {
 
     #[test]
     fn drift_injection_inflates_runtimes_inside_the_window() {
-        let run = |drift: Option<FaultTimeline>| {
+        let run = |drift: Option<Arc<FaultTimeline>>| {
             let mut pool = pool_with(2);
             if let Some(tl) = drift {
                 pool.set_fault_timeline(tl);
@@ -1865,7 +2045,7 @@ mod tests {
         let run = || {
             let mut pool = pool_with(4);
             pool.enable_fpga(concordia_ran::accel::FpgaModel::default());
-            pool.set_fault_timeline(
+            pool.set_fault_timeline(Arc::new(
                 FaultPlan::chaos(
                     &[
                         FaultKind::CoreOffline,
@@ -1875,7 +2055,7 @@ mod tests {
                     Nanos::from_millis(10),
                 )
                 .resolve(3),
-            );
+            ));
             for k in 0..12 {
                 let t = Nanos::from_micros(400 * k);
                 pool.run_until(t);
@@ -1903,13 +2083,13 @@ mod tests {
             if traced {
                 pool.enable_trace(TraceConfig::default());
             }
-            pool.set_fault_timeline(
+            pool.set_fault_timeline(Arc::new(
                 FaultPlan::chaos(
                     &[FaultKind::CoreOffline, FaultKind::AccelOutage],
                     Nanos::from_millis(10),
                 )
                 .resolve(5),
-            );
+            ));
             for k in 0..12 {
                 let t = Nanos::from_micros(400 * k);
                 pool.run_until(t);

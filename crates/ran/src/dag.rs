@@ -184,29 +184,96 @@ impl SlotDag {
 }
 
 /// Incremental DAG builder maintaining the topological invariant.
-struct DagBuilder {
+///
+/// The builder can run over a recycled node buffer (see
+/// [`DagBuilder::reuse`]): node slots left over from a completed DAG are
+/// overwritten in place, so their `preds`/`succs` heap blocks survive
+/// from slot to slot instead of being freed and reallocated. With an
+/// empty buffer the builder degenerates to plain pushes — byte-for-byte
+/// the pre-reuse behaviour.
+struct DagBuilder<'a> {
     nodes: Vec<DagNode>,
+    /// Number of nodes built so far; `nodes[len..]` are recycled slots
+    /// not yet overwritten (drained into `spare` by
+    /// [`DagBuilder::finish`]).
+    len: usize,
+    /// Overflow node pool shared across builds (see [`DagScratch`]).
+    spare: &'a mut Vec<DagNode>,
 }
 
-impl DagBuilder {
-    fn new() -> Self {
-        DagBuilder { nodes: Vec::new() }
+impl<'a> DagBuilder<'a> {
+    fn reuse(nodes: Vec<DagNode>, spare: &'a mut Vec<DagNode>) -> Self {
+        DagBuilder {
+            nodes,
+            len: 0,
+            spare,
+        }
     }
 
     fn add(&mut self, task: TaskInstance, preds: &[u32]) -> u32 {
-        let id = self.nodes.len() as u32;
+        let id = self.len as u32;
         for &p in preds {
-            debug_assert!((p as usize) < self.nodes.len());
+            debug_assert!((p as usize) < self.len);
             self.nodes[p as usize].succs.push(id);
         }
-        self.nodes.push(DagNode {
-            task,
-            preds: preds.to_vec(),
-            succs: Vec::new(),
-        });
+        if self.len < self.nodes.len() {
+            let n = &mut self.nodes[self.len];
+            n.task = task;
+            n.preds.clear();
+            n.preds.extend_from_slice(preds);
+            n.succs.clear();
+        } else if let Some(mut n) = self.spare.pop() {
+            n.task = task;
+            n.preds.clear();
+            n.preds.extend_from_slice(preds);
+            n.succs.clear();
+            self.nodes.push(n);
+        } else {
+            self.nodes.push(DagNode {
+                task,
+                preds: preds.to_vec(),
+                succs: Vec::new(),
+            });
+        }
+        self.len += 1;
         id
     }
+
+    fn finish(mut self) -> Vec<DagNode> {
+        while self.nodes.len() > self.len && self.spare.len() < SPARE_NODES {
+            self.spare.push(self.nodes.pop().expect("excess node"));
+        }
+        self.nodes.truncate(self.len);
+        self.nodes
+    }
 }
+
+/// Reusable builder scratch: the short-lived index vectors the DAG
+/// builders need (per-UE decode/rate-match groups, the iFFT predecessor
+/// accumulator). Callers on a hot path keep one `DagScratch` alive across
+/// slots so these vectors stop churning the heap; a fresh `::default()`
+/// reproduces the historical per-call allocation pattern.
+#[derive(Default)]
+pub struct DagScratch {
+    /// Per-UE node-id accumulator (decode ids on uplink, rate-match ids
+    /// on downlink). Cleared at every UE.
+    ids: Vec<u32>,
+    /// Whole-DAG accumulator (the iFFT's predecessor list). Cleared at
+    /// every DAG.
+    acc: Vec<u32>,
+    /// Node slots recovered from oversized recycled buffers. Slot DAGs
+    /// vary in shape, so a salvaged buffer rarely matches the next DAG's
+    /// node count exactly; without this pool every mismatch leaks — an
+    /// undersized buffer fresh-allocates its tail nodes and an oversized
+    /// one drops its excess on truncation. `DagBuilder` drains excess
+    /// nodes here and draws from here before touching the allocator, so
+    /// `preds`/`succs` capacity survives the churn.
+    spare: Vec<DagNode>,
+}
+
+/// Cap on [`DagScratch::spare`]: enough to absorb the largest DAG-shape
+/// swing without letting a one-off giant DAG pin memory forever.
+const SPARE_NODES: usize = 256;
 
 /// Shared slot-level context folded into every task's parameters.
 fn slot_context(wl: &SlotWorkload) -> (u32, u32, u32) {
@@ -254,16 +321,12 @@ fn slot_params(cell: &CellConfig, wl: &SlotWorkload) -> TaskParams {
     }
 }
 
-/// Splits `n_cbs` codeblocks into groups of at most [`CB_GROUP`].
-fn cb_groups(n_cbs: u32) -> Vec<u32> {
-    let mut groups = Vec::new();
-    let mut left = n_cbs;
-    while left > 0 {
-        let g = left.min(CB_GROUP);
-        groups.push(g);
-        left -= g;
-    }
-    groups
+/// Iterates the codeblock groups of `n_cbs` codeblocks — `CB_GROUP`-sized
+/// chunks followed by the remainder — without allocating.
+fn cb_groups(n_cbs: u32) -> impl Iterator<Item = u32> {
+    let full = (n_cbs / CB_GROUP) as usize;
+    let rem = n_cbs % CB_GROUP;
+    std::iter::repeat_n(CB_GROUP, full).chain((rem > 0).then_some(rem))
 }
 
 /// Builds the uplink slot DAG of Fig. 1.
@@ -279,8 +342,31 @@ pub fn build_uplink_dag(
     arrival: Nanos,
     wl: &SlotWorkload,
 ) -> SlotDag {
+    build_uplink_dag_into(
+        cell,
+        cell_id,
+        slot_idx,
+        arrival,
+        wl,
+        Vec::new(),
+        &mut DagScratch::default(),
+    )
+}
+
+/// [`build_uplink_dag`] over a recycled node buffer and builder scratch
+/// (see [`build_dag_into`]).
+pub fn build_uplink_dag_into(
+    cell: &CellConfig,
+    cell_id: u32,
+    slot_idx: u64,
+    arrival: Nanos,
+    wl: &SlotWorkload,
+    buf: Vec<DagNode>,
+    scratch: &mut DagScratch,
+) -> SlotDag {
     debug_assert_eq!(wl.direction, SlotDirection::Uplink);
-    let mut b = DagBuilder::new();
+    let DagScratch { ids, spare, .. } = scratch;
+    let mut b = DagBuilder::reuse(buf, spare);
     let sp = slot_params(cell, wl);
 
     let fft = b.add(
@@ -332,7 +418,7 @@ pub fn build_uplink_dag(
             RanGeneration::Nr => TaskKind::LdpcDecode,
             RanGeneration::Lte => TaskKind::TurboDecode,
         };
-        let mut decode_ids = Vec::new();
+        ids.clear();
         for g in cb_groups(p.n_cbs) {
             let gp = TaskParams { n_cbs: g, ..p };
             let rd = b.add(
@@ -349,15 +435,15 @@ pub fn build_uplink_dag(
                 },
                 &[rd],
             );
-            decode_ids.push(de);
+            ids.push(de);
         }
-        if !decode_ids.is_empty() {
+        if !ids.is_empty() {
             b.add(
                 TaskInstance {
                     kind: TaskKind::CrcCheck,
                     params: p,
                 },
-                &decode_ids,
+                ids,
             );
         }
     }
@@ -368,7 +454,7 @@ pub fn build_uplink_dag(
         direction: SlotDirection::Uplink,
         arrival,
         deadline: arrival + cell.deadline,
-        nodes: b.nodes,
+        nodes: b.finish(),
     };
     debug_assert!(dag.validate().is_ok());
     dag
@@ -387,11 +473,34 @@ pub fn build_downlink_dag(
     arrival: Nanos,
     wl: &SlotWorkload,
 ) -> SlotDag {
+    build_downlink_dag_into(
+        cell,
+        cell_id,
+        slot_idx,
+        arrival,
+        wl,
+        Vec::new(),
+        &mut DagScratch::default(),
+    )
+}
+
+/// [`build_downlink_dag`] over a recycled node buffer and builder scratch
+/// (see [`build_dag_into`]).
+pub fn build_downlink_dag_into(
+    cell: &CellConfig,
+    cell_id: u32,
+    slot_idx: u64,
+    arrival: Nanos,
+    wl: &SlotWorkload,
+    buf: Vec<DagNode>,
+    scratch: &mut DagScratch,
+) -> SlotDag {
     debug_assert!(matches!(
         wl.direction,
         SlotDirection::Downlink | SlotDirection::Special
     ));
-    let mut b = DagBuilder::new();
+    let DagScratch { ids, acc, spare } = scratch;
+    let mut b = DagBuilder::reuse(buf, spare);
     let sp = slot_params(cell, wl);
 
     let pe = b.add(
@@ -401,7 +510,8 @@ pub fn build_downlink_dag(
         },
         &[],
     );
-    let mut ifft_preds = vec![pe];
+    acc.clear();
+    acc.push(pe);
 
     for ue in &wl.ues {
         let p = ue_params(cell, wl, ue);
@@ -416,7 +526,7 @@ pub fn build_downlink_dag(
             RanGeneration::Nr => TaskKind::LdpcEncode,
             RanGeneration::Lte => TaskKind::TurboEncode,
         };
-        let mut rm_ids = Vec::new();
+        ids.clear();
         for g in cb_groups(p.n_cbs) {
             let gp = TaskParams { n_cbs: g, ..p };
             let en = b.add(
@@ -433,15 +543,16 @@ pub fn build_downlink_dag(
                 },
                 &[en],
             );
-            rm_ids.push(rm);
+            ids.push(rm);
         }
-        let scr_preds = if rm_ids.is_empty() { vec![crc] } else { rm_ids };
+        // Zero codeblock groups (a tiny TB) scramble straight off the CRC.
+        let scr_preds: &[u32] = if ids.is_empty() { &[crc] } else { ids };
         let sc = b.add(
             TaskInstance {
                 kind: TaskKind::Scrambling,
                 params: p,
             },
-            &scr_preds,
+            scr_preds,
         );
         let md = b.add(
             TaskInstance {
@@ -457,7 +568,7 @@ pub fn build_downlink_dag(
             },
             &[md],
         );
-        ifft_preds.push(pc);
+        acc.push(pc);
     }
 
     b.add(
@@ -465,7 +576,7 @@ pub fn build_downlink_dag(
             kind: TaskKind::Ifft,
             params: sp,
         },
-        &ifft_preds,
+        acc,
     );
 
     let dag = SlotDag {
@@ -474,7 +585,7 @@ pub fn build_downlink_dag(
         direction: wl.direction,
         arrival,
         deadline: arrival + cell.deadline,
-        nodes: b.nodes,
+        nodes: b.finish(),
     };
     debug_assert!(dag.validate().is_ok());
     dag
@@ -490,7 +601,8 @@ pub fn build_mac_dag(
     arrival: Nanos,
     n_ues: u32,
 ) -> SlotDag {
-    let mut b = DagBuilder::new();
+    let mut spare = Vec::new();
+    let mut b = DagBuilder::reuse(Vec::new(), &mut spare);
     let params = TaskParams {
         prbs: cell.prbs,
         antennas: cell.antennas,
@@ -520,7 +632,7 @@ pub fn build_mac_dag(
         arrival,
         // MAC decisions must be ready for the next slot.
         deadline: arrival + cell.slot_duration(),
-        nodes: b.nodes,
+        nodes: b.finish(),
     };
     debug_assert!(dag.validate().is_ok());
     dag
@@ -534,10 +646,40 @@ pub fn build_dag(
     arrival: Nanos,
     wl: &SlotWorkload,
 ) -> SlotDag {
+    build_dag_into(
+        cell,
+        cell_id,
+        slot_idx,
+        arrival,
+        wl,
+        Vec::new(),
+        &mut DagScratch::default(),
+    )
+}
+
+/// [`build_dag`] over a recycled node buffer and builder scratch: `buf`
+/// is the `nodes` vector of a dropped [`SlotDag`], whose per-node
+/// `preds`/`succs` allocations are overwritten in place instead of freed
+/// and reallocated, and `scratch` holds the builder's transient index
+/// vectors across calls. Passing `Vec::new()` and a fresh scratch
+/// reproduces [`build_dag`] exactly — same nodes, same order, same bytes
+/// — so callers can thread buffers only on their hot path and fall back
+/// to the allocating form everywhere else.
+pub fn build_dag_into(
+    cell: &CellConfig,
+    cell_id: u32,
+    slot_idx: u64,
+    arrival: Nanos,
+    wl: &SlotWorkload,
+    buf: Vec<DagNode>,
+    scratch: &mut DagScratch,
+) -> SlotDag {
     match wl.direction {
-        SlotDirection::Uplink => build_uplink_dag(cell, cell_id, slot_idx, arrival, wl),
+        SlotDirection::Uplink => {
+            build_uplink_dag_into(cell, cell_id, slot_idx, arrival, wl, buf, scratch)
+        }
         SlotDirection::Downlink | SlotDirection::Special => {
-            build_downlink_dag(cell, cell_id, slot_idx, arrival, wl)
+            build_downlink_dag_into(cell, cell_id, slot_idx, arrival, wl, buf, scratch)
         }
     }
 }
@@ -686,11 +828,12 @@ mod tests {
 
     #[test]
     fn cb_groups_partition() {
-        assert_eq!(cb_groups(0), Vec::<u32>::new());
-        assert_eq!(cb_groups(5), vec![5]);
-        assert_eq!(cb_groups(6), vec![6]);
-        assert_eq!(cb_groups(13), vec![6, 6, 1]);
-        assert_eq!(cb_groups(13).iter().sum::<u32>(), 13);
+        let groups = |n: u32| cb_groups(n).collect::<Vec<u32>>();
+        assert_eq!(groups(0), Vec::<u32>::new());
+        assert_eq!(groups(5), vec![5]);
+        assert_eq!(groups(6), vec![6]);
+        assert_eq!(groups(13), vec![6, 6, 1]);
+        assert_eq!(cb_groups(13).sum::<u32>(), 13);
     }
 
     #[test]

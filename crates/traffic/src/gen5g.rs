@@ -61,6 +61,9 @@ pub struct CellTraffic {
     ul_shape: BurstModel,
     dl_shape: BurstModel,
     rng: Rng,
+    /// Scratch for the per-slot UE weight draws, reused across slots so
+    /// the hot path stops allocating it (values never outlive one call).
+    weights: Vec<f64>,
 }
 
 impl CellTraffic {
@@ -77,6 +80,7 @@ impl CellTraffic {
             ul_shape: BurstModel::new(shape_params(), rng.fork(1)),
             dl_shape: BurstModel::new(shape_params(), rng.fork(2)),
             rng: rng.fork(3),
+            weights: Vec::new(),
         }
     }
 
@@ -138,11 +142,23 @@ impl CellTraffic {
     /// random UE count, per-UE link adaptation (SNR → MCS), layers and PRBs,
     /// capped by the cell's PRB budget.
     pub fn workload_for(&mut self, direction: SlotDirection, bytes: f64) -> SlotWorkload {
+        let mut wl = SlotWorkload {
+            direction,
+            ues: Vec::new(),
+        };
+        self.workload_into(direction, bytes, &mut wl);
+        wl
+    }
+
+    /// [`CellTraffic::workload_for`] into a reusable `out` — same draws in
+    /// the same order, so a run that threads one `SlotWorkload` through
+    /// every slot is byte-identical to one that allocates each time; only
+    /// the `ues` buffer (and the internal weight scratch) stop churning.
+    pub fn workload_into(&mut self, direction: SlotDirection, bytes: f64, out: &mut SlotWorkload) {
+        out.direction = direction;
+        out.ues.clear();
         if bytes < 1.0 {
-            return SlotWorkload {
-                direction,
-                ues: Vec::new(),
-            };
+            return;
         }
         let peak = match direction {
             SlotDirection::Uplink => self.cell.peak_ul_bytes_per_slot(),
@@ -156,8 +172,12 @@ impl CellTraffic {
             .min(self.cell.max_ues as u64)
             .max(1) as usize;
 
-        // Random split of the demand across UEs (exponential weights).
-        let mut weights: Vec<f64> = (0..n_ues).map(|_| self.rng.exponential(1.0)).collect();
+        // Random split of the demand across UEs (exponential weights),
+        // batched into the reusable scratch (take/put so the RNG borrow
+        // stays disjoint).
+        let mut weights = std::mem::take(&mut self.weights);
+        weights.clear();
+        weights.extend((0..n_ues).map(|_| self.rng.exponential(1.0)));
         let total_w: f64 = weights.iter().sum();
         for w in &mut weights {
             *w /= total_w;
@@ -165,8 +185,7 @@ impl CellTraffic {
 
         let symbols = self.cell.numerology.symbols_per_slot();
         let mut prb_budget = self.cell.prbs;
-        let mut ues = Vec::with_capacity(n_ues);
-        for w in weights {
+        for &w in &weights {
             if prb_budget == 0 {
                 break;
             }
@@ -202,7 +221,7 @@ impl CellTraffic {
             let carried_bits =
                 concordia_ran::transport::transport_block_bits(prbs, symbols, mcs, layers);
             let tb_bytes = ue_bytes.min(carried_bits / 8).max(1);
-            ues.push(UeAlloc {
+            out.ues.push(UeAlloc {
                 tb_bytes,
                 mcs_index,
                 snr_db,
@@ -210,7 +229,7 @@ impl CellTraffic {
                 prbs,
             });
         }
-        SlotWorkload { direction, ues }
+        self.weights = weights;
     }
 }
 

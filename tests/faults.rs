@@ -91,7 +91,21 @@ fn accel_outage_falls_back_to_cpu_decode() {
     assert!(r.metrics.dags > 0);
 }
 
-fn fixed_timeline(kind: FaultKind, start_us: u64, dur_us: u64, severity: f64) -> FaultTimeline {
+fn fixed_timeline(
+    kind: FaultKind,
+    start_us: u64,
+    dur_us: u64,
+    severity: f64,
+) -> std::sync::Arc<FaultTimeline> {
+    std::sync::Arc::new(fixed_timeline_inner(kind, start_us, dur_us, severity))
+}
+
+fn fixed_timeline_inner(
+    kind: FaultKind,
+    start_us: u64,
+    dur_us: u64,
+    severity: f64,
+) -> FaultTimeline {
     FaultPlan {
         specs: vec![FaultSpec::fixed(
             kind,
@@ -188,7 +202,7 @@ proptest! {
             if traced {
                 pool.enable_trace(concordia::platform::trace::TraceConfig::default());
             }
-            pool.set_fault_timeline(timeline.clone());
+            pool.set_fault_timeline(std::sync::Arc::new(timeline.clone()));
             let mut sorted = arrivals.clone();
             sorted.sort_unstable();
             for (i, &at_us) in sorted.iter().enumerate() {

@@ -7,14 +7,31 @@
 //! (the environment has no `syn`/`quote`), and the generated impl is
 //! emitted as source text and re-parsed.
 //!
-//! Unsupported shapes (generics, `#[serde(...)]` attributes) fail loudly at
-//! expansion time rather than generating wrong code.
+//! Two field attributes are honoured on named-struct fields:
+//! `#[serde(default)]` (a missing / `null` key deserializes to
+//! `Default::default()`) and `#[serde(skip_serializing_if = "path")]`
+//! (the key is omitted when `path(&self.field)` is true). Together they
+//! let a struct grow a field without changing the serialized bytes of
+//! values where the field holds its default — which is how byte-pinned
+//! golden reports survive schema growth. Unsupported shapes (generics,
+//! any other `#[serde(...)]` attribute) fail loudly at expansion time
+//! rather than generating wrong code.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One named field plus its recognised `#[serde(...)]` attributes.
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: missing/null key → `Default::default()`.
+    default: bool,
+    /// `#[serde(skip_serializing_if = "path")]`: omit the key when
+    /// `path(&self.field)` holds.
+    skip_ser_if: Option<String>,
+}
+
 /// Field layout of a struct or enum variant.
 enum Fields {
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
     Unit,
 }
@@ -34,7 +51,7 @@ struct Item {
     body: Body,
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_serialize(&item)
@@ -42,7 +59,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("serde_derive stub generated invalid Serialize impl")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_deserialize(&item)
@@ -87,7 +104,7 @@ fn parse_struct_fields(toks: &[TokenTree], i: usize, name: &str) -> Fields {
             Fields::Named(
                 split_top_level(&body)
                     .iter()
-                    .map(|chunk| field_name(chunk, name))
+                    .map(|chunk| parse_field(chunk, name))
                     .collect(),
             )
         }
@@ -125,7 +142,7 @@ fn parse_enum_variants(toks: &[TokenTree], i: usize, name: &str) -> Vec<Variant>
                     Fields::Named(
                         split_top_level(&inner)
                             .iter()
-                            .map(|c| field_name(c, name))
+                            .map(|c| parse_field(c, name))
                             .collect(),
                     )
                 }
@@ -193,11 +210,79 @@ fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
     }
 }
 
-fn field_name(chunk: &[TokenTree], item: &str) -> String {
-    let i = skip_attrs_and_vis(chunk, 0);
+fn parse_field(chunk: &[TokenTree], item: &str) -> Field {
+    let mut field = Field {
+        name: String::new(),
+        default: false,
+        skip_ser_if: None,
+    };
+    // Walk the attribute prefix ourselves (instead of skip_attrs_and_vis)
+    // so `#[serde(...)]` contents are interpreted, not discarded.
+    let mut i = 0;
+    loop {
+        match chunk.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = chunk.get(i + 1) {
+                    parse_serde_attr(g, &mut field, item);
+                }
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
     match chunk.get(i) {
-        Some(TokenTree::Ident(id)) => id.to_string(),
+        Some(TokenTree::Ident(id)) => field.name = id.to_string(),
         other => panic!("serde_derive stub: expected field name in `{item}`, got {other:?}"),
+    }
+    field
+}
+
+/// Interprets one `#[serde(...)]` attribute group on a field; any other
+/// attribute (`#[doc = ...]`, ...) is ignored, and any serde knob this
+/// stub does not implement panics rather than silently mis-serializing.
+fn parse_serde_attr(attr: &proc_macro::Group, field: &mut Field, item: &str) {
+    let toks: Vec<TokenTree> = attr.stream().into_iter().collect();
+    match toks.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let inner = match toks.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+        other => panic!("serde_derive stub: malformed #[serde ...] in `{item}`: {other:?}"),
+    };
+    let args: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut j = 0;
+    while j < args.len() {
+        match &args[j] {
+            TokenTree::Ident(id) if id.to_string() == "default" => {
+                field.default = true;
+                j += 1;
+            }
+            TokenTree::Ident(id) if id.to_string() == "skip_serializing_if" => {
+                let path = match (args.get(j + 1), args.get(j + 2)) {
+                    (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                        if eq.as_char() == '=' =>
+                    {
+                        lit.to_string().trim_matches('"').to_string()
+                    }
+                    _ => panic!(
+                        "serde_derive stub: skip_serializing_if needs = \"path\" in `{item}`"
+                    ),
+                };
+                field.skip_ser_if = Some(path);
+                j += 3;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => j += 1,
+            other => panic!("serde_derive stub: unsupported serde attribute in `{item}`: {other}"),
+        }
     }
 }
 
@@ -246,7 +331,8 @@ fn gen_serialize(item: &Item) -> String {
                             .map(|f| {
                                 format!(
                                     "(::std::string::String::from(\"{f}\"), \
-                                     ::serde::Serialize::serialize({f}))"
+                                     ::serde::Serialize::serialize({f}))",
+                                    f = f.name
                                 )
                             })
                             .collect::<Vec<_>>()
@@ -255,7 +341,10 @@ fn gen_serialize(item: &Item) -> String {
                             "{name}::{vn} {{ {} }} => ::serde::Value::Map(\
                              ::std::vec::Vec::from([(::std::string::String::from(\"{vn}\"), \
                              ::serde::Value::Map(::std::vec::Vec::from([{pairs}])))])),\n",
-                            fs.join(", ")
+                            fs.iter()
+                                .map(|f| f.name.clone())
+                                .collect::<Vec<_>>()
+                                .join(", ")
                         ));
                     }
                 }
@@ -281,18 +370,66 @@ fn ser_struct_body(_name: &str, fields: &Fields) -> String {
             format!("::serde::Value::Seq(::std::vec::Vec::from([{items}]))")
         }
         Fields::Named(fs) => {
-            let pairs = fs
-                .iter()
-                .map(|f| {
-                    format!(
-                        "(::std::string::String::from(\"{f}\"), \
-                         ::serde::Serialize::serialize(&self.{f}))"
-                    )
-                })
-                .collect::<Vec<_>>()
-                .join(", ");
-            format!("::serde::Value::Map(::std::vec::Vec::from([{pairs}]))")
+            if fs.iter().all(|f| f.skip_ser_if.is_none()) {
+                let pairs = fs
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::serialize(&self.{f}))",
+                            f = f.name
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("::serde::Value::Map(::std::vec::Vec::from([{pairs}]))")
+            } else {
+                // At least one field is conditional: build the map
+                // imperatively so skipped fields leave no key behind.
+                let mut body = String::from(
+                    "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n",
+                );
+                for f in fs {
+                    let push = format!(
+                        "__m.push((::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize(&self.{f})));\n",
+                        f = f.name
+                    );
+                    match &f.skip_ser_if {
+                        Some(path) => {
+                            body.push_str(&format!(
+                                "if !{path}(&self.{f}) {{ {push} }}\n",
+                                f = f.name
+                            ));
+                        }
+                        None => body.push_str(&push),
+                    }
+                }
+                body.push_str("::serde::Value::Map(__m)");
+                format!("{{\n{body}\n}}")
+            }
         }
+    }
+}
+
+/// One `field: <expr>` initializer for a named-struct deserialize. A
+/// `#[serde(default)]` field tolerates a missing or null key (the sibling
+/// `serde` stub's `map_get` returns `&Value::Null` for absent keys).
+fn de_named_field(f: &Field) -> String {
+    if f.default {
+        format!(
+            "{f}: match ::serde::map_get(__m, \"{f}\") {{ \
+             ::serde::Value::Null => ::std::default::Default::default(), \
+             __x => ::serde::Deserialize::deserialize(__x)? }}",
+            f = f.name
+        )
+    } else {
+        format!(
+            "{f}: ::serde::Deserialize::deserialize(\
+             ::serde::map_get(__m, \"{f}\"))?",
+            f = f.name
+        )
     }
 }
 
@@ -322,16 +459,7 @@ fn gen_deserialize(item: &Item) -> String {
             )
         }
         Body::Struct(Fields::Named(fs)) => {
-            let fields = fs
-                .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::deserialize(\
-                         ::serde::map_get(__m, \"{f}\"))?"
-                    )
-                })
-                .collect::<Vec<_>>()
-                .join(", ");
+            let fields = fs.iter().map(de_named_field).collect::<Vec<_>>().join(", ");
             format!(
                 "match __v {{\n\
                  ::serde::Value::Map(__m) => \
@@ -395,7 +523,8 @@ fn gen_deserialize(item: &Item) -> String {
                             .iter()
                             .map(|f| format!(
                                 "{f}: ::serde::Deserialize::deserialize(\
-                                 ::serde::map_get(__fm, \"{f}\"))?"
+                                 ::serde::map_get(__fm, \"{f}\"))?",
+                                f = f.name
                             ))
                             .collect::<Vec<_>>()
                             .join(", ")
