@@ -56,6 +56,7 @@ fn motivation_configs() -> Vec<(String, SimConfig)> {
         trace: None,
         reconfig: None,
         engine: concordia_platform::events::EngineChoice::default(),
+        pool: concordia_platform::arch::PoolArchChoice::default(),
     };
     vec![
         (

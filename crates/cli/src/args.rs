@@ -1,6 +1,7 @@
 //! Minimal dependency-free argument parsing for the `concordia` CLI.
 
 use concordia_core::{Colocation, PredictorChoice, ReconfigPlan, SchedulerChoice, SimConfig};
+use concordia_platform::arch::PoolArchChoice;
 use concordia_platform::events::EngineChoice;
 use concordia_platform::faults::{FaultKind, FaultPlan};
 use concordia_platform::trace::TraceConfig;
@@ -48,6 +49,13 @@ OPTIONS:
                               calendar queue + allocation-free hot path;
                               legacy: the binary-heap differential oracle
                               — both produce byte-identical reports)
+  --pool ARCH                 worker-pool architecture: edf (default, the
+                              paper's centralized earliest-deadline queue) |
+                              cfcfs (centralized FIFO) | dfcfs (per-cell
+                              FIFO with static cell->core affinity) |
+                              steal (work-stealing deques, seeded victim
+                              selection) | pipeline (FH/PHY/MAC stage
+                              groups on disjoint core sets)
   --reconfig PATH             apply a live reconfiguration plan (JSON
                               ReconfigPlan) to the running experiment:
                               typed steps land at slot boundaries under
@@ -77,6 +85,10 @@ OPTIONS:
   --shrink-budget N           simulator-run budget per shrink (default 96)
   --ce PATH                   write the first counterexample's replayable
                               repro artifact (JSON) to PATH
+  --corpus PATH               persistent counterexample corpus for --search:
+                              surviving minimal scenarios seed the next
+                              run's search and the file is rewritten with
+                              this run's survivors (created if absent)
   --replay PATH               re-run a repro artifact written by --ce and
                               compare against the recorded fingerprint;
                               all experiment flags are ignored (the
@@ -136,6 +148,9 @@ pub struct SearchArgs {
     pub shrink_budget: u64,
     /// `--ce`: where to write the first counterexample's artifact.
     pub ce_path: Option<String>,
+    /// `--corpus`: persistent counterexample corpus (read to seed the
+    /// search, rewritten with this run's survivors).
+    pub corpus_path: Option<String>,
 }
 
 /// Parses the argument list.
@@ -160,6 +175,7 @@ pub fn parse(argv: &[String]) -> Result<Cli, CliError> {
     let mut budget = 64u64;
     let mut shrink_budget = 96u64;
     let mut ce_path: Option<String> = None;
+    let mut corpus_path: Option<String> = None;
     let mut search_knob_seen: Option<&'static str> = None;
     let mut replay_path: Option<String> = None;
 
@@ -326,6 +342,19 @@ pub fn parse(argv: &[String]) -> Result<Cli, CliError> {
                 ce_path = Some(value("--ce")?.clone());
                 search_knob_seen.get_or_insert("--ce");
             }
+            "--corpus" => {
+                corpus_path = Some(value("--corpus")?.clone());
+                search_knob_seen.get_or_insert("--corpus");
+            }
+            "--pool" => {
+                let v = value("--pool")?;
+                cfg.pool = PoolArchChoice::from_name(v).ok_or_else(|| {
+                    CliError(format!(
+                        "unknown pool architecture '{v}' (valid: {})",
+                        PoolArchChoice::ALL.map(|a| a.name()).join(", ")
+                    ))
+                })?;
+            }
             "--engine" => {
                 cfg.engine = match value("--engine")?.as_str() {
                     "legacy" => EngineChoice::Legacy,
@@ -374,6 +403,7 @@ pub fn parse(argv: &[String]) -> Result<Cli, CliError> {
             budget,
             shrink_budget,
             ce_path,
+            corpus_path,
         }),
         None => {
             if let Some(knob) = search_knob_seen {
@@ -630,6 +660,28 @@ mod tests {
         assert_eq!(cfg.engine, EngineChoice::Wheel, "wheel is the default");
         assert!(parse(&args("--engine")).is_err(), "missing value");
         assert!(parse(&args("--engine heap")).is_err(), "unknown engine");
+    }
+
+    #[test]
+    fn pool_flag_selects_the_architecture() {
+        for arch in PoolArchChoice::ALL {
+            let Cli { cfg, .. } = parse(&["--pool".into(), arch.name().into()]).unwrap();
+            assert_eq!(cfg.pool, arch);
+        }
+        let Cli { cfg, .. } = parse(&[]).unwrap();
+        assert_eq!(cfg.pool, PoolArchChoice::Edf, "edf is the default");
+        assert!(parse(&args("--pool")).is_err(), "missing value");
+        assert!(parse(&args("--pool lottery")).is_err(), "unknown arch");
+    }
+
+    #[test]
+    fn corpus_flag_requires_search_and_captures_the_path() {
+        let Cli { search, .. } = parse(&args("--search random --corpus corpus.json")).unwrap();
+        assert_eq!(search.unwrap().corpus_path.as_deref(), Some("corpus.json"));
+        let Cli { search, .. } = parse(&args("--search random")).unwrap();
+        assert!(search.unwrap().corpus_path.is_none());
+        assert!(parse(&args("--corpus corpus.json")).is_err());
+        assert!(parse(&args("--corpus")).is_err(), "missing value");
     }
 
     #[test]

@@ -265,10 +265,39 @@ fn run_search_cli(
     json_path: Option<String>,
 ) -> ExitCode {
     let space = SearchSpace::around(&cfg);
+    // A corpus file plants last run's survivors as the first probes; a
+    // missing file just means this is the first run of the loop.
+    let corpus = match &search.corpus_path {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => match concordia_search::parse_corpus(&text) {
+                Ok(scenarios) => {
+                    eprintln!(
+                        "corpus: seeding {} scenario(s) from {path}",
+                        scenarios.len()
+                    );
+                    scenarios
+                }
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                eprintln!("corpus: {path} not found; starting empty");
+                Vec::new()
+            }
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Vec::new(),
+    };
     let settings = SearchSettings {
         seed: cfg.seed,
         budget: search.budget,
         shrink_budget: search.shrink_budget,
+        corpus,
         ..SearchSettings::default()
     };
     eprintln!(
@@ -310,6 +339,21 @@ fn run_search_cli(
             }
             None => eprintln!("no counterexample found; {path} not written"),
         }
+    }
+    if let Some(path) = &search.corpus_path {
+        let survivors: Vec<_> = report
+            .counterexamples
+            .iter()
+            .map(|ce| ce.minimal.clone())
+            .collect();
+        if let Err(e) = std::fs::write(path, concordia_search::corpus_json(&survivors)) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "corpus: {} surviving scenario(s) written to {path}",
+            survivors.len()
+        );
     }
     if let Some(path) = json_path {
         if let Err(e) = std::fs::write(&path, report.to_canonical_json()) {

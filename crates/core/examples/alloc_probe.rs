@@ -45,7 +45,7 @@ unsafe impl GlobalAlloc for ProbeAlloc {
         let n = ALLOCS.fetch_add(1, Ordering::Relaxed);
         if SAMPLING.load(Ordering::Relaxed)
             && n - BASE.load(Ordering::Relaxed) > WARM_CUTOFF.load(Ordering::Relaxed)
-            && n % SAMPLE_EVERY == 0
+            && n.is_multiple_of(SAMPLE_EVERY)
         {
             IN_HOOK.with(|f| {
                 if !f.get() {

@@ -1,5 +1,6 @@
 //! Experiment configuration.
 
+use concordia_platform::arch::PoolArchChoice;
 use concordia_platform::events::EngineChoice;
 use concordia_platform::faults::FaultPlan;
 use concordia_platform::trace::TraceConfig;
@@ -162,6 +163,12 @@ pub struct SimConfig {
     /// default so existing serialized configs stay byte-identical.
     #[serde(default, skip_serializing_if = "EngineChoice::is_default")]
     pub engine: EngineChoice,
+    /// Worker-pool architecture (`edf` by default: the paper's centralized
+    /// earliest-deadline queue; `cfcfs`/`dfcfs`/`steal`/`pipeline` are the
+    /// §6.3 design-space alternatives). Skipped when default so existing
+    /// serialized configs stay byte-identical.
+    #[serde(default, skip_serializing_if = "PoolArchChoice::is_default")]
+    pub pool: PoolArchChoice,
 }
 
 impl SimConfig {
@@ -190,6 +197,7 @@ impl SimConfig {
             trace: None,
             reconfig: None,
             engine: EngineChoice::default(),
+            pool: PoolArchChoice::default(),
         }
     }
 
@@ -268,6 +276,26 @@ mod tests {
         assert!(json.contains("\"engine\""));
         let back: SimConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back.engine, EngineChoice::Legacy);
+    }
+
+    #[test]
+    fn pool_field_skips_default_and_round_trips() {
+        let c = SimConfig::paper_100mhz();
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(
+            !json.contains("\"pool\""),
+            "default pool architecture must not serialize (golden bytes): {json}"
+        );
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.pool, PoolArchChoice::Edf);
+
+        for arch in PoolArchChoice::ALL {
+            let mut cfg = SimConfig::paper_100mhz();
+            cfg.pool = arch;
+            let json = serde_json::to_string(&cfg).unwrap();
+            let back: SimConfig = serde_json::from_str(&json).unwrap();
+            assert_eq!(back.pool, arch, "{} must round-trip", arch.name());
+        }
     }
 
     #[test]

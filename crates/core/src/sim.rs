@@ -178,6 +178,7 @@ impl Simulation {
             PoolConfig {
                 cores: cfg.cores,
                 engine: cfg.engine,
+                arch: cfg.pool,
                 ..PoolConfig::default()
             },
             cost.clone(),

@@ -12,6 +12,7 @@
 //! allocation into the wheel path shows up here as a ratio collapse.
 
 use concordia_core::{Colocation, SimConfig, Simulation};
+use concordia_platform::arch::PoolArchChoice;
 use concordia_platform::events::EngineChoice;
 use concordia_ran::time::Nanos;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -36,7 +37,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
 
-fn cfg(engine: EngineChoice, millis: u64) -> SimConfig {
+fn cfg(engine: EngineChoice, arch: PoolArchChoice, millis: u64) -> SimConfig {
     let mut cfg = SimConfig::paper_20mhz();
     cfg.n_cells = 4;
     cfg.cores = 5;
@@ -46,15 +47,16 @@ fn cfg(engine: EngineChoice, millis: u64) -> SimConfig {
     cfg.seed = 2021;
     cfg.colocation = Colocation::Isolated;
     cfg.engine = engine;
+    cfg.pool = arch;
     cfg
 }
 
 /// Allocations attributable to one extra `extra_ms` of simulated time:
 /// run short and long experiments and difference the counts taken around
 /// the online phase only, so build/training allocations cancel.
-fn marginal_allocs(engine: EngineChoice, base_ms: u64, extra_ms: u64) -> u64 {
+fn marginal_allocs(engine: EngineChoice, arch: PoolArchChoice, base_ms: u64, extra_ms: u64) -> u64 {
     let online = |millis: u64| {
-        let sim = Simulation::new(cfg(engine, millis));
+        let sim = Simulation::new(cfg(engine, arch, millis));
         let before = ALLOCS.load(Ordering::Relaxed);
         let report = sim.run();
         assert!(report.metrics.dags > 0, "run must complete DAGs");
@@ -67,8 +69,8 @@ fn marginal_allocs(engine: EngineChoice, base_ms: u64, extra_ms: u64) -> u64 {
 
 #[test]
 fn wheel_steady_state_allocates_far_less_than_legacy() {
-    let legacy = marginal_allocs(EngineChoice::Legacy, 100, 100);
-    let wheel = marginal_allocs(EngineChoice::Wheel, 100, 100);
+    let legacy = marginal_allocs(EngineChoice::Legacy, PoolArchChoice::Edf, 100, 100);
+    let wheel = marginal_allocs(EngineChoice::Wheel, PoolArchChoice::Edf, 100, 100);
     // 100 ms at 20 MHz is 100 slots x 4 cells x ~2 DAGs; legacy allocates
     // dozens of times per DAG, so its marginal count is O(100k). The
     // wheel recycles DAG nodes, WCET vectors, aux state and observation
@@ -79,4 +81,22 @@ fn wheel_steady_state_allocates_far_less_than_legacy() {
         wheel * 10 <= legacy,
         "wheel marginal allocations too high: wheel={wheel} legacy={legacy}"
     );
+}
+
+/// The zero-alloc guarantee is architecture-independent: every pool
+/// architecture's queues (heaps, per-cell/per-core deques, stage heaps)
+/// amortize to a steady capacity during warmup, so the wheel engine's
+/// marginal allocation rate must stay a small fraction of the legacy
+/// EDF rate no matter which `--pool` is selected.
+#[test]
+fn every_pool_architecture_keeps_the_wheel_hot_path_allocation_free() {
+    let legacy = marginal_allocs(EngineChoice::Legacy, PoolArchChoice::Edf, 100, 100);
+    for arch in PoolArchChoice::ALL {
+        let wheel = marginal_allocs(EngineChoice::Wheel, arch, 100, 100);
+        assert!(
+            wheel * 10 <= legacy,
+            "{} marginal allocations too high: wheel={wheel} legacy={legacy}",
+            arch.name()
+        );
+    }
 }

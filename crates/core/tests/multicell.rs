@@ -13,6 +13,7 @@
 use concordia_core::legacy::run_legacy_experiment;
 use concordia_core::runner::run_sweep;
 use concordia_core::{run_experiment, Colocation, SimConfig};
+use concordia_platform::arch::PoolArchChoice;
 use concordia_platform::faults::{FaultKind, FaultPlan};
 use concordia_ran::time::Nanos;
 use proptest::prelude::*;
@@ -56,13 +57,20 @@ fn single_cell_differential_holds_with_stagger_disabled() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(3))]
 
+    /// Per-cell conservation is part of the `PoolArchitecture` contract:
+    /// no matter which queue discipline dispatches (centralized EDF/FCFS,
+    /// strict per-cell affinity, work stealing, stage pipeline), chaos
+    /// core loss must never strand a cell's work.
     #[test]
     fn no_cell_loses_work_under_core_loss(
         cells in 2u32..6,
         seed in 0u64..1_000,
         load in 0.2f64..0.8,
+        arch_idx in 0usize..PoolArchChoice::ALL.len(),
     ) {
+        let arch = PoolArchChoice::ALL[arch_idx];
         let mut cfg = small(cells, seed, load);
+        cfg.pool = arch;
         cfg.faults = FaultPlan::chaos(
             &[FaultKind::CoreOffline, FaultKind::CoreStall],
             cfg.duration,
@@ -73,7 +81,8 @@ proptest! {
             prop_assert!(ledger.injected > 0, "cell {} injected nothing", c);
             prop_assert!(
                 ledger.completed == ledger.injected,
-                "cell {} lost {} DAGs under core loss",
+                "[{}] cell {} lost {} DAGs under core loss",
+                arch.name(),
                 c,
                 ledger.injected - ledger.completed
             );
@@ -89,5 +98,34 @@ proptest! {
         let serial = run_sweep(&base, master, 2, 1).to_canonical_json();
         let threaded = run_sweep(&base, master, 2, 8).to_canonical_json();
         prop_assert_eq!(serial, threaded);
+    }
+}
+
+/// Deterministic coverage of every architecture x core-loss combination
+/// (the proptest above samples; this pins all five disciplines on one
+/// fixed deployment so a conservation regression names its architecture).
+#[test]
+fn every_architecture_conserves_work_under_core_loss() {
+    for arch in PoolArchChoice::ALL {
+        let mut cfg = small(4, 2021, 0.5);
+        cfg.pool = arch;
+        cfg.faults = FaultPlan::chaos(
+            &[FaultKind::CoreOffline, FaultKind::CoreStall],
+            cfg.duration,
+        );
+        let r = run_experiment(cfg);
+        for (c, ledger) in r.metrics.per_cell.iter().enumerate() {
+            assert!(
+                ledger.injected > 0,
+                "[{}] cell {c} injected nothing",
+                arch.name()
+            );
+            assert_eq!(
+                ledger.completed,
+                ledger.injected,
+                "[{}] cell {c} lost work under core loss",
+                arch.name()
+            );
+        }
     }
 }

@@ -20,6 +20,7 @@
 //!   Chrome-trace/snapshot exporters (the observability spine).
 
 pub mod accel_state;
+pub mod arch;
 pub mod cache;
 pub mod events;
 pub mod faults;
@@ -30,12 +31,15 @@ pub mod sched_api;
 pub mod trace;
 pub mod workloads;
 
+pub use arch::PoolArchChoice;
 pub use cache::{CacheModel, CounterAccumulator, CounterDeltas};
 pub use faults::{FaultKind, FaultPlan, FaultSpec, FaultTimeline, FaultWindow};
 pub use metrics::{MetricsSummary, PoolMetrics, SlotLatencyRecorder, SlotOutcome};
 pub use oslat::OsLatencyModel;
 pub use pool::{Observation, PoolConfig, ScheduledDag, VranPool};
-pub use sched_api::{DagProgress, DedicatedScheduler, PoolScheduler, PoolView};
+pub use sched_api::{
+    DagProgress, DedicatedScheduler, PoolArchitecture, PoolScheduler, PoolView, ReadyTask,
+};
 pub use trace::{
     export_chrome_trace, export_snapshots, TraceConfig, TraceEvent, TraceRecord, TraceRecorder,
     TraceSummary, WindowSnapshot,

@@ -14,12 +14,13 @@
 //! reads out.
 
 use crate::accel_state::FpgaState;
+use crate::arch::PoolArchChoice;
 use crate::cache::{CacheModel, WARMUP};
 use crate::events::{EngineChoice, EngineQueue};
 use crate::faults::{FaultKind, FaultTimeline};
 use crate::metrics::PoolMetrics;
 use crate::oslat::OsLatencyModel;
-use crate::sched_api::{DagProgress, PoolScheduler, PoolView};
+use crate::sched_api::{DagProgress, PoolArchitecture, PoolScheduler, PoolView, ReadyTask};
 use crate::trace::{TraceConfig, TraceEvent, TraceRecorder, TraceSummary, WindowSnapshot};
 use concordia_ran::accel::FpgaModel;
 use concordia_ran::cost::CostModel;
@@ -28,8 +29,6 @@ use concordia_ran::features::{extract, FeatureVec};
 use concordia_ran::task::TaskKind;
 use concordia_ran::time::Nanos;
 use concordia_stats::rng::Rng;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 /// A DAG released to the pool together with its per-node WCET predictions
@@ -75,6 +74,11 @@ pub struct PoolConfig {
     /// `Legacy` reproduces the pre-engine allocation behavior verbatim so
     /// it stays an honest differential oracle and throughput baseline.
     pub engine: EngineChoice,
+    /// Worker-pool architecture: the queue discipline and task→core
+    /// placement behind the dispatch loop. `Edf` (the default) is the
+    /// paper's centralized earliest-deadline queue, byte-identical to the
+    /// pre-refactor pool; see [`crate::arch`] for the alternatives.
+    pub arch: PoolArchChoice,
 }
 
 impl Default for PoolConfig {
@@ -86,6 +90,7 @@ impl Default for PoolConfig {
             keep_local_successor: true,
             record_observations: true,
             engine: EngineChoice::default(),
+            arch: PoolArchChoice::default(),
         }
     }
 }
@@ -148,26 +153,6 @@ enum Event {
     FaultEnd { idx: usize },
 }
 
-/// Ready-queue entry: EDF order (deadline, then FIFO).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct ReadyTask {
-    deadline: Nanos,
-    seq: u64,
-    dag: u32,
-    node: u32,
-}
-
-impl PartialOrd for ReadyTask {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for ReadyTask {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
-    }
-}
-
 struct ActiveDag {
     sched: ScheduledDag,
     pred_left: Vec<u16>,
@@ -212,9 +197,13 @@ pub struct VranPool {
     now: Nanos,
     events: EngineQueue<Event>,
     cores: Vec<Core>,
-    ready: BinaryHeap<Reverse<ReadyTask>>,
+    /// The pluggable ready structure (queue discipline + placement).
+    arch: Box<dyn PoolArchitecture>,
     ready_seq: u64,
     queue_nonempty_since: Option<Nanos>,
+    /// Reused in-service mask handed to the architecture on topology
+    /// changes (fault, restore, grow, shrink).
+    in_service_scratch: Vec<bool>,
     dags: Vec<Option<ActiveDag>>,
     free_dags: Vec<u32>,
     active_dag_count: usize,
@@ -311,6 +300,8 @@ impl VranPool {
                 retired: false,
             })
             .collect();
+        let mut arch = cfg.arch.build(root.fork(3));
+        arch.set_in_service(&vec![true; cfg.cores as usize]);
         VranPool {
             cfg,
             cost,
@@ -321,9 +312,10 @@ impl VranPool {
             now: Nanos::ZERO,
             events,
             cores,
-            ready: BinaryHeap::new(),
+            arch,
             ready_seq: 0,
             queue_nonempty_since: None,
+            in_service_scratch: Vec::new(),
             dags: Vec::new(),
             free_dags: Vec::new(),
             active_dag_count: 0,
@@ -401,7 +393,7 @@ impl VranPool {
             dags: self.metrics.slots.count() as u64,
             violations: self.metrics.slots.violations(),
             granted_cores: self.granted_cores(),
-            ready_tasks: self.ready.len() as u64,
+            ready_tasks: self.arch.len() as u64,
             tasks_executed: self.metrics.tasks_executed,
             offload_fallbacks: self.metrics.offload_fallbacks,
             tasks_requeued: self.metrics.tasks_requeued,
@@ -495,6 +487,7 @@ impl VranPool {
             capacity,
             delta: n as i32,
         });
+        self.refresh_arch_cores();
         self.reallocate();
         self.dispatch();
         capacity
@@ -539,6 +532,7 @@ impl VranPool {
                 capacity,
                 delta: -(retired as i32),
             });
+            self.refresh_arch_cores();
             self.reallocate();
             self.dispatch();
         }
@@ -685,7 +679,7 @@ impl VranPool {
         };
         self.active_dag_count += 1;
         for &node in &sources {
-            self.enqueue_ready(slot, node, deadline);
+            self.enqueue_ready(slot, node, deadline, None);
         }
         if wheel {
             self.scratch_sources = sources;
@@ -710,18 +704,55 @@ impl VranPool {
 
     // ---- internals ----
 
-    fn enqueue_ready(&mut self, dag: u32, node: u32, deadline: Nanos) {
-        if self.ready.is_empty() {
+    /// Queues a ready node with the architecture. `origin` is the worker
+    /// core that produced it, `None` for injections/FPGA/fault requeues.
+    fn enqueue_ready(&mut self, dag: u32, node: u32, deadline: Nanos, origin: Option<u32>) {
+        let (cell, kind) = match self.dags[dag as usize].as_ref() {
+            Some(d) => (
+                d.sched.dag.cell_id,
+                d.sched.dag.nodes[node as usize].task.kind,
+            ),
+            None => (0, TaskKind::MacScheduling), // unreachable: callers hold a live slot
+        };
+        if self.arch.is_empty() {
             self.queue_nonempty_since = Some(self.now);
         }
         let seq = self.ready_seq;
         self.ready_seq += 1;
-        self.ready.push(Reverse(ReadyTask {
-            deadline,
-            seq,
-            dag,
-            node,
-        }));
+        self.arch.push(
+            ReadyTask {
+                deadline,
+                seq,
+                dag,
+                node,
+                cell,
+                kind,
+            },
+            origin,
+        );
+    }
+
+    /// Rebuilds the in-service mask (neither faulted nor retired) and
+    /// hands it to the architecture. Must run after every topology change
+    /// and before the dispatch that follows it, so decentralized
+    /// placements never strand queued work on a core that left service.
+    fn refresh_arch_cores(&mut self) {
+        let mut mask = std::mem::take(&mut self.in_service_scratch);
+        mask.clear();
+        mask.extend(self.cores.iter().map(|c| !c.faulted && !c.retired));
+        self.arch.set_in_service(&mask);
+        self.in_service_scratch = mask;
+    }
+
+    /// Queued (ready, unclaimed) tasks belonging to `cell` — the
+    /// architecture's per-cell demand accounting.
+    pub fn queued_for_cell(&self, cell: u32) -> usize {
+        self.arch.queued_for_cell(cell)
+    }
+
+    /// The active architecture's stable name.
+    pub fn arch_name(&self) -> &'static str {
+        self.arch.name()
     }
 
     /// Cell id of an active DAG slot (0 when the slot is already freed).
@@ -787,7 +818,7 @@ impl VranPool {
                     // or cannot meet the timeout budget.
                     self.finish_offload_submit(core, dag, node);
                 } else {
-                    let local = self.complete_node(dag, node);
+                    let local = self.complete_node(dag, node, Some(core));
                     self.after_worker_free(core, local);
                 }
                 self.dispatch();
@@ -797,10 +828,10 @@ impl VranPool {
                 self.trace_event(TraceEvent::OffloadDone { cell, dag, node });
                 // No worker context here: a locally-kept successor would
                 // have no core to run on, so queue it like the others.
-                if let Some((ldag, lnode)) = self.complete_node(dag, node) {
+                if let Some((ldag, lnode)) = self.complete_node(dag, node, None) {
                     if let Some(d) = self.dags[ldag as usize].as_ref() {
                         let deadline = d.sched.dag.deadline;
-                        self.enqueue_ready(ldag, lnode, deadline);
+                        self.enqueue_ready(ldag, lnode, deadline, None);
                     }
                 }
                 self.dispatch();
@@ -880,7 +911,7 @@ impl VranPool {
         if let Some(d) = self.dags[dag as usize].as_mut() {
             d.cpu_only[node as usize] = true;
             let deadline = d.sched.dag.deadline;
-            self.enqueue_ready(dag, node, deadline);
+            self.enqueue_ready(dag, node, deadline, Some(core));
         }
         self.after_worker_free(core, None);
     }
@@ -953,7 +984,7 @@ impl VranPool {
             });
             if let Some(d) = self.dags[dag as usize].as_ref() {
                 let deadline = d.sched.dag.deadline;
-                self.enqueue_ready(dag, node, deadline);
+                self.enqueue_ready(dag, node, deadline, None);
             }
         }
         self.trace_event(TraceEvent::CoreFail { core });
@@ -972,6 +1003,7 @@ impl VranPool {
         }
         self.metrics.cores_failed += 1;
         self.offline_by_window[window].push(core);
+        self.refresh_arch_cores();
     }
 
     /// A faulted core comes back: its offline span is accounted and it
@@ -984,6 +1016,7 @@ impl VranPool {
         c.faulted = false;
         self.metrics.offline_core_time += span;
         self.trace_event(TraceEvent::CoreRestore { core });
+        self.refresh_arch_cores();
     }
 
     /// True when the calendar-queue engine (and with it the
@@ -995,7 +1028,9 @@ impl VranPool {
 
     /// Marks a node complete; queues newly-ready successors except an
     /// optional locally-kept one, which is returned for immediate dispatch.
-    fn complete_node(&mut self, dag: u32, node: u32) -> Option<(u32, u32)> {
+    /// `origin` is the worker core that finished the node (`None` for FPGA
+    /// completions) and routes the queued successors.
+    fn complete_node(&mut self, dag: u32, node: u32, origin: Option<u32>) -> Option<(u32, u32)> {
         let wheel = self.wheel();
         // Wheel: reuse the scratch buffer; legacy: allocate per completion
         // exactly like the pre-engine loop did.
@@ -1063,7 +1098,7 @@ impl VranPool {
             }
         }
         for &s in &newly_ready {
-            self.enqueue_ready(dag, s, deadline);
+            self.enqueue_ready(dag, s, deadline, origin);
         }
         if wheel {
             self.scratch_ready = newly_ready;
@@ -1129,14 +1164,22 @@ impl VranPool {
     /// successor if any, release if pending, otherwise go spinning.
     fn after_worker_free(&mut self, core: u32, local: Option<(u32, u32)>) {
         if let Some((dag, node)) = local {
-            if !self.cores[core as usize].release_pending {
-                self.start_task(core, dag, node);
-                return;
-            }
-            // Release was requested: don't keep work locally.
-            if let Some(d) = self.dags[dag as usize].as_ref() {
-                let deadline = d.sched.dag.deadline;
-                self.enqueue_ready(dag, node, deadline);
+            if let Some((cell, kind, deadline)) = self.dags[dag as usize].as_ref().map(|d| {
+                (
+                    d.sched.dag.cell_id,
+                    d.sched.dag.nodes[node as usize].task.kind,
+                    d.sched.dag.deadline,
+                )
+            }) {
+                if !self.cores[core as usize].release_pending
+                    && self.arch.keeps_local(core, cell, kind)
+                {
+                    self.start_task(core, dag, node);
+                    return;
+                }
+                // Release was requested, or the architecture places this
+                // successor elsewhere: don't keep work locally.
+                self.enqueue_ready(dag, node, deadline, Some(core));
             }
         }
         // The worker is done with its task either way; leave `Busy` before
@@ -1235,39 +1278,52 @@ impl VranPool {
         );
     }
 
-    /// Assigns ready tasks to spinning cores (EDF order).
+    /// Assigns ready tasks to spinning cores through the architecture.
+    ///
+    /// Each pass scans the spinning cores in index order and offers each
+    /// one to the architecture; a successful pop dispatches and restarts
+    /// the scan (dispatching can change core states), a refusal moves on
+    /// to the next spinning core (decentralized placements may have work
+    /// for a later core only). The loop ends when a full pass dispatches
+    /// nothing. For the centralized EDF architecture `pop_for` refuses
+    /// only when the queue is empty, so the scan degenerates to exactly
+    /// the pre-refactor loop: first spinning core, global pop, repeat —
+    /// byte-identical behavior.
     fn dispatch(&mut self) {
-        if self.wheel() && self.ready.is_empty() {
+        if self.wheel() && self.arch.is_empty() {
             // Behavior-identical early exit: with an empty ready queue the
             // loop below always clears the marker and returns without
             // touching any core, whichever branch it takes.
             self.queue_nonempty_since = None;
             return;
         }
-        loop {
-            let core = match self
-                .cores
-                .iter()
-                .position(|c| c.state == CoreState::Spinning && !c.release_pending)
-            {
-                Some(i) => i as u32,
-                None => {
-                    if self.ready.is_empty() {
-                        self.queue_nonempty_since = None;
-                    }
-                    return;
+        'pass: loop {
+            for i in 0..self.cores.len() {
+                let c = &self.cores[i];
+                if c.state != CoreState::Spinning || c.release_pending {
+                    continue;
                 }
-            };
-            // Pop drives the loop directly: an empty queue ends it, so no
-            // emptiness pre-check has to stay in sync with the unwrap.
-            let Some(Reverse(task)) = self.ready.pop() else {
-                self.queue_nonempty_since = None;
-                return;
-            };
-            if self.ready.is_empty() {
+                let Some(task) = self.arch.pop_for(i as u32) else {
+                    if self.arch.is_empty() {
+                        // Nothing queued anywhere: no later core can be
+                        // served either.
+                        self.queue_nonempty_since = None;
+                        return;
+                    }
+                    continue; // this core's share is empty; try the next
+                };
+                if self.arch.is_empty() {
+                    self.queue_nonempty_since = None;
+                }
+                self.start_task(i as u32, task.dag, task.node);
+                continue 'pass;
+            }
+            // A full pass dispatched nothing (no spinning core, or every
+            // spinning core's share is empty).
+            if self.arch.is_empty() {
                 self.queue_nonempty_since = None;
             }
-            self.start_task(core, task.dag, task.node);
+            return;
         }
     }
 
@@ -1327,7 +1383,7 @@ impl VranPool {
             total_cores: surviving,
             granted_cores: self.granted_cores(),
             dags: &dags,
-            ready_tasks: self.ready.len(),
+            ready_tasks: self.arch.len(),
             running_tasks: self.running_tasks,
             oldest_ready_wait: self
                 .queue_nonempty_since
@@ -1341,7 +1397,7 @@ impl VranPool {
             // only carries target changes.
             self.last_traced_target = Some(target);
             let granted = self.granted_cores();
-            let ready = self.ready.len() as u32;
+            let ready = self.arch.len() as u32;
             self.trace_event(TraceEvent::Realloc {
                 target,
                 granted,

@@ -6,7 +6,105 @@
 //! count (§5: rotation every 2 ms) and handles wake latency; the scheduler
 //! only chooses the target count from the [`PoolView`].
 
+use concordia_ran::task::TaskKind;
 use concordia_ran::time::Nanos;
+
+/// A runnable, unclaimed task in the pool's ready structure.
+///
+/// Ordering is EDF with FIFO tie-break — `(deadline, seq)` — regardless of
+/// which [`PoolArchitecture`] holds the entry; `seq` is assigned by the
+/// pool in push order and is unique, so the order is total. The routing
+/// keys (`cell`, `kind`) do not participate in the ordering: they exist so
+/// decentralized architectures can place the task without chasing the DAG
+/// slot again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadyTask {
+    /// Absolute deadline of the owning DAG.
+    pub deadline: Nanos,
+    /// Pool-assigned push sequence number (FIFO tie-break, unique).
+    pub seq: u64,
+    /// Active-DAG slot index.
+    pub dag: u32,
+    /// Node index within the DAG.
+    pub node: u32,
+    /// Cell the owning DAG belongs to (per-cell queue routing).
+    pub cell: u32,
+    /// Task kind (pipeline-stage routing).
+    pub kind: TaskKind,
+}
+
+impl PartialOrd for ReadyTask {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ReadyTask {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+/// A pluggable worker-pool architecture: the queue discipline and the
+/// task→core placement policy behind the pool's dispatch loop.
+///
+/// The pool owns the core state machines, fault injection, accounting and
+/// the event queue; the architecture owns only the *ready structure*:
+/// where a pushed task waits and which waiting task a given spinning core
+/// receives. Four contracts keep every implementation interchangeable:
+///
+/// * **Conservation** — a pushed task must remain poppable until popped.
+///   Placement may consult the in-service mask, but queued work must never
+///   be stranded on a core that can no longer exist (retirement and fault
+///   windows re-issue [`PoolArchitecture::set_in_service`], after which
+///   new pops must be able to reach every queued task through some
+///   in-service core).
+/// * **Determinism** — pop order is a pure function of the push/pop
+///   sequence and the seed the architecture was built with (work stealing
+///   draws its victims from a pool-forked RNG stream, never from ambient
+///   state), so reports stay byte-identical across `--jobs` and repeated
+///   runs.
+/// * **Work accounting** — [`PoolArchitecture::len`] is the exact number
+///   of queued tasks and [`PoolArchitecture::queued_for_cell`] its
+///   per-cell decomposition (the demand signal fault-recovery and
+///   scheduler heuristics read).
+/// * **Allocation freedom** — steady-state push/pop must not allocate
+///   once internal buffers are warm (the wheel engine's hot-path guarantee
+///   extends to every architecture; `tests/hotpath_alloc.rs` enforces it).
+pub trait PoolArchitecture: Send {
+    /// Stable lowercase architecture name (reports, trace, bench labels).
+    fn name(&self) -> &'static str;
+
+    /// Installs the in-service core mask (`true` = neither faulted nor
+    /// retired). Called once at pool construction and again on every
+    /// fault, restore, grow or shrink, before the next dispatch.
+    fn set_in_service(&mut self, usable: &[bool]);
+
+    /// Accepts a ready task. `origin` is the worker core that produced it
+    /// (completion path) or `None` for slot-boundary injections, FPGA
+    /// completions and fault requeues.
+    fn push(&mut self, task: ReadyTask, origin: Option<u32>);
+
+    /// Hands the next task for the spinning core `core`, or `None` when
+    /// this core currently has nothing to run (other cores may still).
+    fn pop_for(&mut self, core: u32) -> Option<ReadyTask>;
+
+    /// Total queued tasks.
+    fn len(&self) -> usize;
+
+    /// True when no task is queued anywhere.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether a worker on `core` that just finished a task may keep a
+    /// newly-ready successor (of `kind`, belonging to `cell`) to run
+    /// locally — §2.1's cache-efficiency optimization. Architectures with
+    /// placement constraints veto successors that belong elsewhere.
+    fn keeps_local(&self, core: u32, cell: u32, kind: TaskKind) -> bool;
+
+    /// Queued tasks belonging to `cell` (per-cell demand accounting).
+    fn queued_for_cell(&self, cell: u32) -> usize;
+}
 
 /// Progress snapshot of one active (incomplete) DAG.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -1,0 +1,211 @@
+//! Persistent counterexample corpus.
+//!
+//! `--search --corpus PATH` turns the adversarial search into a
+//! regression loop: scenarios that survived shrinking in one run are
+//! written to the corpus file, and the next run plants them as its first
+//! probes (see [`SearchSettings::corpus`](crate::SearchSettings)) — a
+//! still-failing counterexample is rediscovered for the cost of one
+//! simulator run instead of a whole search phase.
+//!
+//! Like repro artifacts, corpus files are user-editable JSON, so
+//! [`parse_corpus`] validates every scenario semantically (dimensions,
+//! fault-spec ranges, plan steps) and rejects nonsense with a typed
+//! [`CorpusError`] instead of feeding it to the simulator.
+
+use crate::scenario::Scenario;
+use concordia_core::reconfig::ReconfigPlanError;
+use concordia_platform::faults::FaultPlanError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Corpus format version; bump on breaking layout changes.
+pub const CORPUS_VERSION: u32 = 1;
+
+#[derive(Serialize, Deserialize)]
+struct CorpusFile {
+    format_version: u32,
+    scenarios: Vec<Scenario>,
+}
+
+/// The canonical serialized corpus: pretty JSON with a trailing newline.
+pub fn corpus_json(scenarios: &[Scenario]) -> String {
+    let file = CorpusFile {
+        format_version: CORPUS_VERSION,
+        scenarios: scenarios.to_vec(),
+    };
+    let mut s = serde_json::to_string_pretty(&file).expect("corpus serializes");
+    s.push('\n');
+    s
+}
+
+/// Parses and validates an externally-supplied corpus file.
+pub fn parse_corpus(json: &str) -> Result<Vec<Scenario>, CorpusError> {
+    let file: CorpusFile =
+        serde_json::from_str(json).map_err(|e| CorpusError::Parse(e.to_string()))?;
+    if file.format_version != CORPUS_VERSION {
+        return Err(CorpusError::Version {
+            found: file.format_version,
+            expected: CORPUS_VERSION,
+        });
+    }
+    for (i, sc) in file.scenarios.iter().enumerate() {
+        validate_scenario(sc).map_err(|e| e.at(i))?;
+    }
+    Ok(file.scenarios)
+}
+
+fn validate_scenario(sc: &Scenario) -> Result<(), CorpusError> {
+    let bad = |msg: String| CorpusError::Scenario { index: 0, msg };
+    if sc.n_cells == 0 {
+        return Err(bad("n_cells must be at least 1".into()));
+    }
+    if sc.cores == 0 {
+        return Err(bad("cores must be at least 1".into()));
+    }
+    if sc.duration.as_nanos() == 0 {
+        return Err(bad("duration must be positive".into()));
+    }
+    if !sc.load.is_finite() || sc.load <= 0.0 {
+        return Err(bad(format!(
+            "load {} is not a positive finite fraction",
+            sc.load
+        )));
+    }
+    sc.faults
+        .validate()
+        .map_err(|e| CorpusError::Faults { index: 0, err: e })?;
+    if let Some(plan) = &sc.reconfig {
+        plan.validate()
+            .map_err(|e| CorpusError::Plan { index: 0, err: e })?;
+    }
+    Ok(())
+}
+
+/// Why an externally-supplied corpus file was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CorpusError {
+    /// Not parseable as corpus JSON.
+    Parse(String),
+    /// Format version mismatch.
+    Version {
+        /// Version in the file.
+        found: u32,
+        /// Version this build reads.
+        expected: u32,
+    },
+    /// A scenario dimension is out of range.
+    Scenario {
+        /// Index of the offending scenario in the file.
+        index: usize,
+        /// What is out of range.
+        msg: String,
+    },
+    /// A fault spec is invalid.
+    Faults {
+        /// Index of the offending scenario in the file.
+        index: usize,
+        /// The underlying fault-plan error.
+        err: FaultPlanError,
+    },
+    /// A reconfiguration step is invalid.
+    Plan {
+        /// Index of the offending scenario in the file.
+        index: usize,
+        /// The underlying plan error.
+        err: ReconfigPlanError,
+    },
+}
+
+impl CorpusError {
+    fn at(self, i: usize) -> CorpusError {
+        match self {
+            CorpusError::Scenario { msg, .. } => CorpusError::Scenario { index: i, msg },
+            CorpusError::Faults { err, .. } => CorpusError::Faults { index: i, err },
+            CorpusError::Plan { err, .. } => CorpusError::Plan { index: i, err },
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::Parse(e) => write!(f, "corpus does not parse: {e}"),
+            CorpusError::Version { found, expected } => write!(
+                f,
+                "corpus format version {found} (this build reads {expected})"
+            ),
+            CorpusError::Scenario { index, msg } => {
+                write!(f, "corpus scenario #{index} out of range: {msg}")
+            }
+            CorpusError::Faults { index, err } => {
+                write!(f, "corpus scenario #{index} fault plan invalid: {err}")
+            }
+            CorpusError::Plan { index, err } => {
+                write!(
+                    f,
+                    "corpus scenario #{index} reconfiguration plan invalid: {err}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::SearchSpace;
+    use concordia_core::config::SimConfig;
+
+    fn scenarios() -> Vec<Scenario> {
+        let space = SearchSpace::around(&SimConfig::paper_20mhz());
+        vec![space.extreme(), space.baseline()]
+    }
+
+    #[test]
+    fn corpus_round_trips_byte_for_byte() {
+        let scs = scenarios();
+        let json = corpus_json(&scs);
+        assert!(json.ends_with('\n'));
+        let back = parse_corpus(&json).expect("valid corpus");
+        assert_eq!(back, scs);
+        assert_eq!(corpus_json(&back), json, "re-serialization is stable");
+    }
+
+    #[test]
+    fn empty_corpus_is_valid() {
+        assert_eq!(parse_corpus(&corpus_json(&[])).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let json = corpus_json(&scenarios()).replace(
+            &format!("\"format_version\": {CORPUS_VERSION}"),
+            "\"format_version\": 99",
+        );
+        let err = parse_corpus(&json).expect_err("bad version");
+        assert!(matches!(err, CorpusError::Version { found: 99, .. }));
+    }
+
+    #[test]
+    fn out_of_range_scenarios_are_rejected_with_their_index() {
+        let mut scs = scenarios();
+        scs[1].load = -1.0;
+        let err = parse_corpus(&corpus_json(&scs)).expect_err("bad load");
+        assert!(
+            matches!(err, CorpusError::Scenario { index: 1, .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("#1"), "{err}");
+    }
+
+    #[test]
+    fn garbage_does_not_parse() {
+        assert!(matches!(
+            parse_corpus("{ not json").expect_err("garbage"),
+            CorpusError::Parse(_)
+        ));
+    }
+}

@@ -37,6 +37,7 @@
 //! * [`report`] — the deterministic [`SearchReport`].
 
 pub mod artifact;
+pub mod corpus;
 pub mod oracle;
 pub mod report;
 pub mod scenario;
@@ -47,6 +48,7 @@ pub mod strategy;
 pub(crate) mod testutil;
 
 pub use artifact::{replay, ArtifactError, ReplayOutcome, ReproArtifact, ARTIFACT_VERSION};
+pub use corpus::{corpus_json, parse_corpus, CorpusError, CORPUS_VERSION};
 pub use oracle::{Oracle, Verdict};
 pub use report::{CounterExample, SearchReport};
 pub use scenario::{Scenario, ScenarioSize, SearchSpace};

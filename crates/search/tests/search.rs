@@ -14,7 +14,8 @@ use concordia_platform::metrics::{CellCounters, MetricsSummary};
 use concordia_ran::time::Nanos;
 use concordia_search::oracle::evaluate_scenarios;
 use concordia_search::{
-    replay, run_search, Oracle, ReproArtifact, Scenario, SearchSettings, SearchSpace, Strategy,
+    corpus_json, parse_corpus, replay, run_search, Oracle, ReproArtifact, Scenario, SearchSettings,
+    SearchSpace, Strategy,
 };
 use proptest::prelude::*;
 
@@ -192,6 +193,66 @@ proptest! {
         };
         prop_assert_eq!(run(), run());
     }
+}
+
+/// Corpus persistence: survivors of one search, round-tripped through the
+/// corpus JSON (what `--corpus` writes and reads), let the next run
+/// rediscover the same minimal counterexample from its planted probes
+/// alone — no search-phase budget needed.
+#[test]
+fn corpus_survivors_seed_the_next_search() {
+    let base = SimConfig::paper_20mhz();
+    let space = SearchSpace::around(&base);
+    let first = run_search(
+        &base,
+        &space,
+        &sla(),
+        Strategy::Random { batch: 8 },
+        &SearchSettings {
+            seed: 7,
+            budget: 64,
+            shrink_budget: 200,
+            max_counterexamples: 1,
+            corpus: Vec::new(),
+        },
+        &mut StormStub::new(),
+    );
+    assert!(
+        !first.counterexamples.is_empty(),
+        "the stub space must yield a counterexample"
+    );
+    let survivors: Vec<Scenario> = first
+        .counterexamples
+        .iter()
+        .map(|ce| ce.minimal.clone())
+        .collect();
+    let corpus = parse_corpus(&corpus_json(&survivors)).expect("own corpus is valid");
+    assert_eq!(corpus, survivors);
+
+    // Second run: the corpus probe alone must rediscover the failure even
+    // with a budget too small for a fresh search to find anything.
+    let second = run_search(
+        &base,
+        &space,
+        &sla(),
+        Strategy::Random { batch: 8 },
+        &SearchSettings {
+            seed: 99, // different seed: the rediscovery must not depend on luck
+            budget: 1,
+            shrink_budget: 200,
+            max_counterexamples: 1,
+            corpus,
+        },
+        &mut StormStub::new(),
+    );
+    assert!(
+        !second.counterexamples.is_empty(),
+        "corpus probe did not rediscover the counterexample"
+    );
+    assert_eq!(
+        second.counterexamples[0].found, first.counterexamples[0].minimal,
+        "the planted probe is the previous run's minimal scenario"
+    );
 }
 
 /// A small real-simulator configuration (debug builds run this in tier-1
