@@ -1,0 +1,265 @@
+//! Scenario soak — the measurement-driven workload library at volume.
+//!
+//! Runs every library scenario (urban macro bursts, stadium flash crowd,
+//! sliced deadlines, mMTC background, trace replay) on a shared pool at
+//! ×10–×100 the tier-1 test volume and reports, per scenario: SLA miss
+//! rate, reliability, demand completed, and simulation throughput
+//! (cell-slots/sec). The trace-replay arm runs on the EPYC platform knob
+//! so the Pramanik compute scale is soaked too.
+//!
+//! Two outputs:
+//!
+//! - `scenario_soak.json` (under `bench-results/` or
+//!   `CONCORDIA_RESULTS_DIR`): the *deterministic* per-scenario results —
+//!   report fingerprints, reliability, violations. Bytes are independent
+//!   of `--jobs` (the runner merges in input order) and `--engine` (the
+//!   engines are byte-identical by contract), so CI diffs the file
+//!   across both settings.
+//! - `BENCH_scenarios.json` in the working directory: the same rows plus
+//!   wall-clock throughput. Machine-dependent, committed at the repo
+//!   root as the reference measurement.
+//!
+//! `--check` re-runs every scenario on the legacy binary-heap engine and
+//! exits non-zero unless the fingerprints match the wheel run byte for
+//! byte (the engine-invariance gate), or if any cell stranded work.
+//!
+//! Example:
+//! `cargo run -p concordia-bench --release --bin scenario_soak -- --quick --check`
+
+use concordia_bench::{banner, bool_flag, jobs_from_args, write_json, RunLength};
+use concordia_core::runner::run_parallel;
+use concordia_core::{ScenarioSpec, SimConfig};
+use concordia_platform::events::EngineChoice;
+use concordia_ran::Nanos;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Row {
+    scenario: String,
+    platform: &'static str,
+    cells: u32,
+    cores: u32,
+    dags: u64,
+    violations: u64,
+    reliability: f64,
+    sla_miss_rate: f64,
+    fingerprint: String,
+}
+
+#[derive(Serialize)]
+struct TimingRow {
+    scenario: String,
+    cell_slots: u64,
+    run_secs: f64,
+    slots_per_sec: f64,
+}
+
+/// The soak specs: each library scenario with its envelope stretched to
+/// the simulated duration (ramps and periods in slots at 1 ms/slot).
+fn specs(len: RunLength) -> Vec<ScenarioSpec> {
+    // Slots simulated per run (paper_20mhz: 1 ms slots).
+    let slots = match len {
+        RunLength::Quick => 1_000,
+        RunLength::Standard => 4_000,
+        RunLength::Long => 10_000,
+    };
+    let parse = |s: String| ScenarioSpec::parse(&s).expect("soak scenario parses");
+    vec![
+        parse(format!("urban_macro_burst:period={}", slots / 2)),
+        parse(format!(
+            "stadium_flash_crowd:onset=0.2,ramp={},hold={},decay={}",
+            slots / 10,
+            slots / 4,
+            slots / 5
+        )),
+        parse("sliced_deadlines:urllc_deadline=0.5".to_string()),
+        parse(format!(
+            "mmtc_background:devices=2000000,period={}",
+            slots * 20
+        )),
+        parse(format!(
+            "trace_replay:ttis={},trace_seed=3,scale=1.2,platform=epyc_rome7452",
+            (slots / 2).max(64)
+        )),
+    ]
+}
+
+fn main() {
+    let len = RunLength::from_args();
+    let seed = concordia_bench::seed_from_args();
+    let jobs = jobs_from_args();
+    let check = bool_flag("--check");
+    banner(
+        "Scenario soak (measurement-driven workload library at volume)",
+        "every library scenario holds its SLA on the sized pool, and its \
+         bytes are engine- and jobs-invariant",
+    );
+
+    let (secs, profiling, cells, cores) = match len {
+        RunLength::Quick => (1, 300, 4, 6),
+        RunLength::Standard => (4, 1_000, 7, 8),
+        RunLength::Long => (10, 2_000, 7, 8),
+    };
+
+    let mut base = SimConfig::paper_20mhz();
+    base.duration = Nanos::from_secs(secs);
+    base.profiling_slots = profiling;
+    base.n_cells = cells;
+    base.cores = cores;
+    base.load = 0.6;
+    base.seed = seed;
+
+    let library = specs(len);
+    let configs: Vec<SimConfig> = library
+        .iter()
+        .map(|s| SimConfig {
+            scenario: Some(s.clone()),
+            ..base.clone()
+        })
+        .collect();
+
+    println!(
+        "\n{secs}s simulated x {} scenarios, C={cells} cells on {cores} cores, seed {seed}, {jobs} jobs",
+        library.len()
+    );
+
+    // Deterministic sweep (parallel; merge order is input order).
+    let reports = run_parallel(configs.clone(), jobs);
+
+    let mut rows: Vec<Row> = Vec::new();
+    println!(
+        "\n{:>20} {:>16} {:>9} {:>11} {:>12}",
+        "scenario", "platform", "dags", "violations", "reliability"
+    );
+    for (spec, r) in library.iter().zip(&reports) {
+        let m = &r.metrics;
+        println!(
+            "{:>20} {:>16} {:>9} {:>11} {:>12.6}",
+            spec.name(),
+            spec.platform.name(),
+            m.dags,
+            m.violations,
+            m.reliability
+        );
+        rows.push(Row {
+            scenario: spec.name().to_string(),
+            platform: spec.platform.name(),
+            cells,
+            cores,
+            dags: m.dags as u64,
+            violations: m.violations,
+            reliability: m.reliability,
+            sla_miss_rate: if m.dags > 0 {
+                m.violations as f64 / m.dags as f64
+            } else {
+                0.0
+            },
+            fingerprint: r.fingerprint(),
+        });
+    }
+
+    // Timing: one timed serial run per scenario (wall-clock only — never
+    // part of the deterministic output).
+    let slot_ns = base.cell.slot_duration().as_nanos();
+    let cell_slots = base.duration.as_nanos() / slot_ns * cells as u64;
+    let mut timing: Vec<TimingRow> = Vec::new();
+    for (spec, cfg) in library.iter().zip(&configs) {
+        let t0 = Instant::now();
+        let report = concordia_core::run_experiment(cfg.clone());
+        let run_secs = t0.elapsed().as_secs_f64();
+        assert!(report.metrics.dags > 0, "timed run must complete DAGs");
+        timing.push(TimingRow {
+            scenario: spec.name().to_string(),
+            cell_slots,
+            run_secs,
+            slots_per_sec: cell_slots as f64 / run_secs,
+        });
+    }
+    println!(
+        "\n{:>20} {:>12} {:>12}",
+        "scenario", "cell-slots", "slots/sec"
+    );
+    for t in &timing {
+        println!(
+            "{:>20} {:>12} {:>12.0}",
+            t.scenario, t.cell_slots, t.slots_per_sec
+        );
+    }
+
+    write_json(
+        "scenario_soak",
+        &serde_json::json!({
+            "bench": "scenario_soak",
+            "seed": seed,
+            "simulated_secs": secs,
+            "cells": cells,
+            "cores": cores,
+            "rows": rows,
+        }),
+    );
+
+    std::fs::write(
+        "BENCH_scenarios.json",
+        serde_json::to_string_pretty(&serde_json::json!({
+            "bench": "scenario_soak",
+            "mode": format!("{len:?}").to_lowercase(),
+            "seed": seed,
+            "simulated_secs": secs,
+            "cells": cells,
+            "cores": cores,
+            "rows": rows,
+            "timing": timing,
+        }))
+        .expect("serialize timing")
+            + "\n",
+    )
+    .expect("write BENCH_scenarios.json");
+    println!("[rows + timing written to BENCH_scenarios.json]");
+
+    if check {
+        let mut ok = true;
+        // Engine invariance: the legacy binary-heap engine must reproduce
+        // every wheel fingerprint byte for byte.
+        let legacy_reports = run_parallel(
+            configs
+                .iter()
+                .map(|c| SimConfig {
+                    engine: EngineChoice::Legacy,
+                    ..c.clone()
+                })
+                .collect(),
+            jobs,
+        );
+        for ((spec, wheel), legacy) in library.iter().zip(&reports).zip(&legacy_reports) {
+            if wheel.to_canonical_json() != legacy.to_canonical_json() {
+                eprintln!(
+                    "CHECK FAILED: {} diverges between engines ({} vs {})",
+                    spec.name(),
+                    wheel.fingerprint(),
+                    legacy.fingerprint()
+                );
+                ok = false;
+            }
+        }
+        // Conservation: no scenario strands a cell's work.
+        for (spec, r) in library.iter().zip(&reports) {
+            for (c, ledger) in r.metrics.per_cell.iter().enumerate() {
+                if ledger.injected == 0 || ledger.completed != ledger.injected {
+                    eprintln!(
+                        "CHECK FAILED: {} cell {c} completed {} of {} DAGs",
+                        spec.name(),
+                        ledger.completed,
+                        ledger.injected
+                    );
+                    ok = false;
+                }
+            }
+        }
+        if ok {
+            println!("\ncheck passed: engine-invariant bytes, no stranded work");
+        } else {
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,6 +1,8 @@
 //! Minimal dependency-free argument parsing for the `concordia` CLI.
 
-use concordia_core::{Colocation, PredictorChoice, ReconfigPlan, SchedulerChoice, SimConfig};
+use concordia_core::{
+    Colocation, PredictorChoice, ReconfigPlan, ScenarioSpec, SchedulerChoice, SimConfig,
+};
 use concordia_platform::arch::PoolArchChoice;
 use concordia_platform::events::EngineChoice;
 use concordia_platform::faults::{FaultKind, FaultPlan};
@@ -56,6 +58,17 @@ OPTIONS:
                               steal (work-stealing deques, seeded victim
                               selection) | pipeline (FH/PHY/MAC stage
                               groups on disjoint core sets)
+  --scenario NAME[:k=v,..]    run a measurement-driven workload scenario:
+                              urban_macro_burst | stadium_flash_crowd |
+                              sliced_deadlines | mmtc_background |
+                              trace_replay, each with typed knobs (e.g.
+                              stadium_flash_crowd:boost=3,ramp=200); every
+                              scenario accepts platform=NAME to rescale
+                              task costs to another CPU (xeon8168 |
+                              xeon_gold6148 | xeon_silver4216 |
+                              epyc_rome7452 | ampere_altra_q80)
+  --scenario-file PATH        load a full ScenarioSpec from a JSON file
+                              (mutually exclusive with --scenario)
   --reconfig PATH             apply a live reconfiguration plan (JSON
                               ReconfigPlan) to the running experiment:
                               typed steps land at slot boundaries under
@@ -313,6 +326,25 @@ pub fn parse(argv: &[String]) -> Result<Cli, CliError> {
                 let plan: ReconfigPlan = serde_json::from_str(&text)
                     .map_err(|e| CliError(format!("--reconfig: '{path}' is not a plan: {e}")))?;
                 cfg.reconfig = Some(plan);
+            }
+            "--scenario" => {
+                let v = value("--scenario")?;
+                if cfg.scenario.is_some() {
+                    return err("--scenario and --scenario-file are mutually exclusive");
+                }
+                cfg.scenario =
+                    Some(ScenarioSpec::parse(v).map_err(|e| CliError(format!("--scenario: {e}")))?);
+            }
+            "--scenario-file" => {
+                let path = value("--scenario-file")?;
+                if cfg.scenario.is_some() {
+                    return err("--scenario and --scenario-file are mutually exclusive");
+                }
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| CliError(format!("--scenario-file: cannot read '{path}': {e}")))?;
+                let spec = ScenarioSpec::from_json(&text)
+                    .map_err(|e| CliError(format!("--scenario-file: '{path}': {e}")))?;
+                cfg.scenario = Some(spec);
             }
             "--search" => {
                 let v = value("--search")?;
@@ -815,6 +847,46 @@ mod tests {
         let Cli { replay, .. } = parse(&args("--replay ce.json")).unwrap();
         assert_eq!(replay.as_deref(), Some("ce.json"));
         assert!(parse(&args("--replay")).is_err(), "missing value");
+    }
+
+    #[test]
+    fn scenario_flag_parses_names_and_knobs() {
+        let Cli { cfg, .. } = parse(&args("--scenario stadium_flash_crowd:boost=3")).unwrap();
+        let spec = cfg.scenario.expect("scenario set");
+        assert_eq!(spec.name(), "stadium_flash_crowd");
+        // Default stays scenario-free: the calibrated generator runs
+        // untouched without the flag.
+        let Cli { cfg, .. } = parse(&[]).unwrap();
+        assert!(cfg.scenario.is_none());
+        assert!(
+            parse(&args("--scenario black_friday")).is_err(),
+            "unknown scenario"
+        );
+        assert!(
+            parse(&args("--scenario urban_macro_burst:warp=9")).is_err(),
+            "unknown knob"
+        );
+        assert!(parse(&args("--scenario")).is_err(), "missing value");
+    }
+
+    #[test]
+    fn scenario_file_loads_a_spec_and_excludes_the_inline_flag() {
+        let spec = ScenarioSpec::parse("mmtc_background:devices=500000").unwrap();
+        let path = std::env::temp_dir().join("concordia-args-scenario-test.json");
+        std::fs::write(&path, serde_json::to_string(&spec).unwrap()).unwrap();
+        let arg = path.to_str().unwrap().to_string();
+        let Cli { cfg, .. } = parse(&["--scenario-file".into(), arg.clone()]).unwrap();
+        assert_eq!(cfg.scenario.unwrap().name(), "mmtc_background");
+        assert!(parse(&[
+            "--scenario".into(),
+            "mmtc_background".into(),
+            "--scenario-file".into(),
+            arg,
+        ])
+        .is_err());
+        assert!(parse(&args("--scenario-file /nonexistent/spec.json")).is_err());
+        assert!(parse(&args("--scenario-file")).is_err(), "missing value");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -71,6 +71,9 @@ fn main() -> ExitCode {
         cfg.load * 100.0,
         cfg.duration.as_nanos() / 1_000_000_000
     );
+    if let Some(s) = &cfg.scenario {
+        eprintln!("  scenario: {}", s.one_liner());
+    }
 
     let (report, recorder) = Simulation::new(cfg).run_traced();
     let quant = |v: Option<f64>| match v {

@@ -9,6 +9,7 @@ use concordia_ran::cell::CellConfig;
 use concordia_ran::time::Nanos;
 use concordia_sched::concordia::ConcordiaConfig;
 use concordia_sched::supervisor::SupervisorConfig;
+use concordia_traffic::scenario::ScenarioSpec;
 use serde::{Deserialize, Serialize};
 
 /// Which pool scheduler an experiment runs.
@@ -169,6 +170,13 @@ pub struct SimConfig {
     /// serialized configs stay byte-identical.
     #[serde(default, skip_serializing_if = "PoolArchChoice::is_default")]
     pub pool: PoolArchChoice,
+    /// Workload scenario (`traffic::scenario` library): a time-varying,
+    /// cross-cell-correlated demand envelope with per-slice deadlines and
+    /// a per-platform compute scale. `None` (the default, skipped when
+    /// serializing) is the plain calibrated generator, byte-identical to
+    /// the pre-scenario behaviour.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub scenario: Option<ScenarioSpec>,
 }
 
 impl SimConfig {
@@ -198,6 +206,7 @@ impl SimConfig {
             reconfig: None,
             engine: EngineChoice::default(),
             pool: PoolArchChoice::default(),
+            scenario: None,
         }
     }
 
@@ -296,6 +305,25 @@ mod tests {
             let back: SimConfig = serde_json::from_str(&json).unwrap();
             assert_eq!(back.pool, arch, "{} must round-trip", arch.name());
         }
+    }
+
+    #[test]
+    fn scenario_field_skips_none_and_round_trips() {
+        let c = SimConfig::paper_100mhz();
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(
+            !json.contains("\"scenario\""),
+            "no scenario must not serialize (golden bytes): {json}"
+        );
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert!(back.scenario.is_none());
+
+        let mut cfg = SimConfig::paper_100mhz();
+        cfg.scenario = Some(ScenarioSpec::parse("stadium_flash_crowd:boost=3.0").unwrap());
+        let json = serde_json::to_string(&cfg).unwrap();
+        assert!(json.contains("\"scenario\""));
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.scenario, cfg.scenario);
     }
 
     #[test]

@@ -562,9 +562,10 @@ impl LegacySimulation {
             fault: self.fault_report(),
             supervisor: self.supervisor_report(),
             trace: self.pool.trace_summary(),
-            // The legacy path predates live reconfiguration and never
-            // runs a plan.
+            // The legacy path predates live reconfiguration and the
+            // scenario library; it never runs either.
             reconfig: None,
+            scenario: None,
         }
     }
 

@@ -28,6 +28,9 @@ pub mod report;
 pub mod runner;
 pub mod sim;
 
+pub use concordia_traffic::scenario::{
+    Platform, ScenarioError, ScenarioKind, ScenarioRuntime, ScenarioSpec,
+};
 pub use config::{Colocation, PredictorChoice, SchedulerChoice, SimConfig};
 pub use reconfig::{
     search_safe_order, InvariantConfig, ReconfigPlan, ReconfigPlanError, ReconfigStep,

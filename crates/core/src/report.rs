@@ -192,6 +192,11 @@ pub struct ExperimentReport {
     /// [`crate::reconfig::ReconfigPlan`]. An empty (or absent) plan leaves
     /// this `None`, which keeps such a run byte-identical to a plain one.
     pub reconfig: Option<ReconfigReport>,
+    /// Workload-scenario name when the run executed a `traffic::scenario`
+    /// spec. Skipped when absent, so scenario-free reports keep their
+    /// pre-scenario bytes.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub scenario: Option<String>,
 }
 
 impl ExperimentReport {
@@ -293,6 +298,7 @@ mod tests {
             supervisor: None,
             trace: None,
             reconfig: None,
+            scenario: None,
         }
     }
 

@@ -39,6 +39,7 @@ use concordia_sched::guard::MispredictionGuard;
 use concordia_sched::supervisor::{AdmissionLevel, LaneState, PredictorSupervisor};
 use concordia_stats::rng::Rng;
 use concordia_traffic::gen5g::{CellTraffic, TrafficConfig};
+use concordia_traffic::scenario::ScenarioRuntime;
 use std::sync::Arc;
 
 /// A fully assembled simulation, ready to run.
@@ -104,6 +105,11 @@ pub struct Simulation {
     wl_scratch: SlotWorkload,
     /// DAG-builder index scratch, reused across every built DAG.
     dag_scratch: DagScratch,
+    /// Workload-scenario envelope (diurnal ramps, flash crowds, slice
+    /// classes, mMTC floors, trace replay). `None` runs the calibrated
+    /// generator untouched — that path draws exactly the historical RNG
+    /// stream, so scenario-free reports keep their bytes.
+    scenario: Option<ScenarioRuntime>,
 }
 
 /// Workload-level fault kinds the sim (not the pool) traces, paired with
@@ -146,7 +152,14 @@ impl Simulation {
             cell.deadline = d;
         }
         let cfg = SimConfig { cell, ..cfg };
-        let cost = CostModel::new();
+        // A scenario's platform knob rescales every task cost (the
+        // Pramanik-style compute-scale sweep); the reference platform
+        // resolves to `None` inside `for_platform_scale`, which is the
+        // bit-identical unscaled code path.
+        let cost = match cfg.scenario.as_ref() {
+            Some(spec) => CostModel::for_platform_scale(spec.compute_scale()),
+            None => CostModel::new(),
+        };
         let root = Rng::new(cfg.seed);
 
         // Offline phase (§4.2): isolated vRAN, randomized inputs. The
@@ -253,6 +266,13 @@ impl Simulation {
             .map(ReconfigEngine::new);
         let dataset = reconfig.is_some().then_some(dataset);
         let initial_cells = cfg.n_cells;
+        // Scenario envelope state lives on its own seed stream; all of
+        // its randomness is drawn inside `begin_slot`, so a scenario-free
+        // run draws nothing extra anywhere.
+        let scenario = cfg.scenario.clone().map(|spec| {
+            let slots = cfg.duration.as_nanos() / cfg.cell.slot_duration().as_nanos();
+            ScenarioRuntime::new(spec, cfg.n_cells, slots, cfg.seed ^ 0x5CE0)
+        });
         let mut sim = Simulation {
             cfg,
             cost,
@@ -283,6 +303,7 @@ impl Simulation {
                 ues: Vec::new(),
             },
             dag_scratch: DagScratch::default(),
+            scenario,
         };
         if let Some(tc) = sim.cfg.trace {
             sim.pool.enable_trace(tc);
@@ -576,6 +597,13 @@ impl Simulation {
     /// addressed by index into the epoch-cached `boundary_groups` so the
     /// hot path never clones the membership table.
     fn inject_cells(&mut self, t: Nanos, slot: u64, gi: usize) {
+        // Advance the scenario envelope once per slot. `begin_slot` is
+        // idempotent, which matters here: staggered phase groups re-enter
+        // the same slot several times, and every group must see the same
+        // burst gates and mMTC floors.
+        if let Some(env) = self.scenario.as_mut() {
+            env.begin_slot(slot);
+        }
         let granted = self.pool.granted_cores().max(1);
         // Workload-level faults land here: a predictor-bias window divides
         // every prediction (a corrupted model systematically
@@ -606,6 +634,19 @@ impl Simulation {
             let cell_id = self.boundary_groups[gi].1[k];
             let c = cell_id as usize;
             let wcet_factor = self.guards[c].inflation() / bias;
+            // Per-slice deadline budgets (`sliced_deadlines`): the cell's
+            // slot DAGs are built from a value copy of the cell config
+            // with a scaled deadline, leaving the shared config — and the
+            // MAC DAG's one-slot budget — untouched. A `SetDeadline`
+            // reconfiguration step composes naturally: the scale applies
+            // to whatever the live deadline is.
+            let mut cell_cfg = self.cfg.cell;
+            if let Some(env) = self.scenario.as_ref() {
+                let ds = env.deadline_scale(cell_id);
+                if ds != 1.0 {
+                    cell_cfg.deadline = cell_cfg.deadline.scale(ds);
+                }
+            }
             // §7 extension: MAC scheduling for the *next* slot runs in the
             // pool, with a one-slot deadline.
             if self.cfg.mac_in_pool {
@@ -638,11 +679,45 @@ impl Simulation {
             }
             let dirs = self.cfg.cell.duplex.directions(slot);
             for &dir in dirs {
-                let bytes = match dir {
-                    SlotDirection::Uplink => self.traffic[c].next_ul_bytes(),
-                    SlotDirection::Downlink => self.traffic[c].next_dl_bytes(),
-                    // The special slot carries a reduced DL volume.
-                    SlotDirection::Special => self.traffic[c].next_dl_bytes() * 0.6,
+                let bytes = match self.scenario.as_ref() {
+                    None => {
+                        match dir {
+                            SlotDirection::Uplink => self.traffic[c].next_ul_bytes(),
+                            SlotDirection::Downlink => self.traffic[c].next_dl_bytes(),
+                            // The special slot carries a reduced DL volume.
+                            SlotDirection::Special => self.traffic[c].next_dl_bytes() * 0.6,
+                        }
+                    }
+                    Some(env) => {
+                        // Replay scenarios source volumes from the frozen
+                        // trace and skip the generator entirely — in both
+                        // engines, so the skipped draws cannot split the
+                        // legacy/wheel streams. Envelope scenarios shape
+                        // the generator's draw instead.
+                        let drawn = if env.is_replay() {
+                            0.0
+                        } else {
+                            match dir {
+                                SlotDirection::Uplink => self.traffic[c].next_ul_bytes(),
+                                SlotDirection::Downlink => self.traffic[c].next_dl_bytes(),
+                                SlotDirection::Special => self.traffic[c].next_dl_bytes() * 0.6,
+                            }
+                        };
+                        let uplink = dir == SlotDirection::Uplink;
+                        let peak = if uplink {
+                            self.cfg.cell.peak_ul_bytes_per_slot()
+                        } else {
+                            self.cfg.cell.peak_dl_bytes_per_slot()
+                        };
+                        let shaped = env.demand_bytes(cell_id, slot, uplink, drawn, peak);
+                        // The replay path never saw the generator's 0.6
+                        // special-slot reduction, so it applies its own.
+                        if env.is_replay() && dir == SlotDirection::Special {
+                            shaped * 0.6
+                        } else {
+                            shaped
+                        }
+                    }
                 } * surge;
                 // Under the wheel engine the whole injection recycles: the
                 // workload expands into a persistent scratch, and the DAG
@@ -676,15 +751,8 @@ impl Simulation {
                 } else {
                     &mut fresh
                 };
-                let dag = build_dag_into(
-                    &self.cfg.cell,
-                    cell_id,
-                    slot,
-                    t,
-                    &self.wl_scratch,
-                    buf,
-                    scratch,
-                );
+                let dag =
+                    build_dag_into(&cell_cfg, cell_id, slot, t, &self.wl_scratch, buf, scratch);
                 if dag.is_empty() {
                     continue;
                 }
@@ -921,6 +989,9 @@ impl Simulation {
             id,
             &root,
         ));
+        if let Some(env) = self.scenario.as_mut() {
+            env.ensure_cells(id + 1);
+        }
         self.rebuild_boundary_groups();
         id
     }
@@ -1038,6 +1109,7 @@ impl Simulation {
                     self.pool.capacity(),
                 )
             }),
+            scenario: self.cfg.scenario.as_ref().map(|s| s.name().to_string()),
         }
     }
 

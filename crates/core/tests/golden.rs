@@ -13,7 +13,10 @@
 //!
 //! and review the JSON diff like any other code change.
 
-use concordia_core::{Colocation, ReconfigPlan, ReconfigStep, SchedulerChoice, SimConfig};
+use concordia_core::{
+    Colocation, ReconfigPlan, ReconfigStep, ScenarioSpec, SchedulerChoice, SimConfig,
+};
+use concordia_platform::arch::PoolArchChoice;
 use concordia_platform::events::EngineChoice;
 use concordia_platform::faults::{FaultKind, FaultPlan};
 use concordia_platform::workloads::WorkloadKind;
@@ -141,6 +144,133 @@ fn legacy_and_wheel_engines_are_byte_identical() {
             legacy.len(),
             wheel.len()
         );
+    }
+}
+
+/// One golden per library scenario, all on a staggered two-cell pool so
+/// the per-cell RNG streams, phase groups and (for `sliced_deadlines`)
+/// per-slice deadline budgets are all exercised. The trace-replay golden
+/// synthesizes a short calibrated trace so the file stays small.
+fn scenario_base(name_and_knobs: &str, seed: u64) -> SimConfig {
+    let mut cfg = base(2, seed);
+    cfg.scenario = Some(ScenarioSpec::parse(name_and_knobs).expect("library scenario parses"));
+    cfg
+}
+
+#[test]
+fn golden_scenario_urban_macro_burst() {
+    check(
+        "scenario_urban_macro_burst",
+        scenario_base("urban_macro_burst:period=600", 1001),
+    );
+}
+
+#[test]
+fn golden_scenario_stadium_flash_crowd() {
+    check(
+        "scenario_stadium_flash_crowd",
+        scenario_base(
+            "stadium_flash_crowd:onset=0.2,ramp=120,hold=200,decay=160",
+            1002,
+        ),
+    );
+}
+
+#[test]
+fn golden_scenario_sliced_deadlines() {
+    check(
+        "scenario_sliced_deadlines",
+        scenario_base("sliced_deadlines:urllc_deadline=0.5", 1003),
+    );
+}
+
+#[test]
+fn golden_scenario_mmtc_background() {
+    // A short period so the device floor actually lands bytes in 250 ms.
+    check(
+        "scenario_mmtc_background",
+        scenario_base("mmtc_background:devices=500000,period=20000", 1004),
+    );
+}
+
+#[test]
+fn golden_scenario_trace_replay_on_epyc() {
+    // Platform knob rides along: the EPYC compute scale must be pinned in
+    // the same bytes as the replayed trace.
+    check(
+        "scenario_trace_replay_epyc",
+        scenario_base(
+            "trace_replay:ttis=256,trace_seed=3,scale=1.2,platform=epyc_rome7452",
+            1005,
+        ),
+    );
+}
+
+/// Differential: every library scenario runs byte-identically on the
+/// legacy binary-heap engine, the calendar-queue wheel, under any
+/// `--jobs` worker count, and on every pluggable pool architecture. The
+/// scenario envelope draws from its own RNG streams, so this is the test
+/// that proves those draws are engine-, thread- and pool-invariant.
+#[test]
+fn scenarios_are_engine_jobs_and_pool_invariant() {
+    let specs = [
+        "urban_macro_burst:period=600",
+        "stadium_flash_crowd:onset=0.2,ramp=120,hold=200,decay=160",
+        "sliced_deadlines:urllc_deadline=0.5",
+        "mmtc_background:devices=500000,period=20000",
+        "trace_replay:ttis=256,trace_seed=3,scale=1.2",
+    ];
+    let mut wheel_cfgs = Vec::new();
+    for (i, s) in specs.iter().enumerate() {
+        let cfg = scenario_base(s, 1001 + i as u64);
+        let mut legacy_cfg = cfg.clone();
+        legacy_cfg.engine = EngineChoice::Legacy;
+        let legacy = concordia_core::run_experiment(legacy_cfg).to_canonical_json();
+        let mut wheel_cfg = cfg.clone();
+        wheel_cfg.engine = EngineChoice::Wheel;
+        let wheel = concordia_core::run_experiment(wheel_cfg).to_canonical_json();
+        assert!(
+            legacy == wheel,
+            "{s}: legacy and wheel reports diverged ({} vs {} bytes)",
+            legacy.len(),
+            wheel.len()
+        );
+        wheel_cfgs.push((s, cfg, wheel));
+    }
+    // Worker count never changes a byte.
+    let many = concordia_core::runner::run_parallel(
+        wheel_cfgs.iter().map(|(_, c, _)| c.clone()).collect(),
+        4,
+    );
+    for ((s, _, solo), parallel) in wheel_cfgs.iter().zip(&many) {
+        assert!(
+            *solo == parallel.to_canonical_json(),
+            "{s}: report depends on --jobs"
+        );
+    }
+    // Every pool architecture stays a pure function of (config, seed)
+    // under a scenario envelope, and none of them strands a cell's work
+    // while the flash crowd holds at peak.
+    let (s, cfg, _) = &wheel_cfgs[1];
+    for arch in PoolArchChoice::ALL {
+        let mut c = cfg.clone();
+        c.pool = arch;
+        let first = concordia_core::run_experiment(c.clone());
+        let again = concordia_core::run_experiment(c).to_canonical_json();
+        assert!(
+            first.to_canonical_json() == again,
+            "{s}: pool {} is not deterministic",
+            arch.name()
+        );
+        for (cell, ledger) in first.metrics.per_cell.iter().enumerate() {
+            assert!(
+                ledger.injected > 0 && ledger.completed == ledger.injected,
+                "{s}: pool {} cell {cell} lost work ({} of {})",
+                arch.name(),
+                ledger.completed,
+                ledger.injected
+            );
+        }
     }
 }
 

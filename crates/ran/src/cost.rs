@@ -131,12 +131,32 @@ impl Default for CostCalibration {
 pub struct CostModel {
     /// Calibration constants.
     pub cal: CostCalibration,
+    /// Pramanik-style per-platform compute scale: every task cost is
+    /// multiplied by this factor. `None` is the calibration platform (the
+    /// paper's Xeon 8168, scale 1.0) and leaves costs bit-identical —
+    /// existing goldens and serialized models are unaffected.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub platform_scale: Option<f64>,
 }
 
 impl CostModel {
     /// Creates a model with the default calibration.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A model whose task costs are scaled by `scale` relative to the
+    /// Xeon 8168 calibration (Pramanik-style platform transfer). A scale
+    /// of exactly 1.0 degrades to the unscaled reference model.
+    pub fn for_platform_scale(scale: f64) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "bad platform scale {scale}"
+        );
+        CostModel {
+            cal: CostCalibration::default(),
+            platform_scale: if scale == 1.0 { None } else { Some(scale) },
+        }
     }
 
     /// Expected LDPC iteration count given the SNR margin over the MCS
@@ -276,7 +296,13 @@ impl CostModel {
                     + c.mac_per_ue_us * p.n_ues_slot as f64 * antenna_factor * prb_log / 6.0
             }
         };
-        c.task_base_us + us
+        let us = c.task_base_us + us;
+        // Platform transfer multiplies at the very end so every kind scales
+        // uniformly; the reference platform takes the untouched path.
+        match self.platform_scale {
+            Some(s) => us * s,
+            None => us,
+        }
     }
 
     /// Samples a runtime for `kind` with parameters `p`.
@@ -583,6 +609,43 @@ mod tests {
             assert_eq!(
                 m.sample_runtime(TaskKind::LdpcDecode, &p, 1.1, &mut a),
                 m.sample_runtime(TaskKind::LdpcDecode, &p, 1.1, &mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn platform_scale_multiplies_every_kind_uniformly() {
+        let reference = CostModel::new();
+        let scaled = CostModel::for_platform_scale(1.5);
+        let p = TaskParams {
+            n_cbs: 2,
+            cb_bits: 8448,
+            tb_bits: 16_000,
+            prbs: 50,
+            ..TaskParams::default()
+        };
+        for kind in TaskKind::ALL {
+            let base = reference.expected_cost(kind, &p).as_micros_f64();
+            let x = scaled.expected_cost(kind, &p).as_micros_f64();
+            // Nanos round to integer nanoseconds, so compare at ns grain.
+            assert!((x - base * 1.5).abs() < 2e-3, "{kind:?}: {x} vs {base}");
+        }
+    }
+
+    #[test]
+    fn unit_platform_scale_is_the_reference_model_exactly() {
+        // Scale 1.0 must take the untouched code path (bit-identical
+        // costs), and must not serialize a scale field at all.
+        let m = CostModel::for_platform_scale(1.0);
+        assert_eq!(m.platform_scale, None);
+        let p = decode_params(5, 2, 20.0, 12);
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        let reference = CostModel::new();
+        for _ in 0..200 {
+            assert_eq!(
+                m.sample_runtime(TaskKind::LdpcDecode, &p, 1.0, &mut a),
+                reference.sample_runtime(TaskKind::LdpcDecode, &p, 1.0, &mut b)
             );
         }
     }

@@ -106,6 +106,10 @@ impl ReproArtifact {
         if let Some(plan) = &sc.reconfig {
             plan.validate().map_err(ArtifactError::Plan)?;
         }
+        if let Some(w) = &sc.workload {
+            w.validate()
+                .map_err(|e| ArtifactError::Scenario(format!("workload: {e}")))?;
+        }
         Ok(())
     }
 }

@@ -74,6 +74,9 @@ fn validate_scenario(sc: &Scenario) -> Result<(), CorpusError> {
     sc.faults
         .validate()
         .map_err(|e| CorpusError::Faults { index: 0, err: e })?;
+    if let Some(w) = &sc.workload {
+        w.validate().map_err(|e| bad(format!("workload: {e}")))?;
+    }
     if let Some(plan) = &sc.reconfig {
         plan.validate()
             .map_err(|e| CorpusError::Plan { index: 0, err: e })?;

@@ -343,6 +343,7 @@ mod tests {
             supervisor: None,
             trace: None,
             reconfig: None,
+            scenario: None,
         }
     }
 

@@ -17,6 +17,7 @@
 
 use concordia_core::config::SimConfig;
 use concordia_core::reconfig::{ReconfigPlan, ReconfigStep};
+use concordia_core::ScenarioSpec;
 use concordia_platform::faults::{FaultKind, FaultPlan, FaultSpec};
 use concordia_ran::time::Nanos;
 use concordia_stats::rng::Rng;
@@ -39,6 +40,12 @@ pub struct Scenario {
     pub faults: FaultPlan,
     /// Live-reconfiguration plan, when the scenario exercises one.
     pub reconfig: Option<ReconfigPlan>,
+    /// Workload scenario (traffic envelope + platform scale) the point
+    /// runs under, when the space perturbs one. `None` falls back to
+    /// whatever the base configuration carries, so pre-workload corpora
+    /// and artifacts deserialize — and replay — unchanged.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub workload: Option<ScenarioSpec>,
 }
 
 impl Scenario {
@@ -58,6 +65,7 @@ impl Scenario {
             duration: self.duration,
             faults: self.faults.clamped_to(self.duration),
             reconfig,
+            scenario: self.workload.clone().or_else(|| base.scenario.clone()),
             ..base.clone()
         }
     }
@@ -90,6 +98,7 @@ impl Scenario {
             cells: self.n_cells,
             load_millis: (self.load.max(0.0) * 1000.0).round() as u64,
             severity_millis,
+            workload_millis: self.workload.as_ref().map_or(0, |w| w.shrink_cost()),
         }
     }
 
@@ -116,14 +125,19 @@ impl Scenario {
                 .join("+")
         };
         let plan = self.reconfig.as_ref().map_or(0, |p| p.steps.len());
+        let workload = self
+            .workload
+            .as_ref()
+            .map_or(String::new(), |w| format!(", workload {}", w.name()));
         format!(
-            "load {:.2}, {} cells x {} cores, {:.0} ms, faults [{}], {} plan steps",
+            "load {:.2}, {} cells x {} cores, {:.0} ms, faults [{}], {} plan steps{}",
             self.load,
             self.n_cells,
             self.cores,
             self.duration.as_millis_f64(),
             faults,
-            plan
+            plan,
+            workload
         )
     }
 }
@@ -149,6 +163,12 @@ pub struct ScenarioSize {
     pub load_millis: u64,
     /// Summed distance-from-benign of every spec's severity, in millis.
     pub severity_millis: u64,
+    /// Shrink cost of the attached workload scenario (0 = none). Last in
+    /// the lexicographic order: dropping or softening the workload only
+    /// wins once everything structural is already minimal. `#[serde(
+    /// default)]` keeps pre-workload serialized sizes deserializing.
+    #[serde(default)]
+    pub workload_millis: u64,
 }
 
 /// Bounds on every scenario axis: what the strategies may draw.
@@ -172,6 +192,11 @@ pub struct SearchSpace {
     pub plan_steps: Vec<ReconfigStep>,
     /// Most plan steps a sampled scenario carries.
     pub max_plan_steps: usize,
+    /// Workload scenarios sampled points may run under (empty = every
+    /// point keeps the base configuration's workload). Defaulted so
+    /// pre-workload serialized spaces keep deserializing.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub workloads: Vec<ScenarioSpec>,
 }
 
 impl SearchSpace {
@@ -198,6 +223,10 @@ impl SearchSpace {
                 ReconfigStep::Rephase { stagger: false },
             ],
             max_plan_steps: 2,
+            // The base config's workload (when set) is the one scenario
+            // the space perturbs; `--search` stays workload-free
+            // otherwise, exactly as before the scenario library.
+            workloads: base.scenario.clone().into_iter().collect(),
         }
     }
 
@@ -245,6 +274,15 @@ impl SearchSpace {
         } else {
             None
         };
+        // Workload draws happen only for a space that carries workloads,
+        // so spaces without them sample the exact pre-workload sequences.
+        let workload = if self.workloads.is_empty() {
+            None
+        } else if rng.chance(0.5) {
+            Some(self.workloads[rng.below(self.workloads.len() as u64) as usize].clone())
+        } else {
+            None
+        };
         Scenario {
             load,
             n_cells,
@@ -252,6 +290,7 @@ impl SearchSpace {
             duration,
             faults: FaultPlan { specs },
             reconfig,
+            workload,
         }
     }
 
@@ -290,6 +329,7 @@ impl SearchSpace {
             duration,
             faults: FaultPlan { specs },
             reconfig,
+            workload: self.workloads.first().cloned(),
         }
     }
 
@@ -304,6 +344,7 @@ impl SearchSpace {
             duration: self.duration.0,
             faults: FaultPlan::none(),
             reconfig: None,
+            workload: None,
         }
     }
 
@@ -317,6 +358,7 @@ impl SearchSpace {
             duration: self.duration.1,
             faults: FaultPlan::none(),
             reconfig: None,
+            workload: None,
         }
     }
 }
@@ -417,6 +459,40 @@ mod tests {
         assert_eq!(t, FaultKind::AccelTimeout.chaos_severity().0);
         let s = SearchSpace::adversarial_severity(FaultKind::StormAmplification);
         assert_eq!(s, FaultKind::StormAmplification.chaos_severity().1);
+    }
+
+    #[test]
+    fn workload_scenarios_ride_along_and_shrink_last() {
+        let mut base = SimConfig::paper_20mhz();
+        base.scenario = Some(ScenarioSpec::parse("stadium_flash_crowd:boost=2.5").unwrap());
+        let s = SearchSpace::around(&base);
+        assert_eq!(s.workloads.len(), 1);
+        // The extreme corner carries the workload, and `apply` threads it
+        // into the experiment configuration.
+        let hi = s.extreme();
+        assert_eq!(hi.workload.as_ref().unwrap().name(), "stadium_flash_crowd");
+        let cfg = hi.apply(&base);
+        assert_eq!(cfg.scenario.unwrap().name(), "stadium_flash_crowd");
+        // Dropping the workload strictly shrinks, but ranks after
+        // everything structural: dropping a fault window still wins.
+        let mut dropped = hi.clone();
+        dropped.workload = None;
+        assert!(dropped.size() < hi.size());
+        let mut fewer = hi.clone();
+        fewer.faults = fewer.faults.without_spec(0);
+        assert!(fewer.size() < dropped.size());
+        // A workload-free point over a workload-carrying base keeps the
+        // base's workload (replayed artifacts stay self-consistent).
+        let lo = s.baseline();
+        assert!(lo.workload.is_none());
+        assert_eq!(
+            lo.apply(&base).scenario.unwrap().name(),
+            "stadium_flash_crowd"
+        );
+        // A workload-free space never draws one.
+        let plain = SearchSpace::around(&SimConfig::paper_20mhz());
+        assert!(plain.workloads.is_empty());
+        assert!(plain.sample(&mut Rng::new(3)).workload.is_none());
     }
 
     #[test]

@@ -105,6 +105,27 @@ fn candidates(current: &Scenario) -> Vec<(String, Scenario)> {
             );
         }
     }
+    // …then the workload scenario: drop it outright, or soften its
+    // dominant knob toward benign (softening only ever decreases the
+    // spec's shrink cost, so both moves strictly shrink).
+    if let Some(w) = &current.workload {
+        push(
+            format!("drop workload scenario ({})", w.name()),
+            Scenario {
+                workload: None,
+                ..current.clone()
+            },
+        );
+        if let Some(softer) = w.softened() {
+            push(
+                format!("soften workload scenario ({})", w.name()),
+                Scenario {
+                    workload: Some(softer),
+                    ..current.clone()
+                },
+            );
+        }
+    }
     // Time: shorten the run (fault windows clamp along).
     for factor in [0.5, 0.75] {
         push(

@@ -486,6 +486,16 @@ fn beam_moves(space: &SearchSpace, sc: &Scenario) -> Vec<Scenario> {
             });
         }
     }
+    // Run under one of the space's workload scenarios. A no-op for
+    // workload-free spaces, so pre-scenario searches expand identically.
+    if sc.workload.is_none() {
+        for w in &space.workloads {
+            out.push(Scenario {
+                workload: Some(w.clone()),
+                ..sc.clone()
+            });
+        }
+    }
     out
 }
 

@@ -81,6 +81,7 @@ impl ThresholdEval {
             supervisor: None,
             trace: None,
             reconfig: None,
+            scenario: None,
         }
     }
 }

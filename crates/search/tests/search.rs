@@ -80,6 +80,7 @@ impl StormStub {
             supervisor: None,
             trace: None,
             reconfig: None,
+            scenario: None,
         }
     }
 }
@@ -281,6 +282,7 @@ fn tiny_scenario() -> Scenario {
             )],
         },
         reconfig: None,
+        workload: None,
     }
 }
 

@@ -9,12 +9,18 @@
 //! * [`gen5g`] — 5G-scaled per-cell sources with a load knob and expansion
 //!   of byte demands into scheduled UE allocations (§6 methodology).
 //! * [`gauss`] — the analytical √n pooling-waste model of §2.2.
+//! * [`scenario`] — the measurement-driven scenario library: typed,
+//!   seeded workload envelopes (urban macro burst, stadium flash crowd,
+//!   sliced deadlines, mMTC background, trace replay) layered over the
+//!   generator, plus per-platform compute scaling.
 
 pub mod burst;
 pub mod gauss;
 pub mod gen5g;
+pub mod scenario;
 pub mod trace;
 
 pub use burst::{BurstModel, BurstParams};
 pub use gen5g::{CellTraffic, TrafficConfig};
+pub use scenario::{Platform, ScenarioError, ScenarioKind, ScenarioRuntime, ScenarioSpec};
 pub use trace::{Trace, TraceStats};

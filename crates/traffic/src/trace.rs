@@ -63,18 +63,28 @@ impl Trace {
     }
 
     /// Size at TTI `i`, cycling if `i` exceeds the trace length (replay
-    /// loops the trace, as benchmark drivers commonly do).
+    /// loops the trace, as benchmark drivers commonly do). An empty trace
+    /// replays as silence — replay mode must be total, not panicking.
     pub fn at_cyclic(&self, i: usize) -> f64 {
-        assert!(!self.sizes.is_empty());
+        if self.sizes.is_empty() {
+            return 0.0;
+        }
         self.sizes[i % self.sizes.len()]
     }
 
     /// Element-wise aggregate of several traces (a pooled multi-cell view).
+    /// Shorter captures are treated as silent after they end, so the
+    /// aggregate spans the longest trace instead of silently truncating to
+    /// the shortest; no traces at all aggregate to the empty trace.
     pub fn aggregate(traces: &[&Trace]) -> Trace {
-        assert!(!traces.is_empty());
-        let len = traces.iter().map(|t| t.len()).min().unwrap();
+        let len = traces.iter().map(|t| t.len()).max().unwrap_or(0);
         let sizes = (0..len)
-            .map(|i| traces.iter().map(|t| t.sizes[i]).sum())
+            .map(|i| {
+                traces
+                    .iter()
+                    .map(|t| t.sizes.get(i).copied().unwrap_or(0.0))
+                    .sum()
+            })
             .collect();
         Trace { sizes }
     }
@@ -144,7 +154,27 @@ mod tests {
         let a = Trace::new(vec![1.0, 2.0, 3.0]);
         let b = Trace::new(vec![10.0, 20.0, 30.0, 40.0]);
         let agg = Trace::aggregate(&[&a, &b]);
-        assert_eq!(agg.sizes(), &[11.0, 22.0, 33.0]);
+        // The shorter capture is silent after it ends: the aggregate spans
+        // the longest trace rather than truncating to the shortest.
+        assert_eq!(agg.sizes(), &[11.0, 22.0, 33.0, 40.0]);
+    }
+
+    #[test]
+    fn aggregate_of_nothing_is_the_empty_trace() {
+        let agg = Trace::aggregate(&[]);
+        assert!(agg.is_empty());
+        assert_eq!(agg.len(), 0);
+    }
+
+    #[test]
+    fn empty_trace_replays_as_silence() {
+        let t = Trace::new(Vec::new());
+        assert_eq!(t.at_cyclic(0), 0.0);
+        assert_eq!(t.at_cyclic(12345), 0.0);
+        // Aggregating an empty trace with a real one changes nothing.
+        let real = Trace::new(vec![5.0, 7.0]);
+        let agg = Trace::aggregate(&[&t, &real]);
+        assert_eq!(agg.sizes(), real.sizes());
     }
 
     #[test]

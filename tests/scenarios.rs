@@ -1,0 +1,192 @@
+//! Scenario-library invariants through the facade:
+//!
+//! * conservation — every library scenario, layered under core-loss
+//!   chaos on any pool size, never strands a cell's work;
+//! * determinism — a scenario run is a pure function of (config, seed),
+//!   pinned via the report fingerprint;
+//! * format — specs round-trip through their JSON form byte-for-byte,
+//!   and out-of-range knobs are rejected with typed errors at the parse
+//!   boundary, never fed to the simulator.
+
+use concordia::core::{run_experiment, ScenarioError, ScenarioKind, ScenarioSpec, SimConfig};
+use concordia::platform::faults::{FaultKind, FaultPlan};
+use concordia::ran::Nanos;
+use proptest::prelude::*;
+
+/// A run small enough for tier-1 debug builds: the scenario envelopes
+/// below compress their ramps/periods to land inside 100 ms.
+fn small(cells: u32, seed: u64, load: f64) -> SimConfig {
+    let mut cfg = SimConfig::paper_20mhz();
+    cfg.n_cells = cells;
+    cfg.cores = (cells + 1).min(6);
+    cfg.duration = Nanos::from_millis(100);
+    cfg.profiling_slots = 80;
+    cfg.load = load;
+    cfg.seed = seed;
+    cfg
+}
+
+/// One compressed representative per library scenario.
+fn library_spec(idx: usize) -> ScenarioSpec {
+    let s = match idx % 5 {
+        0 => "urban_macro_burst:period=300",
+        1 => "stadium_flash_crowd:onset=0.2,ramp=60,hold=100,decay=80",
+        2 => "sliced_deadlines",
+        3 => "mmtc_background:devices=200000,period=10000",
+        _ => "trace_replay:ttis=128,trace_seed=5",
+    };
+    ScenarioSpec::parse(s).expect("library scenario parses")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Per-cell conservation survives every scenario envelope × chaos
+    /// core loss: whatever the intensity shaping injects, the pool
+    /// completes.
+    #[test]
+    fn scenarios_never_strand_work_under_core_loss(
+        idx in 0usize..5,
+        cells in 1u32..4,
+        seed in 0u64..1_000,
+        load in 0.3f64..0.7,
+    ) {
+        let mut cfg = small(cells, seed, load);
+        cfg.scenario = Some(library_spec(idx));
+        cfg.faults = FaultPlan::chaos(&[FaultKind::CoreOffline], cfg.duration);
+        let r = run_experiment(cfg);
+        prop_assert_eq!(r.metrics.per_cell.len(), cells as usize);
+        prop_assert_eq!(r.scenario.as_deref(), Some(library_spec(idx).name()));
+        for (c, ledger) in r.metrics.per_cell.iter().enumerate() {
+            prop_assert!(ledger.injected > 0, "cell {} injected nothing", c);
+            prop_assert!(
+                ledger.completed == ledger.injected,
+                "cell {} lost work under scenario {}",
+                c,
+                library_spec(idx).name()
+            );
+        }
+    }
+
+    /// A scenario run is a pure function of (config, seed): identical
+    /// fingerprints on a re-run, and the scenario's RNG streams never
+    /// leak into a scenario-free run sharing the seed.
+    #[test]
+    fn scenario_runs_are_seed_deterministic(
+        idx in 0usize..5,
+        seed in 0u64..1_000,
+    ) {
+        let mut cfg = small(2, seed, 0.5);
+        cfg.scenario = Some(library_spec(idx));
+        let a = run_experiment(cfg.clone());
+        let b = run_experiment(cfg);
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        prop_assert_eq!(a.to_canonical_json(), b.to_canonical_json());
+    }
+}
+
+/// Specs round-trip through their JSON file form byte-for-byte — what
+/// `--scenario-file` reads is exactly what a spec serializes to.
+#[test]
+fn specs_round_trip_through_json() {
+    for idx in 0..5 {
+        let spec = library_spec(idx);
+        let json = serde_json::to_string_pretty(&spec).expect("spec serializes");
+        let back = ScenarioSpec::from_json(&json).expect("own JSON is valid");
+        assert_eq!(back, spec, "{}", spec.name());
+        assert_eq!(
+            serde_json::to_string_pretty(&back).unwrap(),
+            json,
+            "{}: re-serialization is stable",
+            spec.name()
+        );
+    }
+}
+
+/// Out-of-range knobs die at the parse boundary with typed errors.
+#[test]
+fn invalid_knobs_are_rejected_with_typed_errors() {
+    for (input, check) in [
+        (
+            "black_friday",
+            Box::new(|e: &ScenarioError| matches!(e, ScenarioError::UnknownScenario(_)))
+                as Box<dyn Fn(&ScenarioError) -> bool>,
+        ),
+        (
+            "urban_macro_burst:warp=9",
+            Box::new(|e| matches!(e, ScenarioError::UnknownKnob { .. })),
+        ),
+        (
+            "urban_macro_burst:boost",
+            Box::new(|e| matches!(e, ScenarioError::MalformedKnob(_))),
+        ),
+        (
+            "urban_macro_burst:amplitude=1.5",
+            Box::new(|e| {
+                matches!(
+                    e,
+                    ScenarioError::OutOfRange {
+                        knob: "amplitude",
+                        ..
+                    }
+                )
+            }),
+        ),
+        (
+            "stadium_flash_crowd:boost=0.5",
+            Box::new(|e| matches!(e, ScenarioError::OutOfRange { knob: "boost", .. })),
+        ),
+        (
+            "stadium_flash_crowd:boost=17",
+            Box::new(|e| matches!(e, ScenarioError::OutOfRange { knob: "boost", .. })),
+        ),
+        (
+            "sliced_deadlines:urllc_deadline=0.05",
+            Box::new(|e| {
+                matches!(
+                    e,
+                    ScenarioError::OutOfRange {
+                        knob: "deadline_scale",
+                        ..
+                    }
+                )
+            }),
+        ),
+        (
+            "mmtc_background:devices=0",
+            Box::new(|e| {
+                matches!(
+                    e,
+                    ScenarioError::OutOfRange {
+                        knob: "devices",
+                        ..
+                    }
+                )
+            }),
+        ),
+        (
+            "trace_replay:ttis=0",
+            Box::new(|e| matches!(e, ScenarioError::EmptyTrace)),
+        ),
+        (
+            "trace_replay:platform=abacus",
+            Box::new(|e| matches!(e, ScenarioError::UnknownPlatform(_))),
+        ),
+    ] {
+        let err = ScenarioSpec::parse(input).expect_err(input);
+        assert!(check(&err), "{input}: wrong error {err}");
+        assert!(!err.to_string().is_empty());
+    }
+
+    // Hand-edited JSON gets the same validation as the CLI form.
+    let mut spec = library_spec(1);
+    if let ScenarioKind::StadiumFlashCrowd(c) = &mut spec.kind {
+        c.peak_boost = 99.0;
+    }
+    let json = serde_json::to_string_pretty(&spec).unwrap();
+    let err = ScenarioSpec::from_json(&json).expect_err("out-of-range boost");
+    assert!(
+        matches!(err, ScenarioError::OutOfRange { knob: "boost", .. }),
+        "{err}"
+    );
+}
